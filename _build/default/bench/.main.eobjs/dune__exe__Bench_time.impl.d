@@ -1,0 +1,1 @@
+bench/bench_time.ml: Analyze Bechamel Benchmark Core Emio Hashtbl Instance Measure Printf Staged Test Time Toolkit Util Workload

@@ -1,0 +1,1 @@
+bench/exp_extra.ml: Array Baselines Core Emio Float Geom List Plane3 Point2 Printf Random Util Workload

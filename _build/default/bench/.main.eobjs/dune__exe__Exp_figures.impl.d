@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Arrangement Array Core Dual2 Emio Float Geom Line2 List Partition Point2 Printf Random Util Workload

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Core Emio List Printf Util Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_time Exp_extra Exp_figures Exp_table1 List Printf Sys

@@ -1,0 +1,1 @@
+bench/util.ml: Emio List Printf String

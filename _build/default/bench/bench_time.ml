@@ -1,0 +1,75 @@
+(* Wall-clock microbenchmarks (bechamel): one Test.make per Table 1
+   row, timing a representative query against a prebuilt structure.
+   The I/O experiments above are the primary reproduction; these show
+   CPU-side costs are sane. *)
+
+open Bechamel
+open Toolkit
+
+let block_size = 64
+
+let make_tests () =
+  let rng = Workload.rng 7001 in
+  let stats = Emio.Io_stats.create () in
+  (* row 1: §3 *)
+  let pts2 = Workload.uniform2 rng ~n:8192 ~range:100. in
+  let h2 = Core.Halfspace2d.build ~stats ~block_size pts2 in
+  let s1, c1 = Workload.halfplane_with_selectivity rng pts2 ~fraction:0.01 in
+  (* row 2: §4 *)
+  let pts3 = Workload.uniform3 rng ~n:4096 ~range:50. in
+  let h3 =
+    Core.Halfspace3d.build ~stats ~block_size ~clip:(-10., -10., 10., 10.)
+      pts3
+  in
+  let qa, qb, qc = Workload.halfspace3_with_selectivity rng pts3 ~fraction:0.01 in
+  let qa = max (-9.9) (min 9.9 qa) and qb = max (-9.9) (min 9.9 qb) in
+  (* row 3/6: shallow tree *)
+  let ptsd = Workload.uniform_d rng ~n:8192 ~dim:3 ~range:50. in
+  let sh = Core.Shallow_tree.build ~stats ~block_size ~dim:3 ptsd in
+  let sa0, sa = Workload.halfspace_d_with_selectivity rng ptsd ~fraction:0.01 in
+  (* row 4: tradeoff *)
+  let tr =
+    Core.Tradeoff3d.build ~stats ~block_size ~a:1.5 ~clip:(-10., -10., 10., 10.)
+      pts3
+  in
+  (* rows 5/7: partition tree *)
+  let pt = Core.Partition_tree.build ~stats ~block_size ~dim:3 ptsd in
+  [
+    Test.make ~name:"row1 halfspace2d"
+      (Staged.stage (fun () ->
+           ignore (Core.Halfspace2d.query_count h2 ~slope:s1 ~icept:c1)));
+    Test.make ~name:"row2 halfspace3d"
+      (Staged.stage (fun () ->
+           ignore (Core.Halfspace3d.query_count h3 ~a:qa ~b:qb ~c:qc)));
+    Test.make ~name:"row3 shallow_tree"
+      (Staged.stage (fun () ->
+           ignore (Core.Shallow_tree.query_halfspace sh ~a0:sa0 ~a:sa)));
+    Test.make ~name:"row4 tradeoff3d"
+      (Staged.stage (fun () ->
+           ignore (Core.Tradeoff3d.query_count tr ~a:qa ~b:qb ~c:qc)));
+    Test.make ~name:"row5/7 partition_tree"
+      (Staged.stage (fun () ->
+           ignore (Core.Partition_tree.query_halfspace pt ~a0:sa0 ~a:sa)));
+  ]
+
+let run () =
+  Util.section "TIME" "Wall-clock per query (bechamel, one test per row)";
+  let tests = make_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"table1" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-28s %12.1f ns/query\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    results

@@ -1,0 +1,57 @@
+(* Experiment harness: regenerates every table and figure of the paper
+   (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+   recorded results).
+
+   Usage:
+     dune exec bench/main.exe              # run everything
+     dune exec bench/main.exe -- T1.1 F2   # run selected experiments
+     dune exec bench/main.exe -- --list    # list experiment ids *)
+
+let experiments =
+  [
+    ("T1.1", "Table 1 row 1: 2-D optimal structure", Exp_table1.row1);
+    ("T1.2", "Table 1 row 2: 3-D structure", Exp_table1.row2);
+    ("T1.3", "Table 1 row 3: 3-D shallow tree", Exp_table1.row3);
+    ("T1.4", "Table 1 row 4: 3-D tradeoff", Exp_table1.row4);
+    ("T1.5", "Table 1 rows 5+7: partition trees", Exp_table1.rows5_7);
+    ("T1.6", "Table 1 row 6: d-dim shallow tree", Exp_table1.row6);
+    ("F1", "Figure 1: duality", Exp_figures.figure1);
+    ("F2", "Figure 2: k-levels", Exp_figures.figure2);
+    ("F3", "Figure 3: clusters", Exp_figures.figure3);
+    ("F4", "Figure 4: greedy clustering", Exp_figures.figure4);
+    ("F5", "Figure 5: query walk", Exp_figures.figure5);
+    ("F6", "Figure 6: simplicial partitions", Exp_figures.figure6);
+    ("S1.2", "§1.2 heuristic degradation", Exp_extra.sec12);
+    ("A1", "ablation: partitioners", Exp_extra.ablation_partitioner);
+    ("A2", "ablation: independent copies", Exp_extra.ablation_copies);
+    ("A3", "ablation: LRU cache", Exp_extra.ablation_cache);
+    ("A4", "Theorem 4.2 k sweep", Exp_extra.ablation_klowest);
+    ("A5", "Theorem 4.3 k-NN sweep", Exp_extra.ablation_knn);
+    ("A6", "ablation: point locators", Exp_extra.ablation_locator);
+    ("A7", "ablation: shallow threshold", Exp_extra.ablation_shallow_factor);
+    ("EXT1", "extension: dynamized tree", Exp_extra.ext_dynamic);
+    ("EXT2", "extension: segment intersection", Exp_extra.ext_segments);
+    ("EXT3", "extension: disk reporting", Exp_extra.ext_disks);
+    ("EXT4", "extension: certificate tree", Exp_extra.ext_cert_tree);
+    ("TIME", "bechamel wall-clock per row", Bench_time.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+      List.iter (fun (id, title, _) -> Printf.printf "%-6s %s\n" id title)
+        experiments
+  | [] ->
+      Printf.printf
+        "Reproducing 'Efficient Searching with Linear Constraints'\n\
+         (Agarwal, Arge, Erickson, Franciosa, Vitter; PODS'98/JCSS'00)\n\
+         block size B = 64 items; I/O counts from the emio simulator.\n";
+      List.iter (fun (_, _, f) -> f ()) experiments
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) experiments with
+          | Some (_, _, f) -> f ()
+          | None -> Printf.eprintf "unknown experiment %S (try --list)\n" id)
+        ids

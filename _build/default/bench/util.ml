@@ -1,0 +1,48 @@
+(* Shared helpers for the experiment harness. *)
+
+let line = String.make 78 '-'
+
+let section id title =
+  Printf.printf "\n%s\n[%s] %s\n%s\n" line id title line
+
+let log_base b x = log x /. log b
+
+let blocks ~block_size n = (n + block_size - 1) / block_size
+
+(* Average and max of an integer sample. *)
+let summarize xs =
+  let n = max 1 (List.length xs) in
+  let sum = List.fold_left ( + ) 0 xs in
+  let mx = List.fold_left max 0 xs in
+  (float_of_int sum /. float_of_int n, mx)
+
+(* Least-squares slope of log(y) against log(x): the empirical scaling
+   exponent of a series. *)
+let scaling_exponent pts =
+  let pts =
+    List.filter (fun (x, y) -> x > 0. && y > 0.) pts
+    |> List.map (fun (x, y) -> (log x, log y))
+  in
+  let n = float_of_int (List.length pts) in
+  if n < 2. then nan
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+  end
+
+(* Run [queries] and report (avg I/Os, max I/Os, avg t in blocks). *)
+let measure_queries ~stats ~block_size queries =
+  let ios = ref [] and ts = ref [] in
+  List.iter
+    (fun q ->
+      Emio.Io_stats.reset stats;
+      let t = q () in
+      ios := Emio.Io_stats.reads stats :: !ios;
+      ts := blocks ~block_size t :: !ts)
+    queries;
+  let avg_io, max_io = summarize !ios in
+  let avg_t, _ = summarize !ts in
+  (avg_io, max_io, avg_t)

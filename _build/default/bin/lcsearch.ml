@@ -1,0 +1,342 @@
+(* lcsearch: command-line front end for the library.
+
+   Subcommands:
+     info    — the paper's Table 1 and what this repo implements
+     run     — build a structure over a generated workload, run queries,
+               and report I/O statistics
+     sweep   — sweep N and print scaling rows for one structure *)
+
+open Cmdliner
+
+type structure = H2 | H3 | Ptree | Shallow | Tradeoff | Rtree | Quad | Grid | Scan
+
+let structure_conv =
+  let parse = function
+    | "h2" -> Ok H2
+    | "h3" -> Ok H3
+    | "ptree" -> Ok Ptree
+    | "shallow" -> Ok Shallow
+    | "tradeoff" -> Ok Tradeoff
+    | "rtree" -> Ok Rtree
+    | "quadtree" -> Ok Quad
+    | "gridfile" -> Ok Grid
+    | "scan" -> Ok Scan
+    | s -> Error (`Msg (Printf.sprintf "unknown structure %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | H2 -> "h2"
+      | H3 -> "h3"
+      | Ptree -> "ptree"
+      | Shallow -> "shallow"
+      | Tradeoff -> "tradeoff"
+      | Rtree -> "rtree"
+      | Quad -> "quadtree"
+      | Grid -> "gridfile"
+      | Scan -> "scan")
+  in
+  Arg.conv (parse, print)
+
+type workload_kind = Uniform | Clusters | Diagonal
+
+let workload_conv =
+  let parse = function
+    | "uniform" -> Ok Uniform
+    | "clusters" -> Ok Clusters
+    | "diagonal" -> Ok Diagonal
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf
+      (match w with
+      | Uniform -> "uniform"
+      | Clusters -> "clusters"
+      | Diagonal -> "diagonal")
+  in
+  Arg.conv (parse, print)
+
+let is_3d = function H3 | Tradeoff -> true | _ -> false
+
+let gen2 kind rng n =
+  match kind with
+  | Uniform -> Workload.uniform2 rng ~n ~range:100.
+  | Clusters -> Workload.clusters2 rng ~n ~clusters:10 ~sigma:3. ~range:100.
+  | Diagonal -> Workload.diagonal2 rng ~n ~jitter:0.01 ~range:100.
+
+(* Build the chosen structure; returns (space in blocks, query runner
+   where the query reports the count for a halfplane/halfspace of the
+   requested selectivity). *)
+let build_structure s ~stats ~block_size ~kind ~rng n =
+  if is_3d s then begin
+    let points = Workload.uniform3 rng ~n ~range:100. in
+    let query fraction =
+      let a, b, c = Workload.halfspace3_with_selectivity rng points ~fraction in
+      let a = max (-9.9) (min 9.9 a) and b = max (-9.9) (min 9.9 b) in
+      (a, b, c)
+    in
+    match s with
+    | H3 ->
+        let t =
+          Core.Halfspace3d.build ~stats ~block_size ~clip:(-10., -10., 10., 10.)
+            points
+        in
+        ( Core.Halfspace3d.space_blocks t,
+          fun fraction ->
+            let a, b, c = query fraction in
+            Core.Halfspace3d.query_count t ~a ~b ~c )
+    | Tradeoff ->
+        let t =
+          Core.Tradeoff3d.build ~stats ~block_size ~a:1.5
+            ~clip:(-10., -10., 10., 10.) points
+        in
+        ( Core.Tradeoff3d.space_blocks t,
+          fun fraction ->
+            let a, b, c = query fraction in
+            Core.Tradeoff3d.query_count t ~a ~b ~c )
+    | _ -> assert false
+  end
+  else begin
+    match s with
+    | Ptree | Shallow ->
+        let points =
+          Array.map
+            (fun p -> [| Geom.Point2.x p; Geom.Point2.y p |])
+            (gen2 kind rng n)
+        in
+        let query fraction =
+          Workload.halfspace_d_with_selectivity rng points ~fraction
+        in
+        if s = Ptree then begin
+          let t = Core.Partition_tree.build ~stats ~block_size ~dim:2 points in
+          ( Core.Partition_tree.space_blocks t,
+            fun fraction ->
+              let a0, a = query fraction in
+              List.length (Core.Partition_tree.query_halfspace t ~a0 ~a) )
+        end
+        else begin
+          let t = Core.Shallow_tree.build ~stats ~block_size ~dim:2 points in
+          ( Core.Shallow_tree.space_blocks t,
+            fun fraction ->
+              let a0, a = query fraction in
+              List.length (Core.Shallow_tree.query_halfspace t ~a0 ~a) )
+        end
+    | _ ->
+        let points = gen2 kind rng n in
+        let query fraction =
+          Workload.halfplane_with_selectivity rng points ~fraction
+        in
+        (match s with
+        | H2 ->
+            let t = Core.Halfspace2d.build ~stats ~block_size points in
+            ( Core.Halfspace2d.space_blocks t,
+              fun fraction ->
+                let slope, icept = query fraction in
+                Core.Halfspace2d.query_count t ~slope ~icept )
+        | Rtree ->
+            let t = Baselines.Rtree.build ~stats ~block_size points in
+            ( Baselines.Rtree.space_blocks t,
+              fun fraction ->
+                let slope, icept = query fraction in
+                Baselines.Rtree.query_count t ~slope ~icept )
+        | Quad ->
+            let t = Baselines.Quadtree.build ~stats ~block_size points in
+            ( Baselines.Quadtree.space_blocks t,
+              fun fraction ->
+                let slope, icept = query fraction in
+                Baselines.Quadtree.query_count t ~slope ~icept )
+        | Grid ->
+            let t = Baselines.Grid_file.build ~stats ~block_size points in
+            ( Baselines.Grid_file.space_blocks t,
+              fun fraction ->
+                let slope, icept = query fraction in
+                Baselines.Grid_file.query_count t ~slope ~icept )
+        | Scan ->
+            let t = Baselines.Linear_scan.build ~stats ~block_size points in
+            ( Baselines.Linear_scan.space_blocks t,
+              fun fraction ->
+                let slope, icept = query fraction in
+                Baselines.Linear_scan.query_count t ~slope ~icept )
+        | H3 | Tradeoff | Ptree | Shallow -> assert false)
+  end
+
+let run_once s n block_size fraction queries kind seed =
+  let rng = Workload.rng seed in
+  let stats = Emio.Io_stats.create () in
+  let space, run_query = build_structure s ~stats ~block_size ~kind ~rng n in
+  let build_ios = Emio.Io_stats.total stats in
+  Printf.printf "N=%d  B=%d  n=%d blocks  space=%d blocks  build=%d I/Os\n" n
+    block_size
+    ((n + block_size - 1) / block_size)
+    space build_ios;
+  let total_io = ref 0 and total_t = ref 0 and max_io = ref 0 in
+  for _ = 1 to queries do
+    Emio.Io_stats.reset stats;
+    let t = run_query fraction in
+    let io = Emio.Io_stats.reads stats in
+    total_io := !total_io + io;
+    max_io := max !max_io io;
+    total_t := !total_t + t
+  done;
+  Printf.printf
+    "%d queries at selectivity %.3f: avg %.1f I/Os (max %d), avg t=%d points\n"
+    queries fraction
+    (float_of_int !total_io /. float_of_int queries)
+    !max_io
+    (!total_t / queries)
+
+let run_cmd =
+  let s =
+    Arg.(
+      value
+      & opt structure_conv H2
+      & info [ "s"; "structure" ]
+          ~doc:
+            "Structure: h2 (§3), h3 (§4), ptree (§5), shallow (§6), tradeoff \
+             (§6.1), rtree, quadtree, gridfile, scan.")
+  in
+  let n = Arg.(value & opt int 16384 & info [ "n" ] ~doc:"Number of points.") in
+  let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
+  let fraction =
+    Arg.(value & opt float 0.02 & info [ "f"; "fraction" ] ~doc:"Query selectivity.")
+  in
+  let queries = Arg.(value & opt int 20 & info [ "q"; "queries" ] ~doc:"Query count.") in
+  let kind =
+    Arg.(
+      value
+      & opt workload_conv Uniform
+      & info [ "w"; "workload" ] ~doc:"Workload: uniform, clusters, diagonal.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Build a structure and measure query I/Os")
+    Term.(const run_once $ s $ n $ b $ fraction $ queries $ kind $ seed)
+
+let sweep_once s block_size fraction kind seed =
+  Printf.printf "%10s %8s %10s %10s\n" "N" "n" "avg IO" "space";
+  List.iter
+    (fun n ->
+      let rng = Workload.rng (seed + n) in
+      let stats = Emio.Io_stats.create () in
+      let space, run_query = build_structure s ~stats ~block_size ~kind ~rng n in
+      let total = ref 0 in
+      let queries = 15 in
+      for _ = 1 to queries do
+        Emio.Io_stats.reset stats;
+        ignore (run_query fraction);
+        total := !total + Emio.Io_stats.reads stats
+      done;
+      Printf.printf "%10d %8d %10.1f %10d\n" n
+        ((n + block_size - 1) / block_size)
+        (float_of_int !total /. float_of_int queries)
+        space)
+    [ 4096; 8192; 16384; 32768 ]
+
+let sweep_cmd =
+  let s =
+    Arg.(value & opt structure_conv H2 & info [ "s"; "structure" ] ~doc:"Structure.")
+  in
+  let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
+  let fraction =
+    Arg.(value & opt float 0.02 & info [ "f"; "fraction" ] ~doc:"Query selectivity.")
+  in
+  let kind =
+    Arg.(value & opt workload_conv Uniform & info [ "w"; "workload" ] ~doc:"Workload.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep N and print I/O scaling")
+    Term.(const sweep_once $ s $ b $ fraction $ kind $ seed)
+
+let knn_once n block_size k qx qy seed =
+  let rng = Workload.rng seed in
+  let points = Workload.clusters2 rng ~n ~clusters:12 ~sigma:5. ~range:100. in
+  let stats = Emio.Io_stats.create () in
+  let t =
+    Core.Knn.build ~stats ~block_size ~clip:(-200., -200., 200., 200.) points
+  in
+  Emio.Io_stats.reset stats;
+  let nearest = Core.Knn.nearest t (Geom.Point2.make qx qy) ~k in
+  Printf.printf "%d-NN of (%g, %g) over %d points (%d I/Os):\n" k qx qy n
+    (Emio.Io_stats.reads stats);
+  List.iter
+    (fun (p, d) ->
+      Printf.printf "  (%10.4f, %10.4f)  distance %.4f\n" (Geom.Point2.x p)
+        (Geom.Point2.y p) d)
+    nearest
+
+let knn_cmd =
+  let n = Arg.(value & opt int 10000 & info [ "n" ] ~doc:"Number of points.") in
+  let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Neighbors to report.") in
+  let qx = Arg.(value & opt float 0. & info [ "x" ] ~doc:"Query x.") in
+  let qy = Arg.(value & opt float 0. & info [ "y" ] ~doc:"Query y.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "knn" ~doc:"k-nearest-neighbor search via lifting (Thm 4.3)")
+    Term.(const knn_once $ n $ b $ k $ qx $ qy $ seed)
+
+let segments_once n block_size seed =
+  let rng = Workload.rng seed in
+  let segments =
+    Array.init n (fun _ ->
+        let cx = Random.State.float rng 200. -. 100.
+        and cy = Random.State.float rng 200. -. 100. in
+        let len = 0.5 +. Random.State.float rng 3. in
+        let ang = Random.State.float rng (2. *. Float.pi) in
+        ( Geom.Point2.make cx cy,
+          Geom.Point2.make (cx +. (len *. cos ang)) (cy +. (len *. sin ang)) ))
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Seg_intersect.build ~stats ~block_size segments in
+  Printf.printf "built over %d segments: %d blocks\n" n
+    (Core.Seg_intersect.space_blocks t);
+  for _ = 1 to 5 do
+    let cx = Random.State.float rng 150. -. 75.
+    and cy = Random.State.float rng 150. -. 75. in
+    let qa = Geom.Point2.make cx cy
+    and qb = Geom.Point2.make (cx +. 20.) (cy +. 12.) in
+    Emio.Io_stats.reset stats;
+    let hits = Core.Seg_intersect.query t qa qb in
+    Printf.printf "query (%g,%g)-(%g,%g): %d crossings, %d I/Os (scan %d)\n"
+      cx cy (cx +. 20.) (cy +. 12.) (List.length hits)
+      (Emio.Io_stats.reads stats)
+      ((n + block_size - 1) / block_size)
+  done
+
+let segments_cmd =
+  let n = Arg.(value & opt int 16384 & info [ "n" ] ~doc:"Number of segments.") in
+  let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "segments"
+       ~doc:"segment intersection searching (§7 open problem 2)")
+    Term.(const segments_once $ n $ b $ seed)
+
+let info_text () =
+  print_string
+    "Efficient Searching with Linear Constraints — OCaml reproduction\n\
+     Agarwal, Arge, Erickson, Franciosa, Vitter (PODS'98 / JCSS 2000)\n\n\
+     Table 1 (query I/Os, space in blocks; n = N/B, t = T/B):\n\
+    \  d=2  O(log_B n + t)            O(n)           Core.Halfspace2d  (§3)\n\
+    \  d=3  O(log_B n + t) expected   O(n log2 n)    Core.Halfspace3d  (§4)\n\
+    \  d=3  O(n^eps + t)              O(n log_B n)   Core.Shallow_tree (§6)\n\
+    \  d=3  O((n/B^a)^{2/3+eps} + t)  O(n log2 B)    Core.Tradeoff3d   (§6)\n\
+    \  d=3  O(n^{2/3+eps} + t)        O(n)           Core.Partition_tree (§5)\n\
+    \  d    O(n^{1-1/(d/2)+eps} + t)  O(n log_B n)   Core.Shallow_tree (§6)\n\
+    \  d    O(n^{1-1/d+eps} + t)      O(n)           Core.Partition_tree (§5)\n\n\
+     Also: Core.Knn (Theorem 4.3), Core.Lowest_planes (Theorem 4.2),\n\
+     baselines (R-tree, quadtree, grid file, linear scan), and a full\n\
+     experiment harness (dune exec bench/main.exe).\n"
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show the paper's results and the implementation map")
+    Term.(const info_text $ const ())
+
+let () =
+  let doc = "external-memory halfspace range searching (PODS'98 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "lcsearch" ~version:"1.0.0" ~doc)
+          [ run_cmd; sweep_cmd; knn_cmd; segments_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversarial_showdown.ml: Array Baselines Core Emio Printf Workload

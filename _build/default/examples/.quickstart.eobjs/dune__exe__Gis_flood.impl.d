@@ -1,0 +1,1 @@
+examples/gis_flood.ml: Array Core Emio Geom List Point3 Printf Random Workload

@@ -1,0 +1,1 @@
+examples/gis_flood.mli:

@@ -1,0 +1,1 @@
+examples/nearest_stores.ml: Core Emio Float Format Geom List Point2 Printf Workload

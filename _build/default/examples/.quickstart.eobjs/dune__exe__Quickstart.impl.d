@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Emio Geom List Point2 Printf

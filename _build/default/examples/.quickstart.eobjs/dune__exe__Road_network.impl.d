@@ -1,0 +1,1 @@
+examples/road_network.ml: Array Core Emio Float Format Geom List Partition Point2 Printf Random Workload

@@ -1,0 +1,1 @@
+examples/simplex_report.ml: Array Cells Core Emio List Partition Printf Workload

@@ -1,0 +1,1 @@
+examples/simplex_report.mli:

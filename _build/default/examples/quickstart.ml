@@ -1,0 +1,62 @@
+(* Quickstart: the paper's own motivating query (§1.1).
+
+   Given a relation Companies(Name, PricePerShare, EarningsPerShare),
+   find all companies whose price/earnings ratio is below 10:
+
+     SELECT Name FROM Companies
+     WHERE (PricePerShare - 10 * EarningsPerShare < 0)
+
+   Interpreting (EarningsPerShare, PricePerShare) as planar points,
+   this is the halfspace query  y <= 10 x  answered by the optimal §3
+   structure in O(log_B n + t) I/Os.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Geom
+
+let companies =
+  [|
+    ("DukeSoft", 4.2, 0.90);
+    ("ArrangeCo", 18.0, 1.20);
+    ("LevelWorks", 55.0, 7.10);
+    ("ClusterIO", 12.0, 1.10);
+    ("EnvelopeInc", 31.0, 2.80);
+    ("DualPoint", 9.0, 1.50);
+    ("HorizonLtd", 80.0, 6.20);
+    ("SampleNet", 6.5, 0.70);
+  |]
+
+let () =
+  let points =
+    Array.map (fun (_, price, earnings) -> Point2.make earnings price) companies
+  in
+  let stats = Emio.Io_stats.create () in
+  let index = Core.Halfspace2d.build ~stats ~block_size:4 points in
+  Printf.printf "Built the §3 structure over %d companies (%d blocks, %d write I/Os)\n"
+    (Array.length companies)
+    (Core.Halfspace2d.space_blocks index)
+    (Emio.Io_stats.writes stats);
+  Emio.Io_stats.reset stats;
+  (* PricePerShare <= 10 * EarningsPerShare, i.e. y <= 10 x *)
+  let hits = Core.Halfspace2d.query index ~slope:10. ~icept:0. in
+  Printf.printf "\nCompanies with P/E < 10  (query: y <= 10x, %d read I/Os):\n"
+    (Emio.Io_stats.reads stats);
+  List.iter
+    (fun p ->
+      Array.iter
+        (fun (name, price, earnings) ->
+          if Point2.equal p (Point2.make earnings price) then
+            Printf.printf "  %-12s price=%5.2f earnings=%4.2f  P/E=%5.2f\n"
+              name price earnings (price /. earnings))
+        companies)
+    hits;
+  (* cross-check against the obvious scan *)
+  let expected =
+    Array.fold_left
+      (fun acc (_, price, earnings) ->
+        if price <= 10. *. earnings then acc + 1 else acc)
+      0 companies
+  in
+  assert (List.length hits = expected);
+  Printf.printf "\n%d of %d companies pass the screen.\n" expected
+    (Array.length companies)

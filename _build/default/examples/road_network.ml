@@ -1,0 +1,97 @@
+(* The paper's §7 open problems, exercised on a road-network scenario:
+
+   1. (open problem 2) Which existing roads would a proposed new route
+      cross?  — segment intersection searching, answered by the
+      three-level partition tree (Core.Seg_intersect).
+   2. (open problem 1 / §5 remark (iii)) Incident reports arrive and
+      get resolved continuously; dispatch wants all active incidents
+      inside a triangular coverage zone.  — a dynamized partition tree
+      (Core.Dynamic_tree) with inserts, deletes, and simplex queries.
+
+   Run with:  dune exec examples/road_network.exe *)
+
+open Geom
+
+let () =
+  let rng = Workload.rng 314 in
+  let block_size = 32 in
+
+  (* --- a synthetic road network: 20k short segments --------------- *)
+  let n_roads = 20_000 in
+  let roads =
+    Array.init n_roads (fun _ ->
+        let cx = Random.State.float rng 200. -. 100.
+        and cy = Random.State.float rng 200. -. 100. in
+        let len = 0.5 +. Random.State.float rng 3. in
+        let ang = Random.State.float rng (2. *. Float.pi) in
+        ( Point2.make cx cy,
+          Point2.make (cx +. (len *. cos ang)) (cy +. (len *. sin ang)) ))
+  in
+  let stats = Emio.Io_stats.create () in
+  let net = Core.Seg_intersect.build ~stats ~block_size roads in
+  Printf.printf
+    "road network: %d segments, %d blocks (multi-level partition tree)\n"
+    n_roads
+    (Core.Seg_intersect.space_blocks net);
+
+  let proposals =
+    [
+      (Point2.make (-80.) (-80.), Point2.make 80. 80.);
+      (Point2.make (-50.) 60., Point2.make 70. (-30.));
+      (Point2.make 0. 0., Point2.make 5. 2.);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Emio.Io_stats.reset stats;
+      let crossed = Core.Seg_intersect.query net a b in
+      Printf.printf
+        "route %s -> %s crosses %4d roads  (%5d I/Os; scan = %d blocks)\n"
+        (Format.asprintf "%a" Point2.pp a)
+        (Format.asprintf "%a" Point2.pp b)
+        (List.length crossed)
+        (Emio.Io_stats.reads stats)
+        ((n_roads + block_size - 1) / block_size))
+    proposals;
+
+  (* --- live incidents: insert/delete + zone queries ----------------- *)
+  let stats2 = Emio.Io_stats.create () in
+  let incidents =
+    Core.Dynamic_tree.create ~stats:stats2 ~block_size ~dim:2 ()
+  in
+  let open_incident () =
+    Core.Dynamic_tree.insert incidents
+      [| Random.State.float rng 200. -. 100.; Random.State.float rng 200. -. 100. |]
+  in
+  let live = ref [] in
+  for _ = 1 to 2000 do
+    live := open_incident () :: !live;
+    (* resolve a random older incident half the time *)
+    if Random.State.bool rng then begin
+      match !live with
+      | h :: rest when List.length rest > 0 ->
+          ignore (Core.Dynamic_tree.delete incidents h);
+          live := rest
+      | _ -> ()
+    end
+  done;
+  Printf.printf
+    "\nincident store: %d live after 2000 opens + resolutions; %d buckets, %d rebuilds\n"
+    (Core.Dynamic_tree.length incidents)
+    (Core.Dynamic_tree.buckets incidents)
+    (Core.Dynamic_tree.rebuilds incidents);
+  (* dispatch zone: triangle (-60,-60) (60,-60) (0,80) *)
+  let edge (px, py) (qx, qy) (ox, oy) =
+    let w = [| qy -. py; px -. qx |] in
+    let b = -.((w.(0) *. px) +. (w.(1) *. py)) in
+    let v = (w.(0) *. ox) +. (w.(1) *. oy) +. b in
+    if v <= 0. then { Partition.Cells.w; b }
+    else { Partition.Cells.w = [| -.w.(0); -.w.(1) |]; b = -.b }
+  in
+  let a = (-60., -60.) and b = (60., -60.) and c = (0., 80.) in
+  let zone = [ edge a b c; edge b c a; edge c a b ] in
+  Emio.Io_stats.reset stats2;
+  let in_zone = Core.Dynamic_tree.query_simplex incidents zone in
+  Printf.printf "dispatch zone holds %d live incidents (%d I/Os)\n"
+    (List.length in_zone)
+    (Emio.Io_stats.reads stats2)

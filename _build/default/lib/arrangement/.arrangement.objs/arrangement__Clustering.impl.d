@@ -1,0 +1,1 @@
+lib/arrangement/clustering.ml: Array Float Fun Geom Hashtbl Level_walk Line2 List Point2

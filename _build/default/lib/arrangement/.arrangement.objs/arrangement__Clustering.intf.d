@@ -1,0 +1,1 @@
+lib/arrangement/clustering.mli: Geom

@@ -1,0 +1,1 @@
+lib/arrangement/level_walk.ml: Array Float Fun Geom Hashtbl Line2 Point2

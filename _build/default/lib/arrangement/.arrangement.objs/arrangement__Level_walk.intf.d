@@ -1,0 +1,1 @@
+lib/arrangement/level_walk.mli: Geom

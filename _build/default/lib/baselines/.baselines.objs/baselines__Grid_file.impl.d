@@ -1,0 +1,1 @@
+lib/baselines/grid_file.ml: Array Emio Eps Float Geom List Point2 Rect

@@ -1,0 +1,1 @@
+lib/baselines/grid_file.mli: Emio Geom Rect

@@ -1,0 +1,1 @@
+lib/baselines/quadtree.ml: Array Emio Eps Geom List Point2 Rect

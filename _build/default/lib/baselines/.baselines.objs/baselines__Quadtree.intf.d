@@ -1,0 +1,1 @@
+lib/baselines/quadtree.mli: Emio Geom

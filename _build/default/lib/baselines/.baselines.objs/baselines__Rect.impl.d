@@ -1,0 +1,1 @@
+lib/baselines/rect.ml: Array Eps Geom Point2

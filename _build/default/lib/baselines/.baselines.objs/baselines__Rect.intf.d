@@ -1,0 +1,1 @@
+lib/baselines/rect.mli: Geom

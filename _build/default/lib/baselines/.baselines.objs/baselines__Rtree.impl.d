@@ -1,0 +1,1 @@
+lib/baselines/rtree.ml: Array Emio Eps Float Geom List Point2 Rect

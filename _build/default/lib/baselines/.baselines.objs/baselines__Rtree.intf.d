@@ -1,0 +1,1 @@
+lib/baselines/rtree.mli: Emio Geom Rect

@@ -1,0 +1,118 @@
+open Geom
+
+type t = {
+  directory : (int * int) Emio.Run.t; (* cell -> (start, len) *)
+  buckets : Point2.t Emio.Run.t;
+  bbox : Rect.t;
+  side : int;
+  dir_block : int;
+  length : int;
+}
+
+let side t = t.side
+let length t = t.length
+
+let space_blocks t =
+  Emio.Run.block_count t.directory + Emio.Run.block_count t.buckets
+
+let build ~stats ~block_size ?(cache_blocks = 0) points =
+  let n = Array.length points in
+  let bbox =
+    if n = 0 then { Rect.x0 = 0.; y0 = 0.; x1 = 1.; y1 = 1. }
+    else Rect.of_points points
+  in
+  (* pad so boundary points fall strictly inside *)
+  let pad v = if v = 0. then 1e-9 else Float.abs v *. 1e-9 in
+  let bbox =
+    {
+      Rect.x0 = bbox.Rect.x0 -. pad bbox.Rect.x0;
+      y0 = bbox.Rect.y0 -. pad bbox.Rect.y0;
+      x1 = bbox.Rect.x1 +. pad bbox.Rect.x1;
+      y1 = bbox.Rect.y1 +. pad bbox.Rect.y1;
+    }
+  in
+  let n_blocks = max 1 ((n + block_size - 1) / block_size) in
+  let side = max 1 (int_of_float (ceil (sqrt (float_of_int n_blocks)))) in
+  let cells = Array.make (side * side) [] in
+  let cell_of p =
+    let fx =
+      (Point2.x p -. bbox.Rect.x0) /. (bbox.Rect.x1 -. bbox.Rect.x0)
+    and fy =
+      (Point2.y p -. bbox.Rect.y0) /. (bbox.Rect.y1 -. bbox.Rect.y0)
+    in
+    let cx = min (side - 1) (max 0 (int_of_float (fx *. float_of_int side)))
+    and cy = min (side - 1) (max 0 (int_of_float (fy *. float_of_int side))) in
+    (cy * side) + cx
+  in
+  Array.iter (fun p -> cells.(cell_of p) <- p :: cells.(cell_of p)) points;
+  let dir = Array.make (side * side) (0, 0) in
+  let flat = ref [] in
+  let pos = ref 0 in
+  Array.iteri
+    (fun c ps ->
+      let ps = List.rev ps in
+      dir.(c) <- (!pos, List.length ps);
+      List.iter
+        (fun p ->
+          flat := p :: !flat;
+          incr pos)
+        ps)
+    cells;
+  let store_dir = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let store_b = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  {
+    directory = Emio.Run.of_array store_dir dir;
+    buckets = Emio.Run.of_array store_b (Array.of_list (List.rev !flat));
+    bbox;
+    side;
+    dir_block = block_size;
+    length = n;
+  }
+
+let cell_rect t c =
+  let cx = c mod t.side and cy = c / t.side in
+  let w = (t.bbox.Rect.x1 -. t.bbox.Rect.x0) /. float_of_int t.side
+  and h = (t.bbox.Rect.y1 -. t.bbox.Rect.y0) /. float_of_int t.side in
+  {
+    Rect.x0 = t.bbox.Rect.x0 +. (float_of_int cx *. w);
+    y0 = t.bbox.Rect.y0 +. (float_of_int cy *. h);
+    x1 = t.bbox.Rect.x0 +. (float_of_int (cx + 1) *. w);
+    y1 = t.bbox.Rect.y0 +. (float_of_int (cy + 1) *. h);
+  }
+
+let read_bucket t c f acc =
+  let start, len =
+    (Emio.Run.read_block t.directory (c / t.dir_block)).(c mod t.dir_block)
+  in
+  if len = 0 then acc
+  else
+    Array.fold_left f acc (Emio.Run.read_range t.buckets ~pos:start ~len)
+
+let query_fold t ~classify ~keep =
+  let acc = ref [] in
+  for c = 0 to (t.side * t.side) - 1 do
+    match classify (cell_rect t c) with
+    | Rect.Outside -> ()
+    | Rect.Inside -> acc := read_bucket t c (fun acc p -> p :: acc) !acc
+    | Rect.Crossing ->
+        acc :=
+          read_bucket t c (fun acc p -> if keep p then p :: acc else acc) !acc
+  done;
+  !acc
+
+let query_halfplane t ~slope ~icept =
+  query_fold t
+    ~classify:(fun r -> Rect.classify r ~slope ~icept)
+    ~keep:(fun p -> Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps)
+
+let query_count t ~slope ~icept = List.length (query_halfplane t ~slope ~icept)
+
+let query_window t w =
+  query_fold t
+    ~classify:(fun r ->
+      if w.Rect.x0 <= r.Rect.x0 && r.Rect.x1 <= w.Rect.x1
+         && w.Rect.y0 <= r.Rect.y0 && r.Rect.y1 <= w.Rect.y1
+      then Rect.Inside
+      else if Rect.intersects r w then Rect.Crossing
+      else Rect.Outside)
+    ~keep:(fun p -> Rect.contains w p)

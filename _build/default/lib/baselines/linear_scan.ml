@@ -1,0 +1,23 @@
+open Geom
+
+type t = { run : Point2.t Emio.Run.t; length : int }
+
+let build ~stats ~block_size ?(cache_blocks = 0) points =
+  let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  { run = Emio.Run.of_array store points; length = Array.length points }
+
+let below ~slope ~icept p =
+  Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps
+
+let query_halfplane t ~slope ~icept =
+  Emio.Run.fold
+    (fun acc p -> if below ~slope ~icept p then p :: acc else acc)
+    [] t.run
+
+let query_count t ~slope ~icept =
+  Emio.Run.fold
+    (fun acc p -> if below ~slope ~icept p then acc + 1 else acc)
+    0 t.run
+
+let space_blocks t = Emio.Run.block_count t.run
+let length t = t.length

@@ -1,0 +1,17 @@
+(** The trivial baseline: points in ⌈N/B⌉ blocks, every query a full
+    scan of Θ(n) I/Os.  Both the floor every structure must beat on
+    small outputs and the (unbeatable) comparison point at t = Θ(n). *)
+
+type t
+
+val build :
+  stats:Emio.Io_stats.t -> block_size:int -> ?cache_blocks:int ->
+  Geom.Point2.t array -> t
+
+val query_halfplane : t -> slope:float -> icept:float -> Geom.Point2.t list
+(** Points with [y <= slope x + icept]. *)
+
+val query_count : t -> slope:float -> icept:float -> int
+
+val space_blocks : t -> int
+val length : t -> int

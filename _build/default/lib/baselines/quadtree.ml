@@ -1,0 +1,114 @@
+open Geom
+
+type node_ref = Leaf of int | Node of int
+
+(* an internal node block stores its four children: NW NE SW SE *)
+type child = { quadrant : Rect.t; sub : node_ref option }
+
+type t = {
+  leaves : Point2.t Emio.Store.t;
+  internals : child Emio.Store.t;
+  root : node_ref option;
+  bbox : Rect.t;
+  length : int;
+  mutable max_depth_seen : int;
+}
+
+let length t = t.length
+let depth t = t.max_depth_seen
+
+let space_blocks t =
+  Emio.Store.blocks_used t.leaves + Emio.Store.blocks_used t.internals
+
+let quadrants (r : Rect.t) =
+  let mx = (r.Rect.x0 +. r.Rect.x1) /. 2. and my = (r.Rect.y0 +. r.Rect.y1) /. 2. in
+  [|
+    { Rect.x0 = r.Rect.x0; y0 = my; x1 = mx; y1 = r.Rect.y1 };
+    { Rect.x0 = mx; y0 = my; x1 = r.Rect.x1; y1 = r.Rect.y1 };
+    { Rect.x0 = r.Rect.x0; y0 = r.Rect.y0; x1 = mx; y1 = my };
+    { Rect.x0 = mx; y0 = r.Rect.y0; x1 = r.Rect.x1; y1 = my };
+  |]
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(max_depth = 40) points =
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let n = Array.length points in
+  let bbox =
+    if n = 0 then { Rect.x0 = 0.; y0 = 0.; x1 = 1.; y1 = 1. }
+    else Rect.of_points points
+  in
+  let t =
+    { leaves; internals; root = None; bbox; length = n; max_depth_seen = 0 }
+  in
+  let rec build_node pts rect d =
+    if d > t.max_depth_seen then t.max_depth_seen <- d;
+    if Array.length pts = 0 then None
+    else if Array.length pts <= block_size || d >= max_depth then
+      Some (Leaf (Emio.Store.alloc leaves pts))
+    else begin
+      let qs = quadrants rect in
+      let mx = (rect.Rect.x0 +. rect.Rect.x1) /. 2.
+      and my = (rect.Rect.y0 +. rect.Rect.y1) /. 2. in
+      let pick p =
+        let east = Point2.x p >= mx and north = Point2.y p >= my in
+        match (north, east) with
+        | true, false -> 0
+        | true, true -> 1
+        | false, false -> 2
+        | false, true -> 3
+      in
+      let parts = [| []; []; []; [] |] in
+      Array.iter (fun p -> parts.(pick p) <- p :: parts.(pick p)) pts;
+      let children =
+        Array.init 4 (fun i ->
+            {
+              quadrant = qs.(i);
+              sub = build_node (Array.of_list parts.(i)) qs.(i) (d + 1);
+            })
+      in
+      Some (Node (Emio.Store.alloc internals children))
+    end
+  in
+  let root = build_node points bbox 0 in
+  { t with root }
+
+let rec report_all t acc = function
+  | Leaf id ->
+      Array.fold_left (fun acc p -> p :: acc) acc (Emio.Store.read t.leaves id)
+  | Node id ->
+      Array.fold_left
+        (fun acc ch ->
+          match ch.sub with None -> acc | Some s -> report_all t acc s)
+        acc
+        (Emio.Store.read t.internals id)
+
+let query_halfplane t ~slope ~icept =
+  let keep p = Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps in
+  let rec go acc = function
+    | Leaf id ->
+        Array.fold_left
+          (fun acc p -> if keep p then p :: acc else acc)
+          acc
+          (Emio.Store.read t.leaves id)
+    | Node id ->
+        Array.fold_left
+          (fun acc ch ->
+            match ch.sub with
+            | None -> acc
+            | Some s -> (
+                match Rect.classify ch.quadrant ~slope ~icept with
+                | Rect.Inside -> report_all t acc s
+                | Rect.Outside -> acc
+                | Rect.Crossing -> go acc s))
+          acc
+          (Emio.Store.read t.internals id)
+  in
+  match t.root with
+  | None -> []
+  | Some root -> (
+      match Rect.classify t.bbox ~slope ~icept with
+      | Rect.Inside -> report_all t [] root
+      | Rect.Outside -> []
+      | Rect.Crossing -> go [] root)
+
+let query_count t ~slope ~icept = List.length (query_halfplane t ~slope ~icept)

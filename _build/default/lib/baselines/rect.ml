@@ -1,0 +1,52 @@
+(** Axis-aligned rectangles and their classification against a
+    halfplane [y <= slope x + icept] — shared by the R-tree, grid file
+    and quadtree baselines. *)
+
+open Geom
+
+type t = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+type side = Inside | Outside | Crossing
+
+let of_points points =
+  Array.fold_left
+    (fun r p ->
+      {
+        x0 = min r.x0 (Point2.x p);
+        y0 = min r.y0 (Point2.y p);
+        x1 = max r.x1 (Point2.x p);
+        y1 = max r.y1 (Point2.y p);
+      })
+    { x0 = infinity; y0 = infinity; x1 = neg_infinity; y1 = neg_infinity }
+    points
+
+let union a b =
+  {
+    x0 = min a.x0 b.x0;
+    y0 = min a.y0 b.y0;
+    x1 = max a.x1 b.x1;
+    y1 = max a.y1 b.y1;
+  }
+
+let contains r p =
+  Point2.x p >= r.x0 -. Eps.eps
+  && Point2.x p <= r.x1 +. Eps.eps
+  && Point2.y p >= r.y0 -. Eps.eps
+  && Point2.y p <= r.y1 +. Eps.eps
+
+(* Extrema of f(x,y) = y - slope*x - icept over the rectangle. *)
+let classify r ~slope ~icept =
+  let fmin =
+    r.y0 -. (slope *. if slope >= 0. then r.x1 else r.x0) -. icept
+  in
+  let fmax =
+    r.y1 -. (slope *. if slope >= 0. then r.x0 else r.x1) -. icept
+  in
+  (* Inside/Outside must be consistent with the point predicate
+     f <= eps: Inside when every point passes, Outside when none can *)
+  if fmax <= Eps.eps then Inside
+  else if fmin > Eps.eps then Outside
+  else Crossing
+
+let intersects a b =
+  a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1

@@ -1,0 +1,22 @@
+(** Axis-aligned rectangles and their classification against a
+    halfplane [y ≤ slope·x + icept] — shared by the R-tree, grid file
+    and quadtree baselines. *)
+
+type t = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+type side =
+  | Inside  (** every point of the rectangle satisfies the halfplane *)
+  | Outside  (** no point can satisfy it (beyond tolerance) *)
+  | Crossing
+
+val of_points : Geom.Point2.t array -> t
+(** Bounding box; degenerate (infinite) on an empty array. *)
+
+val union : t -> t -> t
+val contains : t -> Geom.Point2.t -> bool
+
+val classify : t -> slope:float -> icept:float -> side
+(** Exact, via the per-corner extrema of the affine gap function;
+    consistent with the point predicate [y ≤ slope·x + icept + eps]. *)
+
+val intersects : t -> t -> bool

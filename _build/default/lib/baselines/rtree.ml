@@ -1,0 +1,222 @@
+open Geom
+
+type node_ref = Leaf of int | Node of int
+
+type entry = { mbr : Rect.t; sub : node_ref }
+
+type t = {
+  leaves : Point2.t Emio.Store.t;
+  internals : entry Emio.Store.t;
+  root : node_ref option;
+  root_mbr : Rect.t;
+  length : int;
+  height : int;
+}
+
+let length t = t.length
+let height t = t.height
+
+let space_blocks t =
+  Emio.Store.blocks_used t.leaves + Emio.Store.blocks_used t.internals
+
+type packing = Str | Hilbert
+
+(* Hilbert index of a cell (x, y) of the 2^order x 2^order grid;
+   the classical bit-by-bit rotation construction. *)
+let hilbert_index ~order x y =
+  let x = ref x and y = ref y and d = ref 0 in
+  let s = ref (1 lsl (order - 1)) in
+  while !s > 0 do
+    let rx = if !x land !s > 0 then 1 else 0 in
+    let ry = if !y land !s > 0 then 1 else 0 in
+    d := !d + (!s * !s * ((3 * rx) lxor ry));
+    (* rotate the quadrant *)
+    if ry = 0 then begin
+      if rx = 1 then begin
+        x := !s - 1 - !x;
+        y := !s - 1 - !y
+      end;
+      let tmp = !x in
+      x := !y;
+      y := tmp
+    end;
+    s := !s / 2
+  done;
+  !d
+
+(* Hilbert packing: sort by the Hilbert index of the quantized
+   coordinates and chop into blocks of B. *)
+let hilbert_pack ~block_size points =
+  let n = Array.length points in
+  let bbox = Rect.of_points points in
+  let order = 16 in
+  let side = float_of_int ((1 lsl order) - 1) in
+  let quantize v lo hi =
+    if hi <= lo then 0
+    else int_of_float ((v -. lo) /. (hi -. lo) *. side)
+  in
+  let keyed =
+    Array.map
+      (fun p ->
+        ( hilbert_index ~order
+            (quantize (Point2.x p) bbox.Rect.x0 bbox.Rect.x1)
+            (quantize (Point2.y p) bbox.Rect.y0 bbox.Rect.y1),
+          p ))
+      points
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) keyed;
+  let n_leaves = (n + block_size - 1) / block_size in
+  Array.init n_leaves (fun i ->
+      let lo = i * block_size in
+      let len = min block_size (n - lo) in
+      Array.init len (fun j -> snd keyed.(lo + j)))
+
+(* Sort-Tile-Recursive packing: sort by x, cut into vertical slices of
+   ~sqrt(N/B) * B points, sort each slice by y, pack runs of B. *)
+let str_pack ~block_size points =
+  let n = Array.length points in
+  let pts = Array.copy points in
+  Array.sort (fun p q -> Float.compare (Point2.x p) (Point2.x q)) pts;
+  let n_leaves = (n + block_size - 1) / block_size in
+  let slices = max 1 (int_of_float (ceil (sqrt (float_of_int n_leaves)))) in
+  let slice_size = ((n_leaves + slices - 1) / slices) * block_size in
+  let groups = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let len = min slice_size (n - !i) in
+    let slice = Array.sub pts !i len in
+    Array.sort (fun p q -> Float.compare (Point2.y p) (Point2.y q)) slice;
+    let j = ref 0 in
+    while !j < len do
+      let blen = min block_size (len - !j) in
+      groups := Array.sub slice !j blen :: !groups;
+      j := !j + blen
+    done;
+    i := !i + len
+  done;
+  Array.of_list (List.rev !groups)
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(packing = Str) points =
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  if Array.length points = 0 then
+    {
+      leaves;
+      internals;
+      root = None;
+      root_mbr = { Rect.x0 = 0.; y0 = 0.; x1 = 0.; y1 = 0. };
+      length = 0;
+      height = 0;
+    }
+  else begin
+    let leaf_groups =
+      match packing with
+      | Str -> str_pack ~block_size points
+      | Hilbert -> hilbert_pack ~block_size points
+    in
+    let level =
+      ref
+        (Array.map
+           (fun group ->
+             { mbr = Rect.of_points group; sub = Leaf (Emio.Store.alloc leaves group) })
+           leaf_groups)
+    in
+    let height = ref 1 in
+    while Array.length !level > 1 do
+      (* pack parent entries STR-style on MBR centers *)
+      let entries = !level in
+      Array.sort
+        (fun a b -> Float.compare (a.mbr.Rect.x0 +. a.mbr.Rect.x1) (b.mbr.Rect.x0 +. b.mbr.Rect.x1))
+        entries;
+      let n_nodes = (Array.length entries + block_size - 1) / block_size in
+      let slices = max 1 (int_of_float (ceil (sqrt (float_of_int n_nodes)))) in
+      let slice_size = ((n_nodes + slices - 1) / slices) * block_size in
+      let parents = ref [] in
+      let i = ref 0 in
+      while !i < Array.length entries do
+        let len = min slice_size (Array.length entries - !i) in
+        let slice = Array.sub entries !i len in
+        Array.sort
+          (fun a b ->
+            Float.compare (a.mbr.Rect.y0 +. a.mbr.Rect.y1) (b.mbr.Rect.y0 +. b.mbr.Rect.y1))
+          slice;
+        let j = ref 0 in
+        while !j < len do
+          let blen = min block_size (len - !j) in
+          let group = Array.sub slice !j blen in
+          let mbr =
+            Array.fold_left
+              (fun acc e -> Rect.union acc e.mbr)
+              group.(0).mbr group
+          in
+          parents := { mbr; sub = Node (Emio.Store.alloc internals group) } :: !parents;
+          j := !j + blen
+        done;
+        i := !i + len
+      done;
+      level := Array.of_list (List.rev !parents);
+      incr height
+    done;
+    let root_entry = (!level).(0) in
+    {
+      leaves;
+      internals;
+      root = Some root_entry.sub;
+      root_mbr = root_entry.mbr;
+      length = Array.length points;
+      height = !height;
+    }
+  end
+
+let rec report_all t acc = function
+  | Leaf id ->
+      Array.fold_left (fun acc p -> p :: acc) acc (Emio.Store.read t.leaves id)
+  | Node id ->
+      Array.fold_left
+        (fun acc e -> report_all t acc e.sub)
+        acc
+        (Emio.Store.read t.internals id)
+
+let query_fold t ~classify ~keep acc0 =
+  let rec go acc = function
+    | Leaf id ->
+        Array.fold_left
+          (fun acc p -> if keep p then p :: acc else acc)
+          acc
+          (Emio.Store.read t.leaves id)
+    | Node id ->
+        Array.fold_left
+          (fun acc e ->
+            match classify e.mbr with
+            | Rect.Inside -> report_all t acc e.sub
+            | Rect.Outside -> acc
+            | Rect.Crossing -> go acc e.sub)
+          acc
+          (Emio.Store.read t.internals id)
+  in
+  match t.root with
+  | None -> acc0
+  | Some root -> (
+      match classify t.root_mbr with
+      | Rect.Outside -> acc0
+      | Rect.Inside -> report_all t acc0 root
+      | Rect.Crossing -> go acc0 root)
+
+let query_halfplane t ~slope ~icept =
+  query_fold t
+    ~classify:(fun r -> Rect.classify r ~slope ~icept)
+    ~keep:(fun p -> Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps)
+    []
+
+let query_count t ~slope ~icept = List.length (query_halfplane t ~slope ~icept)
+
+let query_window t w =
+  query_fold t
+    ~classify:(fun r ->
+      if w.Rect.x0 <= r.Rect.x0 && r.Rect.x1 <= w.Rect.x1
+         && w.Rect.y0 <= r.Rect.y0 && r.Rect.y1 <= w.Rect.y1
+      then Rect.Inside
+      else if Rect.intersects r w then Rect.Crossing
+      else Rect.Outside)
+    ~keep:(fun p -> Rect.contains w p)
+    []

@@ -1,0 +1,1 @@
+lib/core/cert_tree.ml: Array Cells Emio Eps Fun Geom Hashtbl Hull3 List Option Partition Partitioner Point3

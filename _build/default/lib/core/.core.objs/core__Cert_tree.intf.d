@@ -1,0 +1,1 @@
+lib/core/cert_tree.mli: Emio Geom

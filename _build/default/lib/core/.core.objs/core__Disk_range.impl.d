@@ -1,0 +1,1 @@
+lib/core/disk_range.ml: Array Eps Geom List Lowest_planes Plane3 Point2

@@ -1,0 +1,1 @@
+lib/core/disk_range.mli: Emio Geom

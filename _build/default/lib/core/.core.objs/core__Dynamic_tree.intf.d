@@ -1,0 +1,1 @@
+lib/core/dynamic_tree.mli: Emio Partition

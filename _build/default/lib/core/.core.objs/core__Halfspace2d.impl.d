@@ -1,0 +1,1 @@
+lib/core/halfspace2d.ml: Arrangement Array Dual2 Emio Eps Geom Hashtbl Line2 List Point2 Random Xbtree

@@ -1,0 +1,1 @@
+lib/core/halfspace2d.mli: Emio Geom

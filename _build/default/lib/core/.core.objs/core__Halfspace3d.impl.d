@@ -1,0 +1,1 @@
+lib/core/halfspace3d.ml: Array Eps Geom List Lowest_planes Plane3 Point3

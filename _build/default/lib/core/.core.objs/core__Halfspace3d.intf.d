@@ -1,0 +1,1 @@
+lib/core/halfspace3d.mli: Emio Geom

@@ -1,0 +1,1 @@
+lib/core/knn.ml: Array Geom List Lowest_planes Plane3 Point2

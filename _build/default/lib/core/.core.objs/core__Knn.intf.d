@@ -1,0 +1,1 @@
+lib/core/knn.mli: Emio Geom

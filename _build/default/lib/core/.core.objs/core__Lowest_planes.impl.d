@@ -1,0 +1,1 @@
+lib/core/lowest_planes.ml: Array Emio Envelope3 Float Fun Geom List Plane3 Pointloc Random

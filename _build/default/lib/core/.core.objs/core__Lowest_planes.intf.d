@@ -1,0 +1,1 @@
+lib/core/lowest_planes.mli: Emio Geom

@@ -1,0 +1,1 @@
+lib/core/partition_tree.ml: Array Cells Emio List Partition Partitioner

@@ -1,0 +1,1 @@
+lib/core/seg_intersect.ml: Array Cells Emio Eps Float Geom Hashtbl List Option Partition Partition_tree Partitioner Point2

@@ -1,0 +1,1 @@
+lib/core/shallow_tree.ml: Array Cells Emio Hashtbl List Partition Partition_tree Partitioner

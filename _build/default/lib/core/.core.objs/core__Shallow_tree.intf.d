@@ -1,0 +1,1 @@
+lib/core/shallow_tree.mli: Emio Partition

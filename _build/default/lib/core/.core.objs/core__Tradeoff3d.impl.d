@@ -1,0 +1,1 @@
+lib/core/tradeoff3d.ml: Array Cells Emio Float Geom Halfspace3d List Partition Partitioner Point3 Vec

@@ -1,0 +1,1 @@
+lib/core/tradeoff3d.mli: Emio Geom

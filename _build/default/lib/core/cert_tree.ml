@@ -1,0 +1,206 @@
+open Geom
+open Partition
+
+type node_ref = Leaf of int | Node of int
+
+(* A child entry: the kd cell, plus the positions of the child's lower
+   and upper hull certificates in the shared certificate run (len 0
+   means no certificate: classify by cell only). *)
+type child = {
+  cell : Cells.cell;
+  sub : node_ref;
+  lo_start : int;
+  lo_len : int;
+  up_start : int;
+  up_len : int;
+}
+
+type item = { px : float; py : float; pz : float; pid : int }
+
+type t = {
+  leaves : item Emio.Store.t;
+  internals : child Emio.Store.t;
+  certs : Point3.t Emio.Run.t;
+  root : node_ref option;
+  length : int;
+  cert_items : int;
+  mutable visited : int;
+}
+
+let length t = t.length
+let last_visited_nodes t = t.visited
+let certificate_items t = t.cert_items
+
+let space_blocks t =
+  Emio.Store.blocks_used t.leaves
+  + Emio.Store.blocks_used t.internals
+  + Emio.Run.block_count t.certs
+
+let point3_of it = Point3.make it.px it.py it.pz
+
+(* Lower and upper hull vertex sets of a point set, or the whole set
+   when it is small, or None when the hulls exceed the cap. *)
+let certificates ~cert_cap (items : item array) =
+  let nv = Array.length items in
+  if nv <= cert_cap then
+    let all = Array.map point3_of items in
+    Some (all, all)
+  else begin
+    let points = Array.map point3_of items in
+    let order = Array.init nv Fun.id in
+    match Hull3.build ~points ~order ~sample_size:nv with
+    | exception Invalid_argument _ -> None
+    | hull ->
+        let collect keep =
+          let seen = Hashtbl.create 32 in
+          Array.iter
+            (fun (f : Hull3.facet) ->
+              if keep f then
+                List.iter
+                  (fun v -> Hashtbl.replace seen v ())
+                  [ f.a; f.b; f.c ])
+            (Hull3.facets hull);
+          Array.of_list
+            (Hashtbl.fold (fun v () acc -> points.(v) :: acc) seen [])
+        in
+        let lower =
+          collect (fun f -> Point3.z f.Hull3.normal < 0.)
+        in
+        let upper = collect (fun f -> Point3.z f.Hull3.normal > 0.) in
+        if
+          Array.length lower <= cert_cap
+          && Array.length upper <= cert_cap
+          && Array.length lower > 0
+          && Array.length upper > 0
+        then Some (lower, upper)
+        else None
+  end
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?cert_cap points =
+  let cert_cap =
+    match cert_cap with Some c -> max 4 c | None -> 2 * block_size
+  in
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let cert_store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let cert_buffer : Point3.t list ref = ref [] in
+  let cert_pos = ref 0 in
+  let push_certs arr =
+    let start = !cert_pos in
+    Array.iter (fun p -> cert_buffer := p :: !cert_buffer) arr;
+    cert_pos := !cert_pos + Array.length arr;
+    (start, Array.length arr)
+  in
+  let rec build_node (items : item array) =
+    let nv = Array.length items in
+    if nv <= block_size then Leaf (Emio.Store.alloc leaves items)
+    else begin
+      let n_blocks = (nv + block_size - 1) / block_size in
+      let r = max 2 (min block_size (2 * n_blocks)) in
+      let coords = Array.map (fun it -> [| it.px; it.py; it.pz |]) items in
+      let parts = Partitioner.kd ~points:coords ~r in
+      let children =
+        Array.map
+          (fun (cell, idxs) ->
+            let group = Array.map (fun i -> items.(i)) idxs in
+            let lo_start, lo_len, up_start, up_len =
+              match certificates ~cert_cap group with
+              | None -> (0, 0, 0, 0)
+              | Some (lower, upper) ->
+                  let ls, ll = push_certs lower in
+                  let us, ul = push_certs upper in
+                  (ls, ll, us, ul)
+            in
+            { cell; sub = build_node group; lo_start; lo_len; up_start; up_len })
+          parts
+      in
+      Node (Emio.Store.alloc internals children)
+    end
+  in
+  let items =
+    Array.mapi
+      (fun i p -> { px = Point3.x p; py = Point3.y p; pz = Point3.z p; pid = i })
+      points
+  in
+  let root = if Array.length items = 0 then None else Some (build_node items) in
+  let certs =
+    Emio.Run.of_array cert_store (Array.of_list (List.rev !cert_buffer))
+  in
+  {
+    leaves;
+    internals;
+    certs;
+    root;
+    length = Array.length points;
+    cert_items = !cert_pos;
+    visited = 0;
+  }
+
+let rec report_subtree t acc = function
+  | Leaf id ->
+      Array.fold_left (fun acc it -> it.pid :: acc) acc
+        (Emio.Store.read t.leaves id)
+  | Node id ->
+      Array.fold_left
+        (fun acc child -> report_subtree t acc child.sub)
+        acc
+        (Emio.Store.read t.internals id)
+
+let query_ids t ~a0 ~a =
+  if Array.length a <> 2 then
+    invalid_arg "Cert_tree.query_ids: need 2 slope coefficients";
+  let constr = Cells.constr_of_halfspace ~dim:3 ~a0 ~a in
+  (* the affine gap, negative-or-zero below the plane *)
+  let gap (p : Point3.t) =
+    Point3.z p -. (a.(0) *. Point3.x p) -. (a.(1) *. Point3.y p) -. a0
+  in
+  let range_extreme better ~start ~len =
+    let best = ref None in
+    Array.iter
+      (fun p ->
+        let g = gap p in
+        match !best with
+        | Some b when not (better g b) -> ()
+        | _ -> best := Some g)
+      (Emio.Run.read_range t.certs ~pos:start ~len);
+    Option.get !best
+  in
+  t.visited <- 0;
+  let rec go acc = function
+    | Leaf id ->
+        t.visited <- t.visited + 1;
+        Array.fold_left
+          (fun acc it ->
+            if gap (point3_of it) <= Eps.eps then it.pid :: acc else acc)
+          acc
+          (Emio.Store.read t.leaves id)
+    | Node id ->
+        t.visited <- t.visited + 1;
+        Array.fold_left
+          (fun acc child ->
+            match Cells.classify child.cell constr with
+            | Cells.Inside -> report_subtree t acc child.sub
+            | Cells.Outside -> acc
+            | Cells.Crossing ->
+                if child.lo_len = 0 then go acc child.sub
+                else begin
+                  (* exact point-set classification via the hulls *)
+                  let min_gap =
+                    range_extreme ( < ) ~start:child.lo_start ~len:child.lo_len
+                  in
+                  if min_gap > Eps.eps then acc (* no point below *)
+                  else begin
+                    let max_gap =
+                      range_extreme ( > ) ~start:child.up_start
+                        ~len:child.up_len
+                    in
+                    if max_gap <= Eps.eps then report_subtree t acc child.sub
+                    else go acc child.sub
+                  end
+                end)
+          acc
+          (Emio.Store.read t.internals id)
+  in
+  match t.root with None -> [] | Some root -> go [] root
+
+let query_count t ~a0 ~a = List.length (query_ids t ~a0 ~a)

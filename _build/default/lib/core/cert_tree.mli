@@ -1,0 +1,53 @@
+(** A certificate-enhanced 3-D partition tree: the upgrade path noted
+    in DESIGN.md §7 for Table 1 row 3.
+
+    The §5/§6 trees classify children by their *cells*, so a halfspace
+    whose boundary slices a cell forces a recursion even when none of
+    the child's points is below it.  Here every child also carries two
+    certificates — the vertices of its points' lower and upper convex
+    hulls — so the query can decide "no point below" (skip) and "all
+    points below" (report the subtree) exactly:
+
+    - the minimum of the affine gap z - a x - b y - a0 over a point set
+      is attained at a lower-hull vertex (the z-coefficient is +1), and
+      the maximum at an upper-hull vertex;
+    - a child is recursed into only when the query plane genuinely
+      separates its points, and separated children each contribute at
+      least one output point, so a query visits
+      O((T + 1) · depth) nodes — an output-sensitive bound: near-empty
+      queries cost O(log_B n) I/Os instead of O(n^{2/3}).
+
+    Certificates are stored in blocked runs and read only when the
+    bounding box is inconclusive; children whose hulls would exceed the
+    certificate cap fall back to plain cell classification, so space
+    stays O(n) up to the (empirically small) hull sizes.  The EXT4
+    bench compares this tree with the §5 and §6 structures. *)
+
+type t
+
+val build :
+  stats:Emio.Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  ?cert_cap:int ->
+  Geom.Point3.t array ->
+  t
+(** [cert_cap] (default 2·B) bounds each stored certificate; larger
+    hulls are dropped rather than truncated (truncation would be
+    unsound). *)
+
+val query_ids : t -> a0:float -> a:float array -> int list
+(** Indices of the points with [z <= a0 + a.(0) x + a.(1) y]. *)
+
+val query_count : t -> a0:float -> a:float array -> int
+
+val length : t -> int
+val space_blocks : t -> int
+
+val last_visited_nodes : t -> int
+(** Nodes the most recent query recursed into — the benches verify the
+    output-sensitive O((T+1) · depth) visit bound with it. *)
+
+val certificate_items : t -> int
+(** Total certificate points stored (the space overhead beyond the
+    plain §5 tree). *)

@@ -1,0 +1,28 @@
+(** Circular range reporting via the lifting map — the reporting twin
+    of Theorem 4.3.
+
+    A point p lies within distance r of a center c iff p's lifted
+    plane (z = |p|² - 2 p·(x,y)) passes below the point
+    (c, r² - |c|²), so "report all points in a disk" is exactly the
+    halfspace reporting problem of §4 on the lifted planes:
+    O(n log₂ n) expected blocks, O(log_B n + t) expected I/Os. *)
+
+type t
+
+val build :
+  stats:Emio.Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  ?seed:int ->
+  ?copies:int ->
+  ?clip:float * float * float * float ->
+  Geom.Point2.t array ->
+  t
+
+val query : t -> center:Geom.Point2.t -> radius:float -> Geom.Point2.t list
+(** All input points within (closed) distance [radius] of [center]. *)
+
+val query_count : t -> center:Geom.Point2.t -> radius:float -> int
+
+val length : t -> int
+val space_blocks : t -> int

@@ -1,0 +1,147 @@
+open Partition
+
+type bucket = {
+  tree : Partition_tree.t;
+  handles : int array; (* tree point index -> handle *)
+  pts : Cells.point array;
+}
+
+type t = {
+  stats : Emio.Io_stats.t;
+  block_size : int;
+  cache_blocks : int;
+  dim : int;
+  mutable slots : bucket option array; (* slot i holds <= 2^i points *)
+  live : (int, Cells.point) Hashtbl.t;
+  mutable next_handle : int;
+  mutable dead : int;
+  mutable rebuild_count : int;
+}
+
+let create ~stats ~block_size ?(cache_blocks = 0) ~dim () =
+  {
+    stats;
+    block_size;
+    cache_blocks;
+    dim;
+    slots = Array.make 4 None;
+    live = Hashtbl.create 64;
+    next_handle = 0;
+    dead = 0;
+    rebuild_count = 0;
+  }
+
+let length t = Hashtbl.length t.live
+
+let buckets t =
+  Array.fold_left
+    (fun acc -> function Some _ -> acc + 1 | None -> acc)
+    0 t.slots
+
+let rebuilds t = t.rebuild_count
+
+let space_blocks t =
+  Array.fold_left
+    (fun acc -> function
+      | Some b -> acc + Partition_tree.space_blocks b.tree
+      | None -> acc)
+    0 t.slots
+
+(* live (handle, point) pairs of a bucket *)
+let live_contents t b =
+  let out = ref [] in
+  Array.iteri
+    (fun i h -> if Hashtbl.mem t.live h then out := (h, b.pts.(i)) :: !out)
+    b.handles;
+  !out
+
+let build_bucket t contents =
+  t.rebuild_count <- t.rebuild_count + 1;
+  let arr = Array.of_list contents in
+  let pts = Array.map snd arr in
+  let handles = Array.map fst arr in
+  let tree =
+    Partition_tree.build ~stats:t.stats ~block_size:t.block_size
+      ~cache_blocks:t.cache_blocks ~dim:t.dim pts
+  in
+  { tree; handles; pts }
+
+let ensure_slot t i =
+  if i >= Array.length t.slots then begin
+    let bigger = Array.make (2 * (i + 1)) None in
+    Array.blit t.slots 0 bigger 0 (Array.length t.slots);
+    t.slots <- bigger
+  end
+
+(* place [contents] (|contents| <= 2^i) into slot i, assumed free *)
+let place t i contents =
+  ensure_slot t i;
+  assert (t.slots.(i) = None);
+  t.slots.(i) <- Some (build_bucket t contents)
+
+let insert t p =
+  if Array.length p <> t.dim then
+    invalid_arg "Dynamic_tree.insert: wrong point dimension";
+  let handle = t.next_handle in
+  t.next_handle <- handle + 1;
+  Hashtbl.replace t.live handle (Array.copy p);
+  (* binary-counter carry: gather occupied low slots until a free one *)
+  let carry = ref [ (handle, Array.copy p) ] in
+  let i = ref 0 in
+  let continue_carry = ref true in
+  while !continue_carry do
+    ensure_slot t !i;
+    match t.slots.(!i) with
+    | None -> continue_carry := false
+    | Some b ->
+        carry := List.rev_append (live_contents t b) !carry;
+        t.slots.(!i) <- None;
+        incr i
+  done;
+  place t !i !carry;
+  handle
+
+let global_rebuild t =
+  let all =
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some b -> List.rev_append (live_contents t b) acc)
+      [] t.slots
+  in
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.dead <- 0;
+  let n = List.length all in
+  if n > 0 then begin
+    let slot =
+      let rec go i = if 1 lsl i >= n then i else go (i + 1) in
+      go 0
+    in
+    place t slot all
+  end
+
+let delete t handle =
+  if not (Hashtbl.mem t.live handle) then false
+  else begin
+    Hashtbl.remove t.live handle;
+    t.dead <- t.dead + 1;
+    (* once half the stored points are tombstones, compact *)
+    if t.dead > max 8 (Hashtbl.length t.live) then global_rebuild t;
+    true
+  end
+
+let query_simplex t constrs =
+  Array.fold_left
+    (fun acc -> function
+      | None -> acc
+      | Some b ->
+          List.fold_left
+            (fun acc i ->
+              let h = b.handles.(i) in
+              if Hashtbl.mem t.live h then (h, b.pts.(i)) :: acc else acc)
+            acc
+            (Partition_tree.query_simplex b.tree constrs))
+    [] t.slots
+
+let query_halfspace t ~a0 ~a =
+  query_simplex t [ Cells.constr_of_halfspace ~dim:t.dim ~a0 ~a ]

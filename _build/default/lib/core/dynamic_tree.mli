@@ -1,0 +1,47 @@
+(** A dynamized partition tree: §5 remark (iii) / §7 open problem 1.
+
+    The paper notes that the standard partial-reconstruction method
+    [Mehlhorn, ref. 39] dynamizes the §5 structure at O((log₂ n) log_B n)
+    amortized I/Os per update.  Halfspace reporting is a decomposable
+    query, so we keep the classic logarithmic method: O(log N) static
+    partition trees of geometrically growing sizes, rebuilt by merging
+    on insertion; deletions tombstone points and trigger a global
+    rebuild once half the structure is dead.  Queries ask every bucket
+    and filter tombstones, adding an O(log₂ n) factor to the query
+    bound, exactly as the remark trades. *)
+
+type t
+
+val create :
+  stats:Emio.Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  dim:int ->
+  unit ->
+  t
+
+val insert : t -> Partition.Cells.point -> int
+(** Returns a fresh handle for the point (usable with {!delete}).
+    Amortized O((log₂ n) · n/B-rebuild) charged to the store. *)
+
+val delete : t -> int -> bool
+(** [false] if the handle is unknown or already deleted. *)
+
+val query_halfspace : t -> a0:float -> a:float array -> (int * Partition.Cells.point) list
+(** Live points satisfying [x_d <= a0 + Σ a_i x_i], as
+    (handle, point). *)
+
+val query_simplex :
+  t -> Partition.Cells.constr list -> (int * Partition.Cells.point) list
+
+val length : t -> int
+(** Number of live points. *)
+
+val buckets : t -> int
+(** Number of static buckets currently alive (≤ log₂ N + 1). *)
+
+val space_blocks : t -> int
+
+val rebuilds : t -> int
+(** Total bucket (re)builds so far — the amortized-cost ledger the
+    tests check. *)

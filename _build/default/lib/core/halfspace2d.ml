@@ -1,0 +1,229 @@
+open Geom
+
+(* One dual line with the data points it represents (duplicates of the
+   same point share an entry). *)
+type entry = { slope : float; icept : float; points : Point2.t array }
+
+type layer =
+  | Clustered of {
+      lambda : int;
+      clusters : entry Emio.Run.t array;
+      (* maps a query abscissa to the relevant cluster: the B-tree
+         T_i of §3.2 over the boundary points *)
+      btree : (float, int) Xbtree.Btree.t;
+    }
+  | Scan of entry Emio.Run.t
+      (* final layer, |H_m| = O(beta): a plain O(log_B n)-block scan *)
+
+type t = {
+  store : entry Emio.Store.t;
+  layer_list : layer array;
+  length : int;
+  block_size : int;
+  beta : int;
+  mutable last_clusters_visited : int;
+  mutable last_layers_visited : int;
+}
+
+let length t = t.length
+let block_size t = t.block_size
+let layers t = Array.length t.layer_list
+let last_clusters_visited t = t.last_clusters_visited
+let last_layers_visited t = t.last_layers_visited
+
+let lambdas t =
+  Array.map
+    (function Clustered { lambda; _ } -> lambda | Scan _ -> 0)
+    t.layer_list
+
+let space_blocks t =
+  Emio.Store.blocks_used t.store
+  + Array.fold_left
+      (fun acc -> function
+        | Clustered { btree; _ } -> acc + Xbtree.Btree.space_blocks btree
+        | Scan _ -> acc)
+      0 t.layer_list
+
+let log_base b x = log x /. log b
+
+(* beta = B log_B n, at least 1 (paper §3.2). *)
+let compute_beta ~block_size n_points =
+  let n = float_of_int (max 1 ((n_points + block_size - 1) / block_size)) in
+  let b = float_of_int block_size in
+  max 1 (int_of_float (ceil (b *. max 1. (log_base b n))))
+
+let dedupe points =
+  let tbl = Hashtbl.create (2 * Array.length points) in
+  Array.iter
+    (fun p ->
+      let key = (Point2.x p, Point2.y p) in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> Hashtbl.replace tbl key (p :: l)
+      | None -> Hashtbl.add tbl key [ p ])
+    points;
+  Hashtbl.fold
+    (fun _ ps acc ->
+      match ps with
+      | [] -> acc
+      | first :: _ ->
+          {
+            slope = Line2.slope (Dual2.line_of_point first);
+            icept = Line2.icept (Dual2.line_of_point first);
+            points = Array.of_list ps;
+          }
+          :: acc)
+    tbl []
+  |> Array.of_list
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) points =
+  let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let beta = compute_beta ~block_size (Array.length points) in
+  let rng = Random.State.make [| seed; 0x2d; Array.length points |] in
+  let remaining = ref (dedupe points) in
+  let built = ref [] in
+  let finished = ref false in
+  while not !finished do
+    let entries = !remaining in
+    let m = Array.length entries in
+    if m <= 4 * beta then begin
+      (* last layer: small enough to scan within the O(log_B n) budget *)
+      if m > 0 then built := Scan (Emio.Run.of_array store entries) :: !built;
+      finished := true
+    end
+    else begin
+      let lambda = beta + Random.State.int rng (beta + 1) in
+      let lines =
+        Array.map (fun e -> Line2.make ~slope:e.slope ~icept:e.icept) entries
+      in
+      let clustering = Arrangement.Clustering.greedy ~lines ~k:lambda in
+      let runs =
+        Array.map
+          (fun (c : Arrangement.Clustering.cluster) ->
+            Emio.Run.of_array store
+              (Array.map (fun id -> entries.(id)) c.lines))
+          clustering.clusters
+      in
+      let btree =
+        Xbtree.Btree.bulk_load ~stats ~block_size ~cache_blocks ~cmp:compare
+          (Array.mapi (fun i x -> (x, i)) clustering.boundaries)
+      in
+      built := Clustered { lambda; clusters = runs; btree } :: !built;
+      (* L_i = lines appearing in some cluster; H_{i+1} = H_i \ L_i *)
+      let in_layer = Hashtbl.create (2 * m) in
+      List.iter
+        (fun id -> Hashtbl.replace in_layer id ())
+        (Arrangement.Clustering.member_union clustering);
+      let rest =
+        Array.of_list
+          (List.filteri
+             (fun id _ -> not (Hashtbl.mem in_layer id))
+             (Array.to_list entries))
+      in
+      if Array.length rest = m then
+        (* degenerate guard: no progress would loop forever *)
+        invalid_arg "Halfspace2d.build: clustering made no progress";
+      remaining := rest;
+      if Array.length rest = 0 then finished := true
+    end
+  done;
+  {
+    store;
+    layer_list = Array.of_list (List.rev !built);
+    length = Array.length points;
+    block_size;
+    beta;
+    last_clusters_visited = 0;
+    last_layers_visited = 0;
+  }
+
+let entry_key e = (e.slope, e.icept)
+
+(* Is the dual line below (or through) the dual query point (px,py)? *)
+let below_query ~px ~py e = (e.slope *. px) +. e.icept <= py +. Eps.eps
+
+(* Query one clustered layer.  Returns the entries of L_i below the
+   query point, whether the overall query may halt here (Lemma 3.1),
+   and the number of clusters visited (the r - l + 1 of Lemma 3.4). *)
+let query_clustered ~px ~py ~lambda ~clusters ~btree =
+  let u = Array.length clusters in
+  let relevant =
+    match Xbtree.Btree.predecessor btree px with
+    | Some (_, idx) -> idx + 1
+    | None -> 0
+  in
+  let reported = Hashtbl.create 64 in
+  let out = ref [] in
+  let report e =
+    if not (Hashtbl.mem reported (entry_key e)) then begin
+      Hashtbl.add reported (entry_key e) ();
+      out := e :: !out
+    end
+  in
+  (* scan the relevant cluster, counting lines below the query point *)
+  let below_relevant = ref 0 in
+  Emio.Run.iter
+    (fun e ->
+      if below_query ~px ~py e then begin
+        incr below_relevant;
+        report e
+      end)
+    clusters.(relevant);
+  if !below_relevant < lambda then (!out, true, 1)
+  else begin
+    (* walk right, then left, per Lemma 3.4: stop once more than
+       lambda distinct lines of the walked union lie above the query *)
+    let visited = ref 1 in
+    let walk step =
+      let above = Hashtbl.create 64 in
+      let k = ref (relevant + step) in
+      let stop = ref false in
+      while (not !stop) && !k >= 0 && !k < u do
+        incr visited;
+        Emio.Run.iter
+          (fun e ->
+            if below_query ~px ~py e then report e
+            else Hashtbl.replace above (entry_key e) ())
+          clusters.(!k);
+        if Hashtbl.length above > lambda then stop := true else k := !k + step
+      done
+    in
+    walk 1;
+    walk (-1);
+    (!out, false, !visited)
+  end
+
+let query_entries t ~slope ~icept =
+  let px = slope and py = icept in
+  let acc = ref [] in
+  let halted = ref false in
+  let i = ref 0 in
+  t.last_clusters_visited <- 0;
+  while (not !halted) && !i < Array.length t.layer_list do
+    (match t.layer_list.(!i) with
+    | Scan run ->
+        Emio.Run.iter
+          (fun e -> if below_query ~px ~py e then acc := e :: !acc)
+          run;
+        halted := true
+    | Clustered { lambda; clusters; btree } ->
+        let found, stop, visited =
+          query_clustered ~px ~py ~lambda ~clusters ~btree
+        in
+        t.last_clusters_visited <- t.last_clusters_visited + visited;
+        acc := List.rev_append found !acc;
+        if stop then halted := true);
+    incr i
+  done;
+  t.last_layers_visited <- !i;
+  !acc
+
+let query t ~slope ~icept =
+  List.concat_map
+    (fun e -> Array.to_list e.points)
+    (query_entries t ~slope ~icept)
+
+let query_count t ~slope ~icept =
+  List.fold_left
+    (fun acc e -> acc + Array.length e.points)
+    0
+    (query_entries t ~slope ~icept)

@@ -1,0 +1,52 @@
+open Geom
+
+type t = {
+  lp : Lowest_planes.t;
+  points : Point3.t array; (* id -> original point, for reporting *)
+  beta : int;
+}
+
+let length t = Array.length t.points
+let space_blocks t = Lowest_planes.space_blocks t.lp
+let fallbacks t = Lowest_planes.fallbacks t.lp
+
+let log_base b x = log x /. log b
+
+let compute_beta ~block_size n_points =
+  let n = float_of_int (max 1 ((n_points + block_size - 1) / block_size)) in
+  let b = float_of_int block_size in
+  max 1 (int_of_float (ceil (b *. max 1. (log_base b n))))
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
+    ?clip points =
+  let planes = Array.map Plane3.dual_plane_of_point points in
+  let lp =
+    Lowest_planes.build ~stats ~block_size ~cache_blocks ~seed ~copies ?clip
+      planes
+  in
+  { lp; points; beta = compute_beta ~block_size (Array.length points) }
+
+(* §4.2: probe k = beta, 2 beta, 4 beta, ... until one of the k lowest
+   dual planes along the vertical line through the dual query point
+   lies strictly above it. *)
+let query_ids t ~a ~b ~c =
+  let n = Array.length t.points in
+  if n = 0 then []
+  else begin
+    let rec go k =
+      let k = min k n in
+      let lowest = Lowest_planes.k_lowest t.lp ~x:a ~y:b ~k in
+      let below =
+        List.filter (fun (_, h) -> h <= c +. Eps.eps) lowest
+      in
+      if List.length below < List.length lowest || k >= n then
+        List.map fst below
+      else go (2 * k)
+    in
+    go t.beta
+  end
+
+let query t ~a ~b ~c =
+  List.map (fun id -> t.points.(id)) (query_ids t ~a ~b ~c)
+
+let query_count t ~a ~b ~c = List.length (query_ids t ~a ~b ~c)

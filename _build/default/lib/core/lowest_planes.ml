@@ -1,0 +1,291 @@
+open Geom
+
+(* Payload stored with each envelope triangle: the plane forming the
+   envelope there (inline coefficients, so no extra I/O to evaluate the
+   envelope height) and the position of its conflict list K(Δ) in the
+   layer's conflict run. *)
+type payload = {
+  plane_id : int;
+  pa : float;
+  pb : float;
+  pc : float;
+  kstart : int;
+  klen : int;
+}
+
+(* Conflict items carry inline coefficients too: scanning K(Δ) costs
+   exactly ⌈|K|/B⌉ reads. *)
+type kitem = { kid : int; ka : float; kb : float; kc : float }
+
+type locator =
+  | Grid of payload Pointloc.Grid.t
+  | Segtree of payload Pointloc.Seg_tree.t
+
+type layer = {
+  sample_size : int;
+  locator : locator;
+  conflicts : kitem Emio.Run.t;
+}
+
+type copy = { layers : layer option array (* index i: sample size 2^(i+2) *) }
+
+type t = {
+  n : int;
+  beta : int; (* B log_B n: the smallest k the layers are tuned for *)
+  copies : copy array;
+  all_planes : kitem Emio.Run.t; (* exact fallback *)
+  clip : float * float * float * float;
+  mutable fallback_count : int;
+}
+
+let length t = t.n
+let fallbacks t = t.fallback_count
+
+let layer_count t =
+  if Array.length t.copies = 0 then 0
+  else Array.length t.copies.(0).layers
+
+let space_blocks t =
+  Emio.Run.block_count t.all_planes
+  + Array.fold_left
+      (fun acc c ->
+        Array.fold_left
+          (fun acc -> function
+            | None -> acc
+            | Some l ->
+                acc
+                + (match l.locator with
+                  | Grid g -> Pointloc.Grid.space_blocks g
+                  | Segtree st -> Pointloc.Seg_tree.space_blocks st)
+                + Emio.Run.block_count l.conflicts)
+          acc c.layers)
+      0 t.copies
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let kitem_of planes id =
+  {
+    kid = id;
+    ka = Plane3.a planes.(id);
+    kb = Plane3.b planes.(id);
+    kc = Plane3.c planes.(id);
+  }
+
+(* Triangle top edges, labelled with the triangle's payload: input for
+   the worst-case Seg_tree locator. *)
+let top_edges items =
+  let out = ref [] in
+  Array.iter
+    (fun ((corners : Geom.Point2.t array), payload) ->
+      for e = 0 to 2 do
+        let a = corners.(e) and b = corners.((e + 1) mod 3) in
+        let o = corners.((e + 2) mod 3) in
+        let dx = Geom.Point2.x b -. Geom.Point2.x a in
+        if Float.abs dx > 1e-7 then begin
+          let slope = (Geom.Point2.y b -. Geom.Point2.y a) /. dx in
+          let at_o =
+            (slope *. (Geom.Point2.x o -. Geom.Point2.x a)) +. Geom.Point2.y a
+          in
+          (* keep the edge when the triangle lies strictly below it *)
+          if at_o > Geom.Point2.y o +. Geom.Eps.eps then
+            out := (a, b, payload) :: !out
+        end
+      done)
+    items;
+  Array.of_list !out
+
+let build_layer ~stats ~block_size ~cache_blocks ~clip ~planes ~order
+    ~sample_size ~use_segtree =
+  match Envelope3.build ~planes ~order ~sample_size ~clip with
+  | exception Invalid_argument _ -> None
+  | env ->
+      let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+      let kitems = ref [] in
+      let pos = ref 0 in
+      let items =
+        Array.map
+          (fun (tr : Envelope3.triangle) ->
+            let klen = Array.length tr.conflicts in
+            let kstart = !pos in
+            Array.iter
+              (fun g -> kitems := kitem_of planes g :: !kitems)
+              tr.conflicts;
+            pos := !pos + klen;
+            let p = planes.(tr.plane) in
+            ( tr.corners,
+              {
+                plane_id = tr.plane;
+                pa = Plane3.a p;
+                pb = Plane3.b p;
+                pc = Plane3.c p;
+                kstart;
+                klen;
+              } ))
+          env.Envelope3.triangles
+      in
+      let conflicts =
+        Emio.Run.of_array store (Array.of_list (List.rev !kitems))
+      in
+      let locator =
+        if use_segtree then
+          Segtree
+            (Pointloc.Seg_tree.create ~stats ~block_size ~cache_blocks
+               ~segments:(top_edges items) ())
+        else
+          Grid
+            (Pointloc.Grid.create ~stats ~block_size ~cache_blocks ~clip
+               ~items ())
+      in
+      Some { sample_size; locator; conflicts }
+
+let log_base b x = log x /. log b
+
+let compute_beta ~block_size n_points =
+  let nb = float_of_int (max 1 ((n_points + block_size - 1) / block_size)) in
+  let b = float_of_int block_size in
+  max 1 (int_of_float (ceil (b *. max 1. (log_base b nb))))
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
+    ?(clip = (-1000., -1000., 1000., 1000.)) ?(use_segtree = false) planes =
+  let n = Array.length planes in
+  let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let all_planes =
+    Emio.Run.of_array store (Array.init n (kitem_of planes))
+  in
+  let beta = compute_beta ~block_size n in
+  let max_i =
+    (* sample sizes 4·2^i for i < max_i.  Queries clamp k to beta, so
+       the largest sample ever requested is ~ N/(2 beta) (§4.1 defines
+       R_i only up to i = log2(N/beta)); also never exceed n/2. *)
+    let cap = min (n / 2) (max 4 (n / max 1 beta)) in
+    let rec go i = if 4 * (1 lsl (i + 1)) <= cap then go (i + 1) else i + 1 in
+    if cap < 4 then 0 else go 0
+  in
+  let copies_arr =
+    Array.init copies (fun c ->
+        let rng = Random.State.make [| seed; c; n; 0x3d |] in
+        let order = Array.init n Fun.id in
+        shuffle rng order;
+        {
+          layers =
+            Array.init max_i (fun i ->
+                build_layer ~stats ~block_size ~cache_blocks ~clip ~planes
+                  ~order ~sample_size:(4 * (1 lsl i)) ~use_segtree);
+        })
+  in
+  { n; beta; copies = copies_arr; all_planes; clip; fallback_count = 0 }
+
+let height item x y = (item.ka *. x) +. (item.kb *. y) +. item.kc
+
+(* Exact fallback: scan every plane and select the k lowest. *)
+let full_scan t ~x ~y ~k =
+  t.fallback_count <- t.fallback_count + 1;
+  let items = Emio.Run.to_array t.all_planes in
+  let withh = Array.map (fun it -> (it.kid, height it x y)) items in
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) withh;
+  Array.to_list (Array.sub withh 0 (min k (Array.length withh)))
+
+(* One invocation of TryLowestPlanes (§4.1) against a specific layer. *)
+type try_result =
+  | Success of (int * float) list
+  | Fail_threshold  (** |K| exceeded k/δ² — a smaller δ may help *)
+  | Fail_below  (** fewer than k planes of K below the envelope: only a
+                    smaller sample (shallower envelope) can help *)
+
+let locate layer x y =
+  match layer.locator with
+  | Grid g -> Pointloc.Grid.locate g x y
+  | Segtree st -> Pointloc.Seg_tree.locate_above st x y
+
+let try_lowest layer ~x ~y ~k ~delta =
+  match locate layer x y with
+  | None -> Fail_threshold (* locator miss: treat as a generic failure *)
+  | Some payload ->
+      let threshold = int_of_float (float_of_int k /. (delta *. delta)) in
+      if payload.klen > threshold then Fail_threshold
+      else begin
+        let items =
+          Emio.Run.read_range layer.conflicts ~pos:payload.kstart
+            ~len:payload.klen
+        in
+        let envelope_z = (payload.pa *. x) +. (payload.pb *. y) +. payload.pc in
+        let below =
+          Array.fold_left
+            (fun acc it -> if height it x y < envelope_z then acc + 1 else acc)
+            0 items
+        in
+        if below < k then Fail_below
+        else begin
+          let withh = Array.map (fun it -> (it.kid, height it x y)) items in
+          Array.sort (fun (_, a) (_, b) -> Float.compare a b) withh;
+          Success (Array.to_list (Array.sub withh 0 k))
+        end
+      end
+
+let inside_clip t x y =
+  let xmin, ymin, xmax, ymax = t.clip in
+  x > xmin && x < xmax && y > ymin && y < ymax
+
+let k_lowest t ~x ~y ~k =
+  if k <= 0 then []
+  else begin
+    let k = min k t.n in
+    (* §4.1's layers are tuned for k >= beta; a smaller request is
+       answered by retrieving the beta lowest and truncating, which
+       stays within O(log_B n + k/B) because beta/B = O(log_B n). *)
+    let k_eff = min t.n (max k t.beta) in
+    let n_layers = layer_count t in
+    (* for k = Ω(N) the full scan is already within the O(k/B) output
+       term — and the retry protocol could not beat it anyway *)
+    if
+      n_layers = 0
+      || (not (inside_clip t x y))
+      || k_eff >= t.n
+      || 4 * k_eff >= t.n
+    then full_scan t ~x ~y ~k
+    else begin
+      (* delta = 2^-attempt; layer index for sample size ~ delta n / k *)
+      let rec attempt a =
+        let delta = Float.pow 2. (-.float_of_int a) in
+        if delta *. float_of_int t.n < 1. then full_scan t ~x ~y ~k
+        else begin
+          let target = delta *. float_of_int t.n /. float_of_int k_eff in
+          let rho =
+            (* sample size 2^(i+2): i = round(log2 target) - 2 *)
+            let i = int_of_float (Float.round (log target /. log 2.)) - 2 in
+            max 0 (min (n_layers - 1) i)
+          in
+          let result = ref None in
+          let all_below_failures = ref true in
+          Array.iter
+            (fun c ->
+              if !result = None then
+                match c.layers.(rho) with
+                | None -> all_below_failures := false
+                | Some layer -> (
+                    match try_lowest layer ~x ~y ~k:k_eff ~delta with
+                    | Success r -> result := Some r
+                    | Fail_below -> ()
+                    | Fail_threshold -> all_below_failures := false))
+            t.copies;
+          match !result with
+          | Some r ->
+              if k < k_eff then
+                List.filteri (fun i _ -> i < k) r
+              else r
+          | None ->
+              (* at the smallest sample, "fewer than k of K below the
+                 envelope" cannot improve with smaller delta: scan *)
+              if rho = 0 && !all_below_failures then full_scan t ~x ~y ~k
+              else attempt (a + 1)
+        end
+      in
+      attempt 1
+    end
+  end

@@ -1,0 +1,49 @@
+(** The k-lowest-planes structure of §4.1 (Theorem 4.2).
+
+    Preprocess N planes in R^3 so that, for a vertical line ℓ at (x,y)
+    and any k, the k lowest planes along ℓ can be reported in
+    O(log_B n + k/B) expected I/Os using O(n log2 n) expected blocks.
+
+    The structure keeps, for each sample size 2^i of a random
+    permutation, the triangulated lower envelope Δ(R_i) with conflict
+    lists K(Δ), behind a grid point-location structure.  A query runs
+    TryLowestPlanes with δ = 1/2, 1/4, ... until success; three
+    independent copies (footnote 9) keep the expected retry cost
+    geometric.  A query that exhausts its layers falls back to a full
+    O(n)-I/O scan, so answers are always exact. *)
+
+type t
+
+val build :
+  stats:Emio.Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  ?seed:int ->
+  ?copies:int ->
+  ?clip:float * float * float * float ->
+  ?use_segtree:bool ->
+  Geom.Plane3.t array ->
+  t
+(** [copies] defaults to 3 (footnote 9).  [clip] bounds the (x,y)
+    region queries may come from; default (-1000, -1000, 1000, 1000).
+    Queries outside the clip box use the exact fallback scan.
+    [use_segtree] swaps the expected-case grid point locator for the
+    worst-case {!Pointloc.Seg_tree} (more space, O(log n) guaranteed
+    location — the A6 ablation). *)
+
+val k_lowest : t -> x:float -> y:float -> k:int -> (int * float) list
+(** The [min k N] lowest planes along the vertical line at (x, y), as
+    (plane id, height at (x,y)) sorted by increasing height. *)
+
+val length : t -> int
+(** Number of planes N. *)
+
+val layer_count : t -> int
+(** Number of envelope layers per copy. *)
+
+val space_blocks : t -> int
+
+val fallbacks : t -> int
+(** How many queries have resorted to the full-scan fallback — the
+    benches report this to show the retry protocol almost never
+    degenerates. *)

@@ -1,0 +1,121 @@
+open Partition
+
+type kind = Kd | Simplicial | Shallow
+
+type node_ref = Leaf of int | Node of int
+
+type child = { cell : Cells.cell; sub : node_ref }
+
+type item = { coords : Cells.point; pid : int }
+
+type t = {
+  leaves : item Emio.Store.t;
+  internals : child Emio.Store.t;
+  root : node_ref option;
+  length : int;
+  dim : int;
+  mutable visited : int;
+}
+
+let length t = t.length
+let dim t = t.dim
+let last_visited_nodes t = t.visited
+
+let space_blocks t =
+  Emio.Store.blocks_used t.leaves + Emio.Store.blocks_used t.internals
+
+let partition_of = function
+  | Kd -> Partitioner.kd
+  | Simplicial -> Partitioner.simplicial
+  | Shallow -> Partitioner.shallow
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(partitioner = Kd) ~dim
+    points =
+  Array.iter
+    (fun p ->
+      if Array.length p <> dim then
+        invalid_arg "Partition_tree.build: wrong point dimension")
+    points;
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let partition = partition_of partitioner in
+  let rec build_node (items : item array) =
+    let nv = Array.length items in
+    if nv <= block_size then Leaf (Emio.Store.alloc leaves items)
+    else begin
+      let n_blocks = (nv + block_size - 1) / block_size in
+      let r = max 2 (min block_size (2 * n_blocks)) in
+      let coords = Array.map (fun it -> it.coords) items in
+      let parts = partition ~points:coords ~r in
+      (* degenerate guard (all points equal): fall back to arbitrary
+         halving so the recursion always terminates *)
+      let parts =
+        if Array.length parts >= 2 then
+          Array.map
+            (fun (cell, idxs) ->
+              (cell, Array.map (fun i -> items.(i)) idxs))
+            parts
+        else begin
+          let half = nv / 2 in
+          let a = Array.sub items 0 half
+          and b = Array.sub items half (nv - half) in
+          Array.map
+            (fun group ->
+              ( Cells.bounding_box (Array.map (fun it -> it.coords) group),
+                group ))
+            [| a; b |]
+        end
+      in
+      let children =
+        Array.map
+          (fun (cell, group) -> { cell; sub = build_node group })
+          parts
+      in
+      Node (Emio.Store.alloc internals children)
+    end
+  in
+  let items = Array.mapi (fun i p -> { coords = p; pid = i }) points in
+  let root = if Array.length items = 0 then None else Some (build_node items) in
+  { leaves; internals; root; length = Array.length points; dim; visited = 0 }
+
+(* Report every point of a subtree: O(subtree blocks) I/Os. *)
+let rec report_subtree t acc = function
+  | Leaf id ->
+      Array.fold_left (fun acc it -> it.pid :: acc) acc
+        (Emio.Store.read t.leaves id)
+  | Node id ->
+      Array.fold_left
+        (fun acc child -> report_subtree t acc child.sub)
+        acc
+        (Emio.Store.read t.internals id)
+
+let query_with t ~classify_cell ~keep_point =
+  t.visited <- 0;
+  let rec go acc = function
+    | Leaf id ->
+        t.visited <- t.visited + 1;
+        Array.fold_left
+          (fun acc it -> if keep_point it.coords then it.pid :: acc else acc)
+          acc
+          (Emio.Store.read t.leaves id)
+    | Node id ->
+        t.visited <- t.visited + 1;
+        Array.fold_left
+          (fun acc child ->
+            match classify_cell child.cell with
+            | Cells.R_inside -> report_subtree t acc child.sub
+            | Cells.R_disjoint -> acc
+            | Cells.R_crossing -> go acc child.sub)
+          acc
+          (Emio.Store.read t.internals id)
+  in
+  match t.root with None -> [] | Some root -> go [] root
+
+let query_simplex t constrs =
+  query_with t
+    ~classify_cell:(fun cell -> Cells.classify_region cell constrs)
+    ~keep_point:(fun p -> List.for_all (fun c -> Cells.satisfies c p) constrs)
+
+let query_halfspace t ~a0 ~a =
+  let c = Cells.constr_of_halfspace ~dim:t.dim ~a0 ~a in
+  query_simplex t [ c ]

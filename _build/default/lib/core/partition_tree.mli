@@ -1,0 +1,43 @@
+(** The linear-size d-dimensional partition tree of §5 (Theorem 5.2):
+    O(n) blocks, O(n^{1-1/d+ε} + t) I/Os per halfspace query — and the
+    same bound for simplex queries (§5 remark (i)).
+
+    Every node v holds a balanced partition (Theorem 5.1, realized by
+    the {!Partition.Partitioner}s — DESIGN.md substitution 5) of its
+    points into r_v = min(B, 2 n_v) parts, each pair (cell, child)
+    stored in one disk block.  A query classifies every child cell:
+    cells fully inside the query report their whole subtree in
+    O(output/B) I/Os, cells fully outside are skipped, and crossing
+    cells — at most O(r^{1-1/d}) of them — are visited recursively. *)
+
+type t
+
+type kind = Kd | Simplicial | Shallow
+
+val build :
+  stats:Emio.Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  ?partitioner:kind ->
+  dim:int ->
+  Partition.Cells.point array ->
+  t
+(** [partitioner] defaults to [Kd].  All points must have [dim]
+    coordinates. *)
+
+val query_halfspace : t -> a0:float -> a:float array -> int list
+(** Indices (into the build-time array) of the points satisfying
+    [x_d <= a0 + Σ a_i x_i]. *)
+
+val query_simplex : t -> Partition.Cells.constr list -> int list
+(** Points satisfying every constraint (a simplex, or any convex
+    polytope, as an intersection of halfspaces). *)
+
+val length : t -> int
+val dim : t -> int
+val space_blocks : t -> int
+
+val last_visited_nodes : t -> int
+(** Number of tree nodes the most recent query recursed into (the μ of
+    the Theorem 5.2 analysis) — benches use it to verify the
+    O(n^{1-1/d}) recursion bound independently of I/O counts. *)

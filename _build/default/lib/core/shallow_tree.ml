@@ -1,0 +1,141 @@
+open Partition
+
+type node_ref = Leaf of int | Node of int
+
+type child = { cell : Cells.cell; sub : node_ref }
+
+type item = { coords : Cells.point; pid : int }
+
+type t = {
+  leaves : item Emio.Store.t;
+  internals : child Emio.Store.t;
+  (* node id -> secondary §5 structure over the same subtree points *)
+  secondaries : (int, Partition_tree.t * int array) Hashtbl.t;
+  root : node_ref option;
+  length : int;
+  dim : int;
+  shallow_factor : float;
+  mutable secondary_uses : int;
+}
+
+let length t = t.length
+let dim t = t.dim
+let last_secondary_uses t = t.secondary_uses
+
+let space_blocks t =
+  Emio.Store.blocks_used t.leaves
+  + Emio.Store.blocks_used t.internals
+  + Hashtbl.fold
+      (fun _ (pt, _) acc -> acc + Partition_tree.space_blocks pt)
+      t.secondaries 0
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(shallow_factor = 2.0) ~dim
+    points =
+  Array.iter
+    (fun p ->
+      if Array.length p <> dim then
+        invalid_arg "Shallow_tree.build: wrong point dimension")
+    points;
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let secondaries = Hashtbl.create 64 in
+  let rec build_node (items : item array) =
+    let nv = Array.length items in
+    if nv <= block_size then Leaf (Emio.Store.alloc leaves items)
+    else begin
+      let n_blocks = (nv + block_size - 1) / block_size in
+      let r = max 2 (min block_size (2 * n_blocks)) in
+      let coords = Array.map (fun it -> it.coords) items in
+      let parts = Partitioner.shallow ~points:coords ~r in
+      let parts =
+        if Array.length parts >= 2 then
+          Array.map
+            (fun (cell, idxs) -> (cell, Array.map (fun i -> items.(i)) idxs))
+            parts
+        else begin
+          let half = nv / 2 in
+          let a = Array.sub items 0 half
+          and b = Array.sub items half (nv - half) in
+          Array.map
+            (fun group ->
+              ( Cells.bounding_box (Array.map (fun it -> it.coords) group),
+                group ))
+            [| a; b |]
+        end
+      in
+      let children =
+        Array.map (fun (cell, group) -> { cell; sub = build_node group }) parts
+      in
+      let id = Emio.Store.alloc internals children in
+      let secondary =
+        Partition_tree.build ~stats ~block_size ~cache_blocks
+          ~partitioner:Partition_tree.Kd ~dim coords
+      in
+      Hashtbl.add secondaries id (secondary, Array.map (fun it -> it.pid) items);
+      Node id
+    end
+  in
+  let items = Array.mapi (fun i p -> { coords = p; pid = i }) points in
+  let root = if Array.length items = 0 then None else Some (build_node items) in
+  {
+    leaves;
+    internals;
+    secondaries;
+    root;
+    length = Array.length points;
+    dim;
+    shallow_factor;
+    secondary_uses = 0;
+  }
+
+let rec report_subtree t acc = function
+  | Leaf id ->
+      Array.fold_left (fun acc it -> it.pid :: acc) acc
+        (Emio.Store.read t.leaves id)
+  | Node id ->
+      Array.fold_left
+        (fun acc child -> report_subtree t acc child.sub)
+        acc
+        (Emio.Store.read t.internals id)
+
+let query_halfspace t ~a0 ~a =
+  let c = Cells.constr_of_halfspace ~dim:t.dim ~a0 ~a in
+  t.secondary_uses <- 0;
+  let rec go acc = function
+    | Leaf id ->
+        Array.fold_left
+          (fun acc it ->
+            if Cells.satisfies c it.coords then it.pid :: acc else acc)
+          acc
+          (Emio.Store.read t.leaves id)
+    | Node id ->
+        let children = Emio.Store.read t.internals id in
+        let crossing =
+          Array.fold_left
+            (fun n child ->
+              if Cells.classify child.cell c = Cells.Crossing then n + 1
+              else n)
+            0 children
+        in
+        let threshold =
+          t.shallow_factor
+          *. (log (float_of_int (max 2 (Array.length children))) /. log 2.)
+        in
+        if float_of_int crossing > threshold then begin
+          (* not shallow at this node: delegate to the §5 secondary
+             structure (its output term dominates, §6) *)
+          t.secondary_uses <- t.secondary_uses + 1;
+          let secondary, pids = Hashtbl.find t.secondaries id in
+          let local = Partition_tree.query_halfspace secondary ~a0 ~a in
+          List.fold_left (fun acc i -> pids.(i) :: acc) acc local
+        end
+        else
+          Array.fold_left
+            (fun acc child ->
+              match Cells.classify child.cell c with
+              | Cells.Inside -> report_subtree t acc child.sub
+              | Cells.Outside -> acc
+              | Cells.Crossing -> go acc child.sub)
+            acc children
+  in
+  match t.root with None -> [] | Some root -> go [] root

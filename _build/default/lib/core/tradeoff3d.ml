@@ -1,0 +1,132 @@
+open Geom
+open Partition
+
+(* The space/query tradeoff of §6 (Theorem 6.1): a §5 partition tree
+   whose recursion stops at subsets of size B^a, each stored in a §4
+   structure.  Space O(n log2 B) blocks; queries cost
+   O((n / B^{a-1})^{2/3+eps} + t) expected I/Os. *)
+
+type leaf = {
+  hs : Halfspace3d.t; (* §4 structure over the leaf's points *)
+  run : int Emio.Run.t; (* pids, for whole-leaf reporting *)
+  pids : int array;
+}
+
+type node_ref = Leaf of int | Node of int
+
+type child = { cell : Cells.cell; sub : node_ref }
+
+type t = {
+  internals : child Emio.Store.t;
+  pid_store : int Emio.Store.t;
+  leaves : leaf Vec.t;
+  root : node_ref option;
+  length : int;
+  leaf_capacity : int;
+  mutable secondary_queries : int;
+}
+
+let length t = t.length
+let leaf_capacity t = t.leaf_capacity
+let last_secondary_queries t = t.secondary_queries
+
+let space_blocks t =
+  let acc = ref (Emio.Store.blocks_used t.internals) in
+  Vec.iter
+    (fun l ->
+      acc := !acc + Halfspace3d.space_blocks l.hs + Emio.Run.block_count l.run)
+    t.leaves;
+  !acc
+
+let coords_of_point3 p = [| Point3.x p; Point3.y p; Point3.z p |]
+
+let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(a = 1.5) ?clip
+    ?(copies = 3) points =
+  if a <= 1. then invalid_arg "Tradeoff3d.build: need a > 1";
+  let leaf_capacity =
+    max (4 * block_size)
+      (int_of_float (Float.pow (float_of_int block_size) a))
+  in
+  let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let pid_store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let leaves : leaf Vec.t = Vec.create () in
+  let make_leaf (items : (Point3.t * int) array) =
+    let pts = Array.map fst items in
+    let pids = Array.map snd items in
+    let hs =
+      Halfspace3d.build ~stats ~block_size ~cache_blocks ~seed ~copies ?clip
+        pts
+    in
+    Leaf
+      (Vec.push_idx leaves
+         { hs; run = Emio.Run.of_array pid_store pids; pids })
+  in
+  let rec build_node (items : (Point3.t * int) array) =
+    let nv = Array.length items in
+    if nv <= leaf_capacity then make_leaf items
+    else begin
+      let n_blocks = (nv + block_size - 1) / block_size in
+      (* cap the fan-out so children stay around B^a points: otherwise
+         one Θ(B)-way split overshoots the leaf capacity entirely and
+         every choice of [a] would produce the same tree *)
+      let r_target = (nv + leaf_capacity - 1) / leaf_capacity in
+      let r = max 2 (min (min block_size (2 * n_blocks)) r_target) in
+      let coords = Array.map (fun (p, _) -> coords_of_point3 p) items in
+      let parts = Partitioner.kd ~points:coords ~r in
+      let children =
+        Array.map
+          (fun (cell, idxs) ->
+            { cell; sub = build_node (Array.map (fun i -> items.(i)) idxs) })
+          parts
+      in
+      Node (Emio.Store.alloc internals children)
+    end
+  in
+  let items = Array.mapi (fun i p -> (p, i)) points in
+  let root = if Array.length items = 0 then None else Some (build_node items) in
+  {
+    internals;
+    pid_store;
+    leaves;
+    root;
+    length = Array.length points;
+    leaf_capacity;
+    secondary_queries = 0;
+  }
+
+let rec report_subtree t acc = function
+  | Leaf li ->
+      let l = Vec.get t.leaves li in
+      Emio.Run.fold (fun acc pid -> pid :: acc) acc l.run
+  | Node id ->
+      Array.fold_left
+        (fun acc child -> report_subtree t acc child.sub)
+        acc
+        (Emio.Store.read t.internals id)
+
+let query_ids t ~a ~b ~c =
+  t.secondary_queries <- 0;
+  let constr =
+    Cells.constr_of_halfspace ~dim:3 ~a0:c ~a:[| a; b |]
+  in
+  let rec go acc = function
+    | Leaf li ->
+        t.secondary_queries <- t.secondary_queries + 1;
+        let l = Vec.get t.leaves li in
+        let local = Halfspace3d.query_ids l.hs ~a ~b ~c in
+        List.fold_left (fun acc i -> l.pids.(i) :: acc) acc local
+    | Node id ->
+        Array.fold_left
+          (fun acc child ->
+            match Cells.classify child.cell constr with
+            | Cells.Inside -> report_subtree t acc child.sub
+            | Cells.Outside -> acc
+            | Cells.Crossing -> go acc child.sub)
+          acc
+          (Emio.Store.read t.internals id)
+  in
+  match t.root with None -> [] | Some root -> go [] root
+
+let query t ~a ~b ~c = query_ids t ~a ~b ~c
+
+let query_count t ~a ~b ~c = List.length (query_ids t ~a ~b ~c)

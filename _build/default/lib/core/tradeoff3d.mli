@@ -1,0 +1,35 @@
+(** The space/query-time tradeoff structure of §6 (Theorem 6.1): a §5
+    partition tree whose recursion stops at subsets of B^a points, each
+    preprocessed into a §4 structure.  Space O(n log2 B) blocks; a
+    3-dimensional halfspace query costs O((n/B^{a-1})^{2/3+ε} + t)
+    expected I/Os. *)
+
+type t
+
+val build :
+  stats:Emio.Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  ?seed:int ->
+  ?a:float ->
+  ?clip:float * float * float * float ->
+  ?copies:int ->
+  Geom.Point3.t array ->
+  t
+(** [a] (default 1.5) sets the leaf capacity B^a; requires [a > 1].
+    [clip] is forwarded to the §4 leaf structures. *)
+
+val query_ids : t -> a:float -> b:float -> c:float -> int list
+(** Indices of the points with [z <= a x + b y + c]. *)
+
+val query : t -> a:float -> b:float -> c:float -> int list
+(** Alias of {!query_ids}. *)
+
+val query_count : t -> a:float -> b:float -> c:float -> int
+
+val length : t -> int
+val leaf_capacity : t -> int
+val space_blocks : t -> int
+
+val last_secondary_queries : t -> int
+(** §4 leaf structures consulted by the most recent query. *)

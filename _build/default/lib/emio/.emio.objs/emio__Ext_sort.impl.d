@@ -1,0 +1,1 @@
+lib/emio/ext_sort.ml: Array List Run Store

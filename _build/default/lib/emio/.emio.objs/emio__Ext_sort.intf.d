@@ -1,0 +1,1 @@
+lib/emio/ext_sort.mli: Run Store

@@ -1,0 +1,1 @@
+lib/emio/io_stats.ml: Format

@@ -1,0 +1,1 @@
+lib/emio/lru.mli:

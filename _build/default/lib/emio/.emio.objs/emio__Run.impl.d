@@ -1,0 +1,1 @@
+lib/emio/run.ml: Array List Store

@@ -1,0 +1,1 @@
+lib/emio/run.mli: Store

@@ -1,0 +1,1 @@
+lib/emio/store.ml: Array Io_stats Lru

@@ -1,0 +1,1 @@
+lib/emio/store.mli: Io_stats

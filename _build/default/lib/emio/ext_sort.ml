@@ -1,0 +1,158 @@
+(* Classic two-phase external merge sort.  Phase 1 forms sorted runs of
+   M items; phase 2 merges k = M/B - 1 runs at a time until one run
+   remains.  All block traffic goes through Run/Store and is charged. *)
+
+type 'a cursor = {
+  run : 'a Run.t;
+  mutable block : 'a array;
+  mutable block_idx : int; (* index of the block currently loaded *)
+  mutable item_idx : int; (* next item within [block] *)
+}
+
+let cursor_of_run run =
+  if Run.length run = 0 then None
+  else Some { run; block = Run.read_block run 0; block_idx = 0; item_idx = 0 }
+
+let cursor_peek c = c.block.(c.item_idx)
+
+(* Advance; returns false when the cursor is exhausted. *)
+let cursor_next c =
+  c.item_idx <- c.item_idx + 1;
+  if c.item_idx < Array.length c.block then true
+  else if c.block_idx + 1 < Run.block_count c.run then begin
+    c.block_idx <- c.block_idx + 1;
+    c.block <- Run.read_block c.run c.block_idx;
+    c.item_idx <- 0;
+    true
+  end
+  else false
+
+(* Minimal binary min-heap over cursors keyed by their head item. *)
+module Heap = struct
+  type 'a t = {
+    mutable data : 'a cursor array;
+    mutable size : int;
+    cmp : 'a -> 'a -> int;
+  }
+
+  let create cmp capacity dummy =
+    { data = Array.make (max 1 capacity) dummy; size = 0; cmp }
+
+  let less h a b = h.cmp (cursor_peek a) (cursor_peek b) < 0
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less h h.data.(i) h.data.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && less h h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && less h h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h c =
+    h.data.(h.size) <- c;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let pop_min h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0;
+    top
+
+  let is_empty h = h.size = 0
+end
+
+let form_initial_runs ~cmp ~memory_items store input =
+  let n_blocks = Run.block_count input in
+  let runs = ref [] in
+  let buffer = ref [] in
+  let buffered = ref 0 in
+  let flush () =
+    if !buffered > 0 then begin
+      let items = Array.concat (List.rev !buffer) in
+      Array.sort cmp items;
+      runs := Run.of_array store items :: !runs;
+      buffer := [];
+      buffered := 0
+    end
+  in
+  for i = 0 to n_blocks - 1 do
+    let block = Run.read_block input i in
+    buffer := block :: !buffer;
+    buffered := !buffered + Array.length block;
+    if !buffered >= memory_items then flush ()
+  done;
+  flush ();
+  List.rev !runs
+
+let merge ~cmp store runs =
+  let cursors = List.filter_map cursor_of_run runs in
+  match cursors with
+  | [] -> Run.empty store
+  | first :: _ ->
+      let heap = Heap.create cmp (List.length cursors) first in
+      List.iter (Heap.push heap) cursors;
+      let b = Store.block_size store in
+      let total = List.fold_left (fun acc r -> acc + Run.length r) 0 runs in
+      let out_blocks = ref [] in
+      let out = Array.make (min b total) (cursor_peek first) in
+      let out_len = ref 0 in
+      let flush () =
+        if !out_len > 0 then begin
+          out_blocks := Store.alloc store (Array.sub out 0 !out_len) :: !out_blocks;
+          out_len := 0
+        end
+      in
+      while not (Heap.is_empty heap) do
+        let c = Heap.pop_min heap in
+        out.(!out_len) <- cursor_peek c;
+        incr out_len;
+        if !out_len = b then flush ();
+        if cursor_next c then Heap.push heap c
+      done;
+      flush ();
+      (* Assemble the output run from the blocks we just wrote. *)
+      let ids = Array.of_list (List.rev !out_blocks) in
+      Run.of_block_ids store ids total
+
+let sort ~cmp ~memory_items store input =
+  let b = Store.block_size store in
+  if memory_items < 2 * b then
+    invalid_arg "Ext_sort.sort: memory must hold at least two blocks";
+  let fan_in = max 2 ((memory_items / b) - 1) in
+  let initial = form_initial_runs ~cmp ~memory_items store input in
+  let rec merge_level = function
+    | [] -> Run.empty store
+    | [ single ] -> single
+    | runs ->
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | r :: rest -> take (k - 1) (r :: acc) rest
+        in
+        let rec pass acc = function
+          | [] -> List.rev acc
+          | runs ->
+              let group, rest = take fan_in [] runs in
+              pass (merge ~cmp store group :: acc) rest
+        in
+        merge_level (pass [] runs)
+  in
+  merge_level initial

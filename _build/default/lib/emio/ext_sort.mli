@@ -1,0 +1,10 @@
+(** External merge sort: the standard O(n log_{M/B} n)-I/O sort used to
+    bulk-load the B-tree and to prepare sorted inputs during
+    preprocessing.  [memory_items] models M, the number of items that
+    fit in main memory at once. *)
+
+val sort :
+  cmp:('a -> 'a -> int) -> memory_items:int -> 'a Store.t -> 'a Run.t -> 'a Run.t
+(** Returns a new sorted run in the same store.  Raises [Invalid_argument]
+    if [memory_items < 2 * block size] (need at least two blocks of
+    memory to merge). *)

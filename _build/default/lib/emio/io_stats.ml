@@ -1,0 +1,26 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+}
+
+let create () = { reads = 0; writes = 0; hits = 0 }
+
+let reads t = t.reads
+let writes t = t.writes
+let total t = t.reads + t.writes
+let cache_hits t = t.hits
+
+let record_read t = t.reads <- t.reads + 1
+let record_write t = t.writes <- t.writes + 1
+let record_hit t = t.hits <- t.hits + 1
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.hits <- 0
+
+let checkpoint t = total t
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d hits=%d" t.reads t.writes t.hits

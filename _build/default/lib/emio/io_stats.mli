@@ -1,0 +1,36 @@
+(** I/O accounting for the simulated external-memory machine.
+
+    Every block transferred between "disk" (the {!Store}) and "memory"
+    counts as one I/O, exactly as in the standard external-memory model
+    used by the paper: a read transfers one block of B items into
+    memory, a write transfers one block out.  Cache hits (see
+    {!Store.create}) are counted separately and are free. *)
+
+type t
+
+val create : unit -> t
+
+val reads : t -> int
+(** Number of block reads charged so far. *)
+
+val writes : t -> int
+(** Number of block writes charged so far. *)
+
+val total : t -> int
+(** [reads + writes]. *)
+
+val cache_hits : t -> int
+(** Block accesses served by the LRU cache (not charged). *)
+
+val record_read : t -> unit
+val record_write : t -> unit
+val record_hit : t -> unit
+
+val reset : t -> unit
+(** Zero all counters.  Used between the build phase and the query
+    phase of an experiment. *)
+
+val checkpoint : t -> int
+(** Snapshot of [total t]; [total t - checkpoint] measures a span. *)
+
+val pp : Format.formatter -> t -> unit

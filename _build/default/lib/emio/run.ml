@@ -1,0 +1,82 @@
+type 'a t = {
+  store : 'a Store.t;
+  block_ids : int array;
+  length : int;
+}
+
+let of_array store items =
+  let b = Store.block_size store in
+  let n = Array.length items in
+  let n_blocks = (n + b - 1) / b in
+  let block_ids =
+    Array.init n_blocks (fun i ->
+        let lo = i * b in
+        let len = min b (n - lo) in
+        Store.alloc store (Array.sub items lo len))
+  in
+  { store; block_ids; length = n }
+
+let of_list store items = of_array store (Array.of_list items)
+
+let of_block_ids store block_ids length = { store; block_ids; length }
+let empty store = { store; block_ids = [||]; length = 0 }
+let length t = t.length
+let block_count t = Array.length t.block_ids
+
+let iter_blocks f t =
+  Array.iter (fun id -> f (Store.read t.store id)) t.block_ids
+
+let iter f t = iter_blocks (fun block -> Array.iter f block) t
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_array t =
+  match t.block_ids with
+  | [||] -> [||]
+  | ids ->
+      let first = Store.read t.store ids.(0) in
+      if t.length = 0 then [||]
+      else begin
+        let out = Array.make t.length first.(0) in
+        let pos = ref 0 in
+        iter_blocks
+          (fun block ->
+            Array.blit block 0 out !pos (Array.length block);
+            pos := !pos + Array.length block)
+          t;
+        out
+      end
+
+let read_block t i = Store.read t.store t.block_ids.(i)
+
+let read_range t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.length then
+    invalid_arg "Run.read_range: out of bounds";
+  if len = 0 then [||]
+  else begin
+    let b = Store.block_size t.store in
+    let first = pos / b and last = (pos + len - 1) / b in
+    let pieces =
+      List.init
+        (last - first + 1)
+        (fun i ->
+          let block = read_block t (first + i) in
+          let block_lo = (first + i) * b in
+          let lo = max 0 (pos - block_lo) in
+          let hi = min (Array.length block) (pos + len - block_lo) in
+          Array.sub block lo (hi - lo))
+    in
+    Array.concat pieces
+  end
+
+let iter_prefix_blocks f t =
+  let n = Array.length t.block_ids in
+  let rec go i =
+    if i < n then
+      let continue_scan = f (Store.read t.store t.block_ids.(i)) in
+      if continue_scan then go (i + 1)
+  in
+  go 0

@@ -1,0 +1,45 @@
+(** A run: a sequence of items laid out in consecutive blocks of a
+    {!Store}.  This is the external-memory "file" primitive: scanning a
+    run of [L] items costs ⌈L/B⌉ I/Os, which is how conflict lists,
+    clusters and leaf buckets are paid for throughout the paper. *)
+
+type 'a t
+
+val of_array : 'a Store.t -> 'a array -> 'a t
+(** Lay the items out in ⌈length/B⌉ fresh blocks (charged as writes). *)
+
+val of_list : 'a Store.t -> 'a list -> 'a t
+
+val of_block_ids : 'a Store.t -> int array -> int -> 'a t
+(** [of_block_ids store ids length] views already-written blocks as a
+    run of [length] items; no I/O is charged. *)
+
+val empty : 'a Store.t -> 'a t
+
+val length : 'a t -> int
+
+val block_count : 'a t -> int
+(** Space occupied, in blocks. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Full scan; charges ⌈length/B⌉ reads. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+(** Full scan into memory. *)
+
+val iter_blocks : ('a array -> unit) -> 'a t -> unit
+(** Scan block by block (same I/O cost as {!iter}). *)
+
+val read_block : 'a t -> int -> 'a array
+(** [read_block r i] fetches the [i]-th block of the run (one read). *)
+
+val read_range : 'a t -> pos:int -> len:int -> 'a array
+(** Items [pos, pos+len): costs one read per touched block, i.e.
+    O(⌈len/B⌉ + 1). *)
+
+val iter_prefix_blocks : ('a array -> bool) -> 'a t -> unit
+(** Scan blocks left to right while the callback returns [true]:
+    the filtering-search idiom — stop paying I/Os once enough output
+    has been found. *)

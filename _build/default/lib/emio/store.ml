@@ -1,0 +1,58 @@
+type 'a t = {
+  stats : Io_stats.t;
+  block_size : int;
+  mutable blocks : 'a array array;
+  mutable used : int;
+  cache : Lru.t;
+}
+
+let create ~stats ~block_size ?(cache_blocks = 0) () =
+  if block_size <= 0 then invalid_arg "Store.create: block_size must be > 0";
+  {
+    stats;
+    block_size;
+    blocks = Array.make 16 [||];
+    used = 0;
+    cache = Lru.create ~capacity:cache_blocks;
+  }
+
+let block_size t = t.block_size
+let stats t = t.stats
+let blocks_used t = t.used
+
+let grow t =
+  let capacity = Array.length t.blocks in
+  if t.used >= capacity then begin
+    let bigger = Array.make (2 * capacity) [||] in
+    Array.blit t.blocks 0 bigger 0 capacity;
+    t.blocks <- bigger
+  end
+
+let check_block t data =
+  if Array.length data > t.block_size then
+    invalid_arg "Store: block larger than block_size"
+
+let alloc t data =
+  check_block t data;
+  grow t;
+  let id = t.used in
+  t.blocks.(id) <- data;
+  t.used <- t.used + 1;
+  if Lru.touch t.cache id then Io_stats.record_hit t.stats
+  else Io_stats.record_write t.stats;
+  id
+
+let read t id =
+  if id < 0 || id >= t.used then invalid_arg "Store.read: bad block id";
+  if Lru.touch t.cache id then Io_stats.record_hit t.stats
+  else Io_stats.record_read t.stats;
+  t.blocks.(id)
+
+let write t id data =
+  if id < 0 || id >= t.used then invalid_arg "Store.write: bad block id";
+  check_block t data;
+  t.blocks.(id) <- data;
+  if Lru.touch t.cache id then Io_stats.record_hit t.stats
+  else Io_stats.record_write t.stats
+
+let drop_cache t = Lru.clear t.cache

@@ -1,0 +1,37 @@
+(** A simulated disk holding blocks of ['a].
+
+    Each block stores at most [block_size] items.  Reading or writing a
+    block charges one I/O to the attached {!Io_stats}, unless the block
+    is resident in the store's LRU cache (see [cache_blocks]), in which
+    case the access is a free cache hit — this models a main memory of
+    [cache_blocks * block_size] items.
+
+    All of the paper's structures are laid out in stores like this one,
+    so the I/O counts our benchmarks report are exactly the quantity
+    Table 1 bounds. *)
+
+type 'a t
+
+val create :
+  stats:Io_stats.t -> block_size:int -> ?cache_blocks:int -> unit -> 'a t
+(** [cache_blocks] defaults to [0] (cold cache: every access charged). *)
+
+val block_size : 'a t -> int
+val stats : 'a t -> Io_stats.t
+
+val alloc : 'a t -> 'a array -> int
+(** Store a fresh block (length ≤ [block_size]); charges one write and
+    returns the new block id. *)
+
+val read : 'a t -> int -> 'a array
+(** Fetch a block; charges one read on a cache miss.  The returned
+    array is the store's own copy and must not be mutated. *)
+
+val write : 'a t -> int -> 'a array -> unit
+(** Overwrite an existing block; charges one write. *)
+
+val blocks_used : 'a t -> int
+(** Number of allocated blocks: the structure's space in disk blocks. *)
+
+val drop_cache : 'a t -> unit
+(** Empty the LRU cache (e.g. between build and query phases). *)

@@ -1,0 +1,1 @@
+lib/geom/dual2.ml: Line2 Point2

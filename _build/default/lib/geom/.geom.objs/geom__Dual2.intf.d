@@ -1,0 +1,1 @@
+lib/geom/dual2.mli: Line2 Point2

@@ -1,0 +1,1 @@
+lib/geom/envelope2.ml: Array Eps Float Line2

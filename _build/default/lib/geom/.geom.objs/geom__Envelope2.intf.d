@@ -1,0 +1,1 @@
+lib/geom/envelope2.mli: Line2

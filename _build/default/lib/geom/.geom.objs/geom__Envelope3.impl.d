@@ -1,0 +1,1 @@
+lib/geom/envelope3.ml: Array Envelope2 Eps Float Hashtbl Hull3 List Option Plane3 Point2 Point3 Polygon2

@@ -1,0 +1,1 @@
+lib/geom/envelope3.mli: Plane3 Point2

@@ -1,0 +1,1 @@
+lib/geom/eps.ml: Float

@@ -1,0 +1,1 @@
+lib/geom/hull3.ml: Array Float Fun Hashtbl List Point3 Vec

@@ -1,0 +1,1 @@
+lib/geom/hull3.mli: Point3

@@ -1,0 +1,1 @@
+lib/geom/line2.ml: Eps Float Format Point2

@@ -1,0 +1,1 @@
+lib/geom/line2.mli: Format Point2

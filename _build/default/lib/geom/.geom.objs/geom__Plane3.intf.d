@@ -1,0 +1,1 @@
+lib/geom/plane3.mli: Format Line2 Point2 Point3

@@ -1,0 +1,1 @@
+lib/geom/point2.ml: Eps Float Format

@@ -1,0 +1,1 @@
+lib/geom/polygon2.ml: Array Eps List Point2

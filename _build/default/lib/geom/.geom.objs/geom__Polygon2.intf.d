@@ -1,0 +1,1 @@
+lib/geom/polygon2.mli: Point2

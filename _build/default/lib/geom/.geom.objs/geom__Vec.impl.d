@@ -1,0 +1,1 @@
+lib/geom/vec.ml: Array

@@ -1,0 +1,254 @@
+type kind = Lower | Upper
+
+type t = {
+  kind : kind;
+  lines : Line2.t array; (* envelope segments, left to right *)
+  bps : float array; (* bps.(i) separates lines.(i) and lines.(i+1) *)
+}
+
+let kind t = t.kind
+let size t = Array.length t.lines
+let is_empty t = size t = 0
+let breakpoints t = t.bps
+let lines t = t.lines
+
+(* Along a lower envelope slopes strictly decrease left to right; along
+   an upper envelope they strictly increase.  We therefore process
+   candidate lines from the leftmost-segment slope onwards and maintain
+   a stack of (segment line, segment start x). *)
+let build k input =
+  let lines = Array.copy input in
+  (match k with
+  | Lower ->
+      (* leftmost segment has the largest slope; ties keep the lowest *)
+      Array.sort
+        (fun (a : Line2.t) b ->
+          let c = Float.compare (Line2.slope b) (Line2.slope a) in
+          if c <> 0 then c else Float.compare (Line2.icept a) (Line2.icept b))
+        lines
+  | Upper ->
+      Array.sort
+        (fun (a : Line2.t) b ->
+          let c = Float.compare (Line2.slope a) (Line2.slope b) in
+          if c <> 0 then c else Float.compare (Line2.icept b) (Line2.icept a))
+        lines);
+  let n = Array.length lines in
+  if n = 0 then { kind = k; lines = [||]; bps = [||] }
+  else begin
+    let stack_lines = Array.make n lines.(0) in
+    let stack_start = Array.make n neg_infinity in
+    let top = ref (-1) in
+    let push l x =
+      incr top;
+      stack_lines.(!top) <- l;
+      stack_start.(!top) <- x
+    in
+    for i = 0 to n - 1 do
+      let l = lines.(i) in
+      if !top < 0 then push l neg_infinity
+      else if Line2.parallel l stack_lines.(!top) then
+        (* dominated duplicate slope: the sort put the better one first *)
+        ()
+      else begin
+        (* [l] has strictly smaller (Lower) / larger (Upper) slope than
+           everything on the stack, so it owns the envelope after the
+           meet point; pop segments it fully covers. *)
+        let rec settle () =
+          if !top < 0 then push l neg_infinity
+          else
+            let x = Line2.meet_x l stack_lines.(!top) in
+            if x <= stack_start.(!top) then begin
+              decr top;
+              settle ()
+            end
+            else push l x
+        in
+        settle ()
+      end
+    done;
+    let m = !top + 1 in
+    {
+      kind = k;
+      lines = Array.sub stack_lines 0 m;
+      bps = Array.init (max 0 (m - 1)) (fun i -> stack_start.(i + 1));
+    }
+  end
+
+(* Index of the segment containing abscissa [x]: number of breakpoints
+   strictly below [x]. *)
+let segment_index t x =
+  let lo = ref 0 and hi = ref (Array.length t.bps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.bps.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let line_at t x =
+  if is_empty t then invalid_arg "Envelope2.line_at: empty envelope";
+  t.lines.(segment_index t x)
+
+let eval t x =
+  if is_empty t then invalid_arg "Envelope2.eval: empty envelope";
+  Line2.eval (line_at t x) x
+
+(* Signed gap between the probe and the envelope, positive when the
+   probe is on the envelope's outer side.  In both kinds the gap is a
+   concave piecewise-linear function of x, which is what makes the
+   binary searches below sound. *)
+let gap t (probe : Line2.t) x =
+  match t.kind with
+  | Upper -> Line2.eval probe x -. eval t x
+  | Lower -> eval t x -. Line2.eval probe x
+
+let gap_slope t probe i =
+  match t.kind with
+  | Upper -> Line2.slope probe -. Line2.slope t.lines.(i)
+  | Lower -> Line2.slope t.lines.(i) -. Line2.slope probe
+
+let first_crossing t probe ~after =
+  if is_empty t then None
+  else begin
+    let nb = Array.length t.bps in
+    (* Smallest breakpoint index whose abscissa is > after. *)
+    let first_bp =
+      let lo = ref 0 and hi = ref nb in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.bps.(mid) <= after then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    (* The gap is concave and >= 0 just right of [after]; once it drops
+       below zero it stays below, so "gap at breakpoint j < 0" is a
+       monotone predicate over j >= first_bp. *)
+    let neg j = gap t probe t.bps.(j) < -.Eps.eps in
+    let crossing_in_segment i lo_bound =
+      (* gap changes sign inside segment i *)
+      let l = t.lines.(i) in
+      if Line2.parallel probe l then None
+      else
+        let x = Line2.meet_x probe l in
+        if x > lo_bound then Some (x, l) else None
+    in
+    let exception Found of (float * Line2.t) option in
+    try
+      if first_bp < nb && neg first_bp then begin
+        (* crossing before the first candidate breakpoint: it lies in
+           segment [first_bp] (which starts before that breakpoint). *)
+        raise (Found (crossing_in_segment first_bp after))
+      end;
+      (* binary search for the first negative breakpoint beyond. *)
+      let lo = ref first_bp and hi = ref nb in
+      (* invariant: all breakpoints in [first_bp, lo) are non-negative *)
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if neg mid then hi := mid else lo := mid + 1
+      done;
+      if !lo < nb then
+        (* sign change between breakpoint lo-1 (or after) and lo:
+           inside segment lo. *)
+        raise (Found (crossing_in_segment !lo after));
+      (* no breakpoint is negative: the only possible crossing is on the
+         last (unbounded) segment, provided the gap is shrinking. *)
+      let last = size t - 1 in
+      if gap_slope t probe last < 0. then
+        raise (Found (crossing_in_segment last after));
+      None
+    with Found r -> r
+  end
+
+let outer_interval t probe =
+  if is_empty t then None
+  else begin
+    let m = size t in
+    let slope i = gap_slope t probe i in
+    if slope (m - 1) > 0. then begin
+      (* gap increases to +infinity: outer region is a right ray *)
+      if slope 0 > 0. then
+        (* increasing everywhere: gap negative at -inf; left crossing is
+           the single sign change *)
+        let j =
+          (* first segment index where gap at its right end (or +inf)
+             is positive; find via binary search on breakpoints *)
+          let lo = ref 0 and hi = ref (Array.length t.bps) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if gap t probe t.bps.(mid) > Eps.eps then hi := mid
+            else lo := mid + 1
+          done;
+          !lo
+        in
+        let l = t.lines.(j) in
+        if Line2.parallel probe l then Some (neg_infinity, infinity)
+        else Some (Line2.meet_x probe l, infinity)
+      else
+        (* decreasing then increasing is impossible for a concave gap;
+           slope 0 <= 0 < slope (m-1) cannot happen *)
+        Some (neg_infinity, infinity)
+    end
+    else if slope 0 < 0. then begin
+      (* gap decreases from +infinity: outer region is a left ray *)
+      let j =
+        (* last segment whose right-end gap is still positive: find the
+           first breakpoint where the gap is <= 0 *)
+        let lo = ref 0 and hi = ref (Array.length t.bps) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if gap t probe t.bps.(mid) < -.Eps.eps then hi := mid
+          else lo := mid + 1
+        done;
+        !lo
+      in
+      let l = t.lines.(min j (m - 1)) in
+      if Line2.parallel probe l then Some (neg_infinity, infinity)
+      else Some (neg_infinity, Line2.meet_x probe l)
+    end
+    else begin
+      (* concave with nonnegative left slope and nonpositive right
+         slope: bounded peak.  Find the peak breakpoint: the last
+         segment with positive gap slope. *)
+      let lo = ref 0 and hi = ref (m - 1) in
+      (* find smallest i with slope i <= 0; peak is at bps.(i-1) if i>0 *)
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if slope mid <= 0. then hi := mid else lo := mid + 1
+      done;
+      let peak_x = if !lo = 0 then 0. else t.bps.(!lo - 1) in
+      let peak_x =
+        if Array.length t.bps = 0 then 0.
+        else if !lo = 0 then t.bps.(0)
+        else peak_x
+      in
+      if gap t probe peak_x <= Eps.eps then None
+      else begin
+        (* left crossing: gap goes negative -> positive moving right *)
+        let left =
+          let l = ref 0 and h = ref !lo in
+          (* breakpoints [0, lo): find first with positive gap *)
+          while !l < !h do
+            let mid = (!l + !h) / 2 in
+            if gap t probe t.bps.(mid) > Eps.eps then h := mid
+            else l := mid + 1
+          done;
+          let seg = t.lines.(!l) in
+          if Line2.parallel probe seg then neg_infinity
+          else Line2.meet_x probe seg
+        in
+        let right =
+          let nb = Array.length t.bps in
+          let l = ref !lo and h = ref nb in
+          (* breakpoints [lo, nb): find first with negative gap *)
+          while !l < !h do
+            let mid = (!l + !h) / 2 in
+            if gap t probe t.bps.(mid) < -.Eps.eps then h := mid
+            else l := mid + 1
+          done;
+          let seg = t.lines.(min !l (m - 1)) in
+          if Line2.parallel probe seg then infinity
+          else Line2.meet_x probe seg
+        in
+        if left >= right then None else Some (left, right)
+      end
+    end
+  end

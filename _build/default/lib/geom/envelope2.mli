@@ -1,0 +1,50 @@
+(** Static lower/upper envelopes of a set of non-vertical lines.
+
+    The lower envelope is the pointwise minimum (a concave piecewise
+    linear function); the upper envelope the pointwise maximum (convex).
+    These stand in for the Overmars–van Leeuwen structure of §2.3: the
+    level-walk of the arrangement queries, for a ray travelling right
+    along a line from the envelope's outer side, the first point where
+    the ray meets the envelope (see DESIGN.md substitution 2). *)
+
+type kind = Lower | Upper
+
+type t
+
+val build : kind -> Line2.t array -> t
+(** O(m log m).  Duplicate and dominated lines are dropped. *)
+
+val kind : t -> kind
+
+val size : t -> int
+(** Number of segments of the envelope. *)
+
+val is_empty : t -> bool
+
+val eval : t -> float -> float
+(** Height of the envelope at [x].  Raises [Invalid_argument] on an
+    empty envelope. *)
+
+val line_at : t -> float -> Line2.t
+(** The envelope line at abscissa [x] (at a breakpoint, the segment to
+    the right). *)
+
+val first_crossing : t -> Line2.t -> after:float -> (float * Line2.t) option
+(** [first_crossing t probe ~after] is the smallest [x > after] at
+    which [probe] meets the envelope, together with the envelope line
+    there, assuming the probe is strictly on the envelope's outer side
+    at [after] (above an upper envelope / below it for Lower — i.e. the
+    side from which the envelope is the first obstacle).  [None] if the
+    ray never meets the envelope. *)
+
+val outer_interval : t -> Line2.t -> (float * float) option
+(** The open x-interval on which [probe] is strictly on the envelope's
+    outer side (below a lower envelope, above an upper one), or [None]
+    if there is no such region.  Because the gap function is concave,
+    this region is always a single interval, possibly with
+    [neg_infinity] / [infinity] ends.  Used to compute which
+    clip-boundary corners a plane conflicts with in the 3-D structure
+    (§4.1). *)
+
+val breakpoints : t -> float array
+val lines : t -> Line2.t array

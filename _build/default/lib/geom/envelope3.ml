@@ -1,0 +1,279 @@
+type triangle = {
+  plane : int;
+  corners : Point2.t array;
+  corner_z : float array;
+  conflicts : int array;
+}
+
+type t = {
+  triangles : triangle array;
+  sample : int array;
+  clip : float * float * float * float;
+}
+
+(* A face-polygon corner, before conflict resolution. *)
+type corner_kind =
+  | Vertex of int  (* index into the lower-facet array *)
+  | Wall of int * float  (* wall id 0..3, parameter along the wall *)
+  | Orphan  (* numerically unresolved: exact fallback scan *)
+
+let match_tol = 1e-6
+
+let wall_of ~clip x y =
+  let xmin, ymin, xmax, ymax = clip in
+  let near a b = Float.abs (a -. b) <= match_tol *. (1. +. Float.abs b) in
+  if near x xmin then Some (0, y)
+  else if near x xmax then Some (1, y)
+  else if near y ymin then Some (2, x)
+  else if near y ymax then Some (3, x)
+  else None
+
+let restrict_to_wall plane wall ~clip =
+  let xmin, ymin, xmax, ymax = clip in
+  match wall with
+  | 0 -> Plane3.restrict_x plane xmin
+  | 1 -> Plane3.restrict_x plane xmax
+  | 2 -> Plane3.restrict_y plane ymin
+  | 3 -> Plane3.restrict_y plane ymax
+  | _ -> invalid_arg "Envelope3: bad wall id"
+
+let build ~planes ~order ~sample_size ~clip =
+  let n = Array.length planes in
+  let xmin, ymin, xmax, ymax = clip in
+  if xmin >= xmax || ymin >= ymax then
+    invalid_arg "Envelope3.build: empty clip box";
+  let dual = Array.map Plane3.dual_point planes in
+  let hull = Hull3.build ~points:dual ~order ~sample_size in
+  let lower = Hull3.lower_facets hull in
+  let in_sample = Array.make n false in
+  let sample = Array.sub order 0 sample_size in
+  Array.iter (fun i -> in_sample.(i) <- true) sample;
+  (* plan-view position of each envelope vertex (= lower hull facet) *)
+  let facet_pos =
+    Array.map
+      (fun (f : Hull3.facet) ->
+        let n = f.normal in
+        Point2.make (Point3.x n /. Point3.z n) (Point3.y n /. Point3.z n))
+      lower
+  in
+  (* group the facets around each hull vertex = envelope face *)
+  let faces : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun fi (f : Hull3.facet) ->
+      List.iter
+        (fun v ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt faces v) in
+          Hashtbl.replace faces v (fi :: prev))
+        [ f.a; f.b; f.c ])
+    lower;
+  (* --- build the clipped face polygon of each plane ---------------- *)
+  let box = Polygon2.of_box ~xmin ~ymin ~xmax ~ymax in
+  let face_polys = ref [] in
+  Hashtbl.iter
+    (fun h facet_idxs ->
+      let nbrs = Hashtbl.create 8 in
+      List.iter
+        (fun fi ->
+          let f = lower.(fi) in
+          List.iter
+            (fun v -> if v <> h then Hashtbl.replace nbrs v ())
+            [ f.a; f.b; f.c ])
+        facet_idxs;
+      let hp = planes.(h) in
+      let poly =
+        Hashtbl.fold
+          (fun j () poly ->
+            let jp = planes.(j) in
+            (* keep the region where h <= h_j *)
+            Polygon2.clip_halfplane poly
+              ~fa:(Plane3.a hp -. Plane3.a jp)
+              ~fb:(Plane3.b hp -. Plane3.b jp)
+              ~fc:(Plane3.c hp -. Plane3.c jp))
+          nbrs box
+      in
+      if not (Polygon2.is_empty poly) then
+        face_polys := (h, facet_idxs, poly) :: !face_polys)
+    faces;
+  (* --- classify polygon corners ------------------------------------ *)
+  let classify h facet_idxs (p : Point2.t) =
+    ignore h;
+    let matched =
+      List.find_opt
+        (fun fi ->
+          let fp = facet_pos.(fi) in
+          Float.abs (Point2.x fp -. Point2.x p)
+          <= match_tol *. (1. +. Float.abs (Point2.x p))
+          && Float.abs (Point2.y fp -. Point2.y p)
+             <= match_tol *. (1. +. Float.abs (Point2.y p)))
+        facet_idxs
+    in
+    match matched with
+    | Some fi -> Vertex fi
+    | None -> (
+        match wall_of ~clip (Point2.x p) (Point2.y p) with
+        | Some (w, u) -> Wall (w, u)
+        | None -> Orphan)
+  in
+  (* --- conflicts for wall corners via 2-D wall envelopes ----------- *)
+  (* collect wall corners first *)
+  let wall_corners : (int * float * (int * int)) list ref = ref [] in
+  (* (wall, param, (face index in face_polys list, corner index)) *)
+  let face_arr = Array.of_list !face_polys in
+  let face_corner_kinds =
+    Array.mapi
+      (fun face_i (h, facet_idxs, poly) ->
+        Array.mapi
+          (fun ci p ->
+            let k = classify h facet_idxs p in
+            (match k with
+            | Wall (w, u) -> wall_corners := (w, u, (face_i, ci)) :: !wall_corners
+            | _ -> ());
+            k)
+          (Polygon2.vertices poly))
+      face_arr
+  in
+  (* conflict lists per (face, corner) for wall corners *)
+  let wall_conflicts : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let sample_ids = Array.to_list (Array.sub order 0 sample_size) in
+  for w = 0 to 3 do
+    let corners =
+      List.filter (fun (w', _, _) -> w' = w) !wall_corners
+      |> List.map (fun (_, u, key) -> (u, key))
+      |> List.sort compare
+    in
+    if corners <> [] then begin
+      let env =
+        Envelope2.build Envelope2.Lower
+          (Array.of_list
+             (List.map (fun i -> restrict_to_wall planes.(i) w ~clip) sample_ids))
+      in
+      let corner_arr = Array.of_list corners in
+      let params = Array.map fst corner_arr in
+      for g = 0 to n - 1 do
+        if not in_sample.(g) then begin
+          match Envelope2.outer_interval env (restrict_to_wall planes.(g) w ~clip) with
+          | None -> ()
+          | Some (lo, hi) ->
+              (* stab corners with lo < u < hi *)
+              let first =
+                let l = ref 0 and r = ref (Array.length params) in
+                while !l < !r do
+                  let m = (!l + !r) / 2 in
+                  if params.(m) <= lo then l := m + 1 else r := m
+                done;
+                !l
+              in
+              let i = ref first in
+              while !i < Array.length params && params.(!i) < hi do
+                let _, key = corner_arr.(!i) in
+                (match Hashtbl.find_opt wall_conflicts key with
+                | Some l -> l := g :: !l
+                | None -> Hashtbl.add wall_conflicts key (ref [ g ]));
+                incr i
+              done
+        end
+      done
+    end
+  done;
+  (* --- assemble triangles ------------------------------------------ *)
+  let orphan_conflicts h (p : Point2.t) =
+    (* exact fallback: scan all non-sample planes *)
+    let hz = Plane3.eval planes.(h) (Point2.x p) (Point2.y p) in
+    let acc = ref [] in
+    for g = 0 to n - 1 do
+      if
+        (not in_sample.(g))
+        && Plane3.eval planes.(g) (Point2.x p) (Point2.y p) < hz -. Eps.eps
+      then acc := g :: !acc
+    done;
+    !acc
+  in
+  let triangles = ref [] in
+  Array.iteri
+    (fun face_i (h, _, poly) ->
+      let verts = Polygon2.vertices poly in
+      let kinds = face_corner_kinds.(face_i) in
+      let corner_conflicts ci =
+        match kinds.(ci) with
+        | Vertex fi -> Array.to_list lower.(fi).Hull3.conflicts
+        | Wall _ -> (
+            match Hashtbl.find_opt wall_conflicts (face_i, ci) with
+            | Some l -> !l
+            | None -> [])
+        | Orphan -> orphan_conflicts h verts.(ci)
+      in
+      let nv = Array.length verts in
+      let lists = Array.init nv corner_conflicts in
+      (* fan from the corner with the smallest conflict list: it is the
+         one replicated into every triangle of the face, so this keeps
+         the stored sum of |K(Δ)| near the Lemma 4.1 optimum *)
+      let fan0 = ref 0 in
+      for ci = 1 to nv - 1 do
+        if List.length lists.(ci) < List.length lists.(!fan0) then fan0 := ci
+      done;
+      let rot i = (i + !fan0) mod nv in
+      for i = 1 to nv - 2 do
+        let idxs = [| rot 0; rot i; rot (i + 1) |] in
+        let corners = Array.map (fun ci -> verts.(ci)) idxs in
+        let seen = Hashtbl.create 16 in
+        Array.iter
+          (fun ci ->
+            List.iter (fun g -> Hashtbl.replace seen g ()) lists.(ci))
+          idxs;
+        let conflicts =
+          Array.of_list (Hashtbl.fold (fun g () acc -> g :: acc) seen [])
+        in
+        Array.sort compare conflicts;
+        triangles :=
+          {
+            plane = h;
+            corners;
+            corner_z =
+              Array.map
+                (fun p -> Plane3.eval planes.(h) (Point2.x p) (Point2.y p))
+                corners;
+            conflicts;
+          }
+          :: !triangles
+      done)
+    face_arr;
+  { triangles = Array.of_list !triangles; sample; clip }
+
+let contains_tri (tri : triangle) x y =
+  let p = Point2.make x y in
+  let c = tri.corners in
+  (* accept boundary within tolerance: orientation may be either sign
+     order depending on fan direction, so test both *)
+  let o1 = Point2.orient c.(0) c.(1) p
+  and o2 = Point2.orient c.(1) c.(2) p
+  and o3 = Point2.orient c.(2) c.(0) p in
+  (o1 >= 0 && o2 >= 0 && o3 >= 0) || (o1 <= 0 && o2 <= 0 && o3 <= 0)
+
+let locate_brute t x y =
+  let found = ref None in
+  Array.iteri
+    (fun i tri ->
+      if !found = None && contains_tri tri x y then found := Some i)
+    t.triangles;
+  !found
+
+let envelope_height t tri x y =
+  (* reconstruct z = a x + b y + c of the triangle's plane from its
+     three corners and evaluate it at (x, y) *)
+  let tr = t.triangles.(tri) in
+  let cx i = Point2.x tr.corners.(i) and cy i = Point2.y tr.corners.(i) in
+  let z i = tr.corner_z.(i) in
+  let d1x = cx 1 -. cx 0 and d1y = cy 1 -. cy 0 and d1z = z 1 -. z 0 in
+  let d2x = cx 2 -. cx 0 and d2y = cy 2 -. cy 0 and d2z = z 2 -. z 0 in
+  let det = (d1x *. d2y) -. (d1y *. d2x) in
+  if Float.abs det < 1e-18 then z 0
+  else begin
+    let a = ((d1z *. d2y) -. (d1y *. d2z)) /. det in
+    let b = ((d1x *. d2z) -. (d1z *. d2x)) /. det in
+    z 0 +. (a *. (x -. cx 0)) +. (b *. (y -. cy 0))
+  end
+
+let total_conflict_size t =
+  Array.fold_left
+    (fun acc tri -> acc + Array.length tri.conflicts)
+    0 t.triangles

@@ -1,0 +1,216 @@
+type facet = {
+  a : int;
+  b : int;
+  c : int;
+  normal : Point3.t;
+  conflicts : int array;
+}
+
+(* Internal mutable facet record. *)
+type fc = {
+  fa : int;
+  fb : int;
+  fc_ : int;
+  mutable alive : bool;
+  mutable confl : int list;
+}
+
+type t = {
+  all_facets : fc Vec.t;
+  points : Point3.t array;
+  inserted : bool array;
+  sample_size : int;
+}
+
+(* Visibility epsilon: volumes below this are treated as coplanar.
+   Inputs are assumed scaled to moderate coordinates (workload
+   generators produce O(1)..O(10^3) ranges). *)
+let vol_eps = 1e-9
+
+let sees points q (f : fc) =
+  Point3.orient3 points.(f.fa) points.(f.fb) points.(f.fc_) points.(q)
+  > vol_eps
+
+let facet_normal points (f : fc) =
+  Point3.cross
+    (Point3.sub points.(f.fb) points.(f.fa))
+    (Point3.sub points.(f.fc_) points.(f.fa))
+
+let build ~points ~order ~sample_size =
+  let n = Array.length points in
+  if sample_size < 4 || sample_size > n then
+    invalid_arg "Hull3.build: need 4 <= sample_size <= n";
+  let inserted = Array.make n false in
+  (* --- initial tetrahedron: first four affinely independent sample
+     points in permutation order ----------------------------------- *)
+  let tetra =
+    let found = ref [] in
+    (try
+       for idx = 0 to sample_size - 1 do
+         let p = order.(idx) in
+         let ok =
+           match !found with
+           | [] -> true
+           | [ a ] -> Point3.equal points.(a) points.(p) |> not
+           | [ a; b ] ->
+               let cr =
+                 Point3.cross
+                   (Point3.sub points.(b) points.(a))
+                   (Point3.sub points.(p) points.(a))
+               in
+               Point3.dot cr cr > vol_eps
+           | [ a; b; c ] ->
+               Float.abs (Point3.orient3 points.(a) points.(b) points.(c) points.(p))
+               > vol_eps
+           | _ -> false
+         in
+         if ok then begin
+           found := !found @ [ p ];
+           if List.length !found = 4 then raise Exit
+         end
+       done
+     with Exit -> ());
+    match !found with
+    | [ a; b; c; d ] -> (a, b, c, d)
+    | _ -> invalid_arg "Hull3.build: degenerate sample (coplanar points)"
+  in
+  let t0, t1, t2, t3 = tetra in
+  List.iter (fun i -> inserted.(i) <- true) [ t0; t1; t2; t3 ];
+  let interior =
+    let avg f =
+      (f points.(t0) +. f points.(t1) +. f points.(t2) +. f points.(t3)) /. 4.
+    in
+    Point3.make (avg Point3.x) (avg Point3.y) (avg Point3.z)
+  in
+  let all_facets : fc Vec.t = Vec.create () in
+  (* directed edge (u,v) -> id of the alive facet containing it *)
+  let edge_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* point id -> facet ids it has been in conflict with (may contain
+     dead facets; filtered on use) *)
+  let point_confl : int list array = Array.make n [] in
+  let new_facet a b c candidates =
+    (* orient so that the interior is on the inner side *)
+    let a, b, c =
+      let v =
+        Point3.orient3 points.(a) points.(b) points.(c) interior
+      in
+      if v < 0. then (a, b, c) else (a, c, b)
+    in
+    let f = { fa = a; fb = b; fc_ = c; alive = true; confl = [] } in
+    let id = Vec.push_idx all_facets f in
+    Hashtbl.replace edge_tbl (a, b) id;
+    Hashtbl.replace edge_tbl (b, c) id;
+    Hashtbl.replace edge_tbl (c, a) id;
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun q ->
+        if (not inserted.(q)) && not (Hashtbl.mem seen q) then begin
+          Hashtbl.add seen q ();
+          if sees points q f then begin
+            f.confl <- q :: f.confl;
+            point_confl.(q) <- id :: point_confl.(q)
+          end
+        end)
+      candidates;
+    id
+  in
+  (* initial four facets conflict-tested against every other point *)
+  let everyone = List.init n Fun.id in
+  ignore (new_facet t0 t1 t2 everyone);
+  ignore (new_facet t0 t1 t3 everyone);
+  ignore (new_facet t0 t2 t3 everyone);
+  ignore (new_facet t1 t2 t3 everyone);
+  (* --- incremental insertion ------------------------------------- *)
+  for idx = 0 to sample_size - 1 do
+    let p = order.(idx) in
+    if not inserted.(p) then begin
+      inserted.(p) <- true;
+      let visible =
+        List.filter
+          (fun fid -> (Vec.get all_facets fid).alive)
+          point_confl.(p)
+      in
+      (* p inside the current hull: not a vertex *)
+      if visible <> [] then begin
+        let visible_set = Hashtbl.create 16 in
+        List.iter (fun fid -> Hashtbl.replace visible_set fid ()) visible;
+        List.iter (fun fid -> (Vec.get all_facets fid).alive <- false) visible;
+        (* find horizon edges and attach new facets *)
+        List.iter
+          (fun fid ->
+            let f = Vec.get all_facets fid in
+            let try_edge u v =
+              match Hashtbl.find_opt edge_tbl (v, u) with
+              | Some gid when not (Hashtbl.mem visible_set gid) ->
+                  let g = Vec.get all_facets gid in
+                  if g.alive then
+                    (* (u,v) is a horizon edge: new facet (u,v,p) *)
+                    ignore (new_facet u v p (f.confl @ g.confl))
+              | _ -> ()
+            in
+            try_edge f.fa f.fb;
+            try_edge f.fb f.fc_;
+            try_edge f.fc_ f.fa)
+          visible
+      end
+    end
+  done;
+  { all_facets; points; inserted; sample_size }
+
+let export t (f : fc) =
+  {
+    a = f.fa;
+    b = f.fb;
+    c = f.fc_;
+    normal = facet_normal t.points f;
+    conflicts =
+      Array.of_list (List.filter (fun q -> not t.inserted.(q)) f.confl);
+  }
+
+let facets t =
+  let out = ref [] in
+  Vec.iter (fun f -> if f.alive then out := export t f :: !out) t.all_facets;
+  Array.of_list (List.rev !out)
+
+let lower_facets t =
+  Array.of_list
+    (List.filter
+       (fun f -> Point3.z f.normal < -.vol_eps)
+       (Array.to_list (facets t)))
+
+let vertex_ids t =
+  let seen = Hashtbl.create 64 in
+  Vec.iter
+    (fun f ->
+      if f.alive then
+        List.iter
+          (fun v -> Hashtbl.replace seen v ())
+          [ f.fa; f.fb; f.fc_ ])
+    t.all_facets;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
+
+let check ~points t =
+  let ok = ref true in
+  let sample =
+    List.filter (fun i -> t.inserted.(i)) (List.init (Array.length points) Fun.id)
+  in
+  Vec.iter
+    (fun f ->
+      if f.alive then begin
+        (* convexity: no sample point strictly outside *)
+        List.iter (fun q -> if sees points q f then ok := false) sample;
+        (* conflicts: exactly the uninserted points strictly outside *)
+        let recorded = Hashtbl.create 16 in
+        List.iter
+          (fun q -> if not t.inserted.(q) then Hashtbl.replace recorded q ())
+          f.confl;
+        Array.iteri
+          (fun q _ ->
+            if not t.inserted.(q) then begin
+              let visible = sees points q f in
+              if visible <> Hashtbl.mem recorded q then ok := false
+            end)
+          points
+      end)
+    t.all_facets;
+  !ok

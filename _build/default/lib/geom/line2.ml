@@ -1,0 +1,44 @@
+(** Non-vertical lines in the plane, in slope–intercept form
+    [y = slope * x + icept].
+
+    All lines arising in the paper's 2-D structure are duals of points
+    (§2.1) and therefore non-vertical.  Parallel lines (equal slopes)
+    are supported; they simply never intersect. *)
+
+type t = { slope : float; icept : float }
+
+let make ~slope ~icept = { slope; icept }
+let slope l = l.slope
+let icept l = l.icept
+
+let eval l x = (l.slope *. x) +. l.icept
+
+let equal l m = Eps.equal l.slope m.slope && Eps.equal l.icept m.icept
+
+(* Total order by (slope, intercept); the §3 clusters are stored in this
+   order so that set difference C_k \ C_{k+1} is a linear merge. *)
+let compare l m =
+  let c = Float.compare l.slope m.slope in
+  if c <> 0 then c else Float.compare l.icept m.icept
+
+let parallel l m = Eps.equal l.slope m.slope
+
+(* x-coordinate of the intersection of two non-parallel lines. *)
+let meet_x l m = (m.icept -. l.icept) /. (l.slope -. m.slope)
+
+let meet l m =
+  if parallel l m then None
+  else
+    let x = meet_x l m in
+    Some (Point2.make x (eval l x))
+
+(* Strict comparisons of a line against a point, with tolerance. *)
+let below_point l (p : Point2.t) = Eps.lt (eval l (Point2.x p)) (Point2.y p)
+let above_point l (p : Point2.t) = Eps.lt (Point2.y p) (eval l (Point2.x p))
+let through_point l (p : Point2.t) = Eps.equal (eval l (Point2.x p)) (Point2.y p)
+
+(* Order of two lines along the vertical line at [x]: negative when [l]
+   is strictly lower there. *)
+let compare_at x l m = Eps.sign (eval l x -. eval m x)
+
+let pp ppf l = Format.fprintf ppf "y = %g x + %g" l.slope l.icept

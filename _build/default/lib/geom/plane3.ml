@@ -1,0 +1,50 @@
+(** Non-vertical planes in R^3, in the form [z = a x + b y + c].
+
+    All planes arising in the §4 structure are duals of points and
+    therefore non-vertical.  The duality (§2.1) maps the point
+    (p1, p2, p3) to the plane z = -p1 x - p2 y + p3 and the plane
+    z = a x + b y + c to the point (a, b, c); above/below is
+    preserved (Lemma 2.1). *)
+
+type t = { a : float; b : float; c : float }
+
+let make ~a ~b ~c = { a; b; c }
+let a p = p.a
+let b p = p.b
+let c p = p.c
+
+let eval h x y = (h.a *. x) +. (h.b *. y) +. h.c
+
+let equal h g = Eps.equal h.a g.a && Eps.equal h.b g.b && Eps.equal h.c g.c
+
+let below_point h (p : Point3.t) =
+  Eps.lt (eval h (Point3.x p) (Point3.y p)) (Point3.z p)
+
+let above_point h (p : Point3.t) =
+  Eps.lt (Point3.z p) (eval h (Point3.x p) (Point3.y p))
+
+(* The dual point of the plane, and the dual plane of a point. *)
+let dual_point h = Point3.make h.a h.b h.c
+
+let of_dual_point (p : Point3.t) =
+  { a = Point3.x p; b = Point3.y p; c = Point3.z p }
+
+let dual_plane_of_point (p : Point3.t) =
+  { a = -.Point3.x p; b = -.Point3.y p; c = Point3.z p }
+
+(* Restriction of the plane to a vertical "wall".  On the wall
+   x = x0 the plane induces the line z = b * y + (a x0 + c); on the
+   wall y = y0 the line z = a * x + (b y0 + c).  Used to compute
+   conflicts of clip-boundary corners in the 3-D structure. *)
+let restrict_x h x0 = Line2.make ~slope:h.b ~icept:((h.a *. x0) +. h.c)
+let restrict_y h y0 = Line2.make ~slope:h.a ~icept:((h.b *. y0) +. h.c)
+
+(* Lifting map (Theorem 4.3): the planar point (a, b) lifts to the
+   plane z = a^2 + b^2 - 2 a x - 2 b y, so that the vertical distance
+   at (p, q) between the lift and the paraboloid orders points by
+   distance to (p, q). *)
+let lift (p : Point2.t) =
+  let a = Point2.x p and b = Point2.y p in
+  { a = -2. *. a; b = -2. *. b; c = (a *. a) +. (b *. b) }
+
+let pp ppf h = Format.fprintf ppf "z = %g x + %g y + %g" h.a h.b h.c

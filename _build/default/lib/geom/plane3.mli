@@ -1,0 +1,41 @@
+(** Non-vertical planes in R³, in the form [z = a x + b y + c], with
+    the §2.1 duality and the Theorem 4.3 lifting map. *)
+
+type t
+
+val make : a:float -> b:float -> c:float -> t
+val a : t -> float
+val b : t -> float
+val c : t -> float
+
+val eval : t -> float -> float -> float
+(** Height of the plane above (x, y). *)
+
+val equal : t -> t -> bool
+
+val below_point : t -> Point3.t -> bool
+(** The plane passes strictly below the point (within tolerance). *)
+
+val above_point : t -> Point3.t -> bool
+
+val dual_point : t -> Point3.t
+(** The plane z = a x + b y + c ↦ the point (a, b, c). *)
+
+val of_dual_point : Point3.t -> t
+
+val dual_plane_of_point : Point3.t -> t
+(** The point (p₁, p₂, p₃) ↦ the plane z = -p₁ x - p₂ y + p₃
+    (Lemma 2.1 preserves above/below). *)
+
+val restrict_x : t -> float -> Line2.t
+(** Restriction of the plane to the vertical wall x = x₀, as a line in
+    (y, z): used for the clip-boundary conflicts of §4.1. *)
+
+val restrict_y : t -> float -> Line2.t
+
+val lift : Point2.t -> t
+(** The lifting map of Theorem 4.3: (a, b) ↦ z = a² + b² - 2a x - 2b y.
+    The vertical order of lifted planes at (x, y) is the order of
+    distance from (x, y). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Points in the plane. *)
+
+type t
+
+val make : float -> float -> t
+val x : t -> float
+val y : t -> float
+
+val equal : t -> t -> bool
+(** Componentwise equality within {!Eps.eps}. *)
+
+val compare : t -> t -> int
+(** Lexicographic (x, then y): the sweep order used everywhere. *)
+
+val dist2 : t -> t -> float
+(** Squared Euclidean distance. *)
+
+val dist : t -> t -> float
+
+val orient : t -> t -> t -> int
+(** [orient p q r] is the sign (within tolerance) of the signed area of
+    the triangle (p, q, r): positive iff [r] lies to the left of the
+    directed line p → q. *)
+
+val in_triangle : t -> t -> t -> t -> bool
+(** [in_triangle a b c p]: closed containment, accepting either vertex
+    orientation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/partition/cells.ml: Array List Orth

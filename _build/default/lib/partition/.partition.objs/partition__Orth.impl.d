@@ -1,0 +1,1 @@
+lib/partition/orth.ml: Array Float

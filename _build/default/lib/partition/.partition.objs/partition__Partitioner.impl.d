@@ -1,0 +1,1 @@
+lib/partition/partitioner.ml: Array Cells Float Fun List

@@ -1,0 +1,171 @@
+type point = float array
+
+type constr = { w : float array; b : float }
+
+let eps = 1e-9
+
+let constr_of_halfspace ~dim ~a0 ~a =
+  if Array.length a <> dim - 1 then
+    invalid_arg "Cells.constr_of_halfspace: need d-1 coefficients";
+  (* x_d - a0 - sum a_i x_i <= 0 *)
+  let w = Array.make dim 0. in
+  for i = 0 to dim - 2 do
+    w.(i) <- -.a.(i)
+  done;
+  w.(dim - 1) <- 1.;
+  { w; b = -.a0 }
+
+let eval_constr c p =
+  let s = ref c.b in
+  for i = 0 to Array.length c.w - 1 do
+    s := !s +. (c.w.(i) *. p.(i))
+  done;
+  !s
+
+let satisfies c p = eval_constr c p <= eps
+
+type cell = Box of { lo : float array; hi : float array } | Simplex of point array
+
+type side = Inside | Outside | Crossing
+
+(* Extrema of an affine function over a box: choose each coordinate by
+   the sign of its coefficient. *)
+let box_range ~lo ~hi c =
+  let minv = ref c.b and maxv = ref c.b in
+  for i = 0 to Array.length c.w - 1 do
+    let w = c.w.(i) in
+    if w >= 0. then begin
+      minv := !minv +. (w *. lo.(i));
+      maxv := !maxv +. (w *. hi.(i))
+    end
+    else begin
+      minv := !minv +. (w *. hi.(i));
+      maxv := !maxv +. (w *. lo.(i))
+    end
+  done;
+  (!minv, !maxv)
+
+let classify cell c =
+  match cell with
+  | Box { lo; hi } ->
+      let minv, maxv = box_range ~lo ~hi c in
+      (* consistent with [satisfies] (eval <= eps): Inside when every
+         point passes, Outside when none can *)
+      if maxv <= eps then Inside
+      else if minv > eps then Outside
+      else Crossing
+  | Simplex vs ->
+      let minv = ref infinity and maxv = ref neg_infinity in
+      Array.iter
+        (fun v ->
+          let x = eval_constr c v in
+          if x < !minv then minv := x;
+          if x > !maxv then maxv := x)
+        vs;
+      if !maxv <= eps then Inside
+      else if !minv > eps then Outside
+      else Crossing
+
+type region_side = R_inside | R_disjoint | R_crossing
+
+let classify_region cell constrs =
+  let all_inside = ref true and disjoint = ref false in
+  List.iter
+    (fun c ->
+      match classify cell c with
+      | Inside -> ()
+      | Outside ->
+          disjoint := true;
+          all_inside := false
+      | Crossing -> all_inside := false)
+    constrs;
+  if !disjoint then R_disjoint
+  else if !all_inside then R_inside
+  else R_crossing
+
+let cell_contains cell p =
+  match cell with
+  | Box { lo; hi } ->
+      let ok = ref true in
+      Array.iteri
+        (fun i x -> if x < lo.(i) -. eps || x > hi.(i) +. eps then ok := false)
+        p;
+      !ok
+  | Simplex vs ->
+      (* solve barycentric coordinates would be exact; we instead check
+         p against each facet's supporting halfspace *)
+      let d = Array.length p in
+      if Array.length vs <> d + 1 then false
+      else begin
+        (* facet j omits vertex j; p and vs.(j) must be on the same
+           side of that facet.  Use the signed affine form obtained by
+           solving a small linear system via Gaussian elimination. *)
+        let ok = ref true in
+        for j = 0 to d do
+          (* build the affine function vanishing on facet j *)
+          let base = vs.((j + 1) mod (d + 1)) in
+          let rows =
+            Array.init (d - 1) (fun i ->
+                let v = vs.((j + 2 + i) mod (d + 1)) in
+                Array.init d (fun k -> v.(k) -. base.(k)))
+          in
+          (* normal = any vector orthogonal to the rows: for small d we
+             compute it by Gaussian elimination on the system rows.n=0 *)
+          let n = Orth.normal_orthogonal_to rows d in
+          let off = ref 0. in
+          Array.iteri (fun k nk -> off := !off +. (nk *. base.(k))) n;
+          let side_p =
+            let s = ref 0. in
+            Array.iteri (fun k nk -> s := !s +. (nk *. p.(k))) n;
+            !s -. !off
+          in
+          let side_v =
+            let s = ref 0. in
+            Array.iteri (fun k nk -> s := !s +. (nk *. vs.(j).(k))) n;
+            !s -. !off
+          in
+          if side_v > 0. then begin
+            if side_p < -.eps then ok := false
+          end
+          else if side_p > eps then ok := false
+        done;
+        !ok
+      end
+
+let bounding_box points =
+  match points with
+  | [||] -> invalid_arg "Cells.bounding_box: empty"
+  | _ ->
+      let d = Array.length points.(0) in
+      let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+      Array.iter
+        (fun p ->
+          Array.iteri
+            (fun i x ->
+              if x < lo.(i) then lo.(i) <- x;
+              if x > hi.(i) then hi.(i) <- x)
+            p)
+        points;
+      Box { lo; hi }
+
+let bounding_simplex ~dim points =
+  match bounding_box points with
+  | Simplex _ -> assert false
+  | Box { lo; hi } ->
+      (* the corner simplex {y >= lo, sum (y-lo)/w <= d} contains the
+         box [lo, hi]: vertices lo and lo + d * w_i * e_i *)
+      let w = Array.init dim (fun i -> max eps (hi.(i) -. lo.(i))) in
+      let verts =
+        Array.init (dim + 1) (fun j ->
+            if j = 0 then Array.copy lo
+            else
+              Array.init dim (fun i ->
+                  if i = j - 1 then lo.(i) +. (float_of_int dim *. w.(i))
+                  else lo.(i)))
+      in
+      Simplex verts
+
+let crossing_number cells c =
+  Array.fold_left
+    (fun acc cell -> if classify cell c = Crossing then acc + 1 else acc)
+    0 cells

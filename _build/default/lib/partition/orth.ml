@@ -1,0 +1,58 @@
+(* Small dense linear algebra: the null-space vector needed to build a
+   simplex facet's supporting hyperplane in d dimensions. *)
+
+(* Given m row vectors of length d (m < d expected), return a nonzero
+   vector orthogonal to all of them (a null-space vector of the m x d
+   matrix), by Gaussian elimination with partial pivoting.  If the rows
+   are degenerate the result may be orthogonal to a subset only; the
+   caller treats such simplices conservatively. *)
+let normal_orthogonal_to rows d =
+  let m = Array.length rows in
+  let a = Array.map Array.copy rows in
+  let pivot_col = Array.make m (-1) in
+  let row = ref 0 in
+  let col = ref 0 in
+  while !row < m && !col < d do
+    (* find pivot *)
+    let best = ref !row and bestv = ref (Float.abs a.(!row).(!col)) in
+    for r = !row + 1 to m - 1 do
+      let v = Float.abs a.(r).(!col) in
+      if v > !bestv then begin
+        best := r;
+        bestv := v
+      end
+    done;
+    if !bestv < 1e-12 then incr col
+    else begin
+      let tmp = a.(!row) in
+      a.(!row) <- a.(!best);
+      a.(!best) <- tmp;
+      pivot_col.(!row) <- !col;
+      let p = a.(!row).(!col) in
+      for r = 0 to m - 1 do
+        if r <> !row then begin
+          let f = a.(r).(!col) /. p in
+          for c = !col to d - 1 do
+            a.(r).(c) <- a.(r).(c) -. (f *. a.(!row).(c))
+          done
+        end
+      done;
+      incr row;
+      incr col
+    end
+  done;
+  (* choose a free column *)
+  let is_pivot = Array.make d false in
+  Array.iter (fun c -> if c >= 0 then is_pivot.(c) <- true) pivot_col;
+  let free =
+    let rec find c = if c >= d then d - 1 else if is_pivot.(c) then find (c + 1) else c in
+    find 0
+  in
+  let n = Array.make d 0. in
+  n.(free) <- 1.;
+  (* back-substitute pivots *)
+  for r = 0 to m - 1 do
+    let c = pivot_col.(r) in
+    if c >= 0 then n.(c) <- -.(a.(r).(free) /. a.(r).(c))
+  done;
+  n

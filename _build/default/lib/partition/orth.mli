@@ -1,0 +1,8 @@
+(** Small dense linear algebra for simplex facets. *)
+
+val normal_orthogonal_to : float array array -> int -> float array
+(** [normal_orthogonal_to rows d]: a nonzero vector of length [d]
+    orthogonal to each of the given row vectors (a null-space vector of
+    the row matrix), computed by Gaussian elimination with partial
+    pivoting.  With degenerate rows the result may be orthogonal to a
+    subset only; callers treat such simplices conservatively. *)

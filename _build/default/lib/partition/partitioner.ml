@@ -1,0 +1,100 @@
+type t = (Cells.cell * int array) array
+
+(* Split [idx] into [parts] groups of near-equal size by recursive
+   median cuts, choosing the dimension of widest spread at every step
+   (a balanced kd partition).  [dims] restricts the split dimensions
+   (the shallow partitioner uses this). *)
+let rec kd_split points idx parts ~dims acc =
+  if parts <= 1 || Array.length idx <= 1 then idx :: acc
+  else begin
+    let spread dim =
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun i ->
+          let v = points.(i).(dim) in
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        idx;
+      !hi -. !lo
+    in
+    let dim =
+      List.fold_left
+        (fun best d -> if spread d > spread best then d else best)
+        (List.hd dims) dims
+    in
+    let sorted = Array.copy idx in
+    Array.sort
+      (fun i j -> Float.compare points.(i).(dim) points.(j).(dim))
+      sorted;
+    let left_parts = parts / 2 in
+    let cut = Array.length idx * left_parts / parts in
+    let left = Array.sub sorted 0 cut
+    and right = Array.sub sorted cut (Array.length idx - cut) in
+    let acc = kd_split points left left_parts ~dims acc in
+    kd_split points right (parts - left_parts) ~dims acc
+  end
+
+let group_points points idx = Array.map (fun i -> points.(i)) idx
+
+let kd ~points ~r =
+  if Array.length points = 0 then [||]
+  else begin
+    let dims = List.init (Array.length points.(0)) Fun.id in
+    let idx = Array.init (Array.length points) Fun.id in
+    let groups = kd_split points idx r ~dims [] in
+    Array.of_list
+      (List.filter_map
+         (fun g ->
+           if Array.length g = 0 then None
+           else Some (Cells.bounding_box (group_points points g), g))
+         groups)
+  end
+
+let simplicial ~points ~r =
+  if Array.length points = 0 then [||]
+  else begin
+    let dim = Array.length points.(0) in
+    Array.map
+      (fun (_, g) -> (Cells.bounding_simplex ~dim (group_points points g), g))
+      (kd ~points ~r)
+  end
+
+let shallow ~points ~r =
+  if Array.length points = 0 then [||]
+  else begin
+    let d = Array.length points.(0) in
+    if d < 2 || r <= 3 then kd ~points ~r
+    else begin
+      (* depth bands along the last coordinate, each refined by kd in
+         the remaining coordinates: a shallow constraint stays inside
+         the bottom bands and crosses few refined cells *)
+      let bands = max 2 (int_of_float (sqrt (float_of_int r))) in
+      let per_band = max 1 (r / bands) in
+      let idx = Array.init (Array.length points) Fun.id in
+      let band_groups =
+        kd_split points idx bands ~dims:[ d - 1 ] []
+      in
+      let sub_dims = List.init (d - 1) Fun.id in
+      let groups =
+        List.concat_map
+          (fun band ->
+            if Array.length band = 0 then []
+            else kd_split points band per_band ~dims:sub_dims [])
+          band_groups
+      in
+      Array.of_list
+        (List.filter_map
+           (fun g ->
+             if Array.length g = 0 then None
+             else Some (Cells.bounding_box (group_points points g), g))
+           groups)
+    end
+  end
+
+let is_balanced (t : t) ~n ~r =
+  let lo = n / r and hi = 2 * ((n + r - 1) / r) in
+  Array.for_all
+    (fun (_, g) ->
+      let s = Array.length g in
+      s >= min lo 1 && s <= max hi 2)
+    t

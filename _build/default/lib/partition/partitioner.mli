@@ -1,0 +1,30 @@
+(** Balanced simplicial partitions (Theorem 5.1 / Theorem 6.2).
+
+    A partition of a point set S into r pairs (S_i, cell_i) with
+    |S_i| between |S|/r and 2|S|/r and every S_i inside its cell.
+    Three constructions:
+
+    - [kd]: recursive median splits; the cells are tight boxes.  A
+      classical fact gives the same worst-case O(r^{1-1/d}) crossing
+      bound Theorem 5.1 promises for simplices (DESIGN.md
+      substitution 5) — this is the default for the §5 trees.
+    - [simplicial]: the kd groups wrapped in bounding simplices — a
+      literal "balanced simplicial partition" as in Fig. 6, used by the
+      Figure 6 reproduction and the partitioner ablation.
+    - [shallow]: depth bands (along the last coordinate) refined by kd
+      in the remaining coordinates — the heuristic stand-in for
+      Matoušek's shallow partition theorem (Theorem 6.2, DESIGN.md
+      substitution 6) used by the §6 shallow trees.
+
+    Every constructor returns groups as arrays of indices into the
+    input array, so payloads can follow the points. *)
+
+type t = (Cells.cell * int array) array
+
+val kd : points:Cells.point array -> r:int -> t
+val simplicial : points:Cells.point array -> r:int -> t
+val shallow : points:Cells.point array -> r:int -> t
+
+val is_balanced : t -> n:int -> r:int -> bool
+(** Every part has between n/r and 2·⌈n/r⌉ points (Theorem 5.1's
+    balance condition, with rounding slack). *)

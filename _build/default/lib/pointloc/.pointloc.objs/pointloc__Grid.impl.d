@@ -1,0 +1,1 @@
+lib/pointloc/grid.ml: Array Emio Geom List Point2

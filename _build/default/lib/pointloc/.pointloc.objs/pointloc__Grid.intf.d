@@ -1,0 +1,1 @@
+lib/pointloc/grid.mli: Emio Geom

@@ -1,0 +1,1 @@
+lib/pointloc/seg_tree.ml: Array Emio Eps Float Geom List Option Point2

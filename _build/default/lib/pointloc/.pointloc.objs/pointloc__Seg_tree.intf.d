@@ -1,0 +1,1 @@
+lib/pointloc/seg_tree.mli: Emio Geom

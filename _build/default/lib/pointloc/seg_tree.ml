@@ -1,0 +1,167 @@
+open Geom
+
+(* A stored segment: precomputed slope form for O(1) height-at-x. *)
+type 'a seg = {
+  x0 : float;
+  x1 : float;
+  slope : float;
+  icept : float;
+  payload : 'a;
+}
+
+let height s x = (s.slope *. x) +. s.icept
+
+(* One tree node: canonical segments span the node's x-interval and are
+   therefore totally ordered vertically; they are stored bottom-to-top
+   in [run], so a per-node search binary-searches the block heads. *)
+type 'a node = {
+  lo : float;
+  hi : float;
+  run : 'a seg Emio.Run.t;
+  mid : float;
+  left : 'a node option;
+  right : 'a node option;
+}
+
+type 'a t = {
+  root : 'a node option;
+  block_size : int;
+  n_segments : int;
+}
+
+let segment_count t = t.n_segments
+
+let rec node_space n =
+  Emio.Run.block_count n.run
+  + (match n.left with Some l -> node_space l | None -> 0)
+  + (match n.right with Some r -> node_space r | None -> 0)
+
+let space_blocks t = match t.root with None -> 0 | Some r -> node_space r
+
+let slope_limit = 1e7
+
+let create ~stats ~block_size ?(cache_blocks = 0) ~segments () =
+  let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let segs =
+    Array.map
+      (fun (a, b, payload) ->
+        let a, b = if Point2.x a <= Point2.x b then (a, b) else (b, a) in
+        let dx = Point2.x b -. Point2.x a in
+        if Float.abs dx *. slope_limit <= Float.abs (Point2.y b -. Point2.y a)
+        then invalid_arg "Seg_tree.create: near-vertical segment";
+        let slope = (Point2.y b -. Point2.y a) /. dx in
+        {
+          x0 = Point2.x a;
+          x1 = Point2.x b;
+          slope;
+          icept = Point2.y a -. (slope *. Point2.x a);
+          payload;
+        })
+      segments
+  in
+  (* elementary intervals from the sorted distinct endpoint abscissas *)
+  let xs =
+    Array.concat [ Array.map (fun s -> s.x0) segs; Array.map (fun s -> s.x1) segs ]
+  in
+  Array.sort Float.compare xs;
+  let coords =
+    let out = ref [] in
+    Array.iter
+      (fun x -> match !out with y :: _ when y = x -> () | _ -> out := x :: !out)
+      xs;
+    Array.of_list (List.rev !out)
+  in
+  let m = Array.length coords in
+  if m < 2 then { root = None; block_size; n_segments = Array.length segs }
+  else begin
+    (* recursive build over coordinate index range [i, j] (interval
+       [coords.(i), coords.(j)]), with the candidate segments that span
+       at least part of it *)
+    let rec build i j (candidates : 'a seg list) =
+      if i >= j then None
+      else begin
+        let lo = coords.(i) and hi = coords.(j) in
+        (* canonical here: spans [lo, hi]; push the rest down *)
+        let here, rest =
+          List.partition (fun s -> s.x0 <= lo && s.x1 >= hi) candidates
+        in
+        let mid_idx = (i + j) / 2 in
+        let xmid = (lo +. hi) /. 2. in
+        let here = Array.of_list here in
+        Array.sort (fun a b -> Float.compare (height a xmid) (height b xmid)) here;
+        let left, right =
+          if i + 1 >= j then (None, None)
+          else begin
+            let lcoord = coords.(mid_idx) in
+            let go_left = List.filter (fun s -> s.x0 < lcoord) rest in
+            let go_right = List.filter (fun s -> s.x1 > lcoord) rest in
+            (build i mid_idx go_left, build mid_idx j go_right)
+          end
+        in
+        let run = Emio.Run.of_array store here in
+        Some { lo; hi; run; mid = xmid; left; right }
+      end
+    in
+    let root = build 0 (m - 1) (Array.to_list segs) in
+    { root; block_size; n_segments = Array.length segs }
+  end
+
+(* Lowest canonical segment of [node] at or above y at abscissa x.
+   Canonical segments span the whole node interval and never properly
+   cross, so their vertical order is the same at every abscissa of the
+   interval; binary search over the block heads costs O(log) block
+   reads per node. *)
+let node_candidate node x y =
+  let nb = Emio.Run.block_count node.run in
+  if nb = 0 then None
+  else begin
+    let head_height b = height (Emio.Run.read_block node.run b).(0) x in
+    let lo = ref 0 and hi = ref nb in
+    (* find first block whose head is >= y; the answer segment is in
+       that block or the one before *)
+    while !lo < !hi do
+      let midb = (!lo + !hi) / 2 in
+      if head_height midb >= y -. Eps.eps then hi := midb else lo := midb + 1
+    done;
+    let check_block b best =
+      if b < 0 || b >= nb then best
+      else
+        Array.fold_left
+          (fun best s ->
+            let h = height s x in
+            if h >= y -. Eps.eps then
+              match best with
+              | Some (bh, _) when bh <= h -> best
+              | _ -> Some (h, s.payload)
+            else best)
+          best
+          (Emio.Run.read_block node.run b)
+    in
+    check_block (!lo - 1) None |> check_block !lo
+  end
+
+let locate_above t x y =
+  let rec go node best =
+    match node with
+    | None -> best
+    | Some n ->
+        if x < n.lo -. Eps.eps || x > n.hi +. Eps.eps then best
+        else begin
+          let best =
+            match (node_candidate n x y, best) with
+            | Some (h, p), Some (bh, _) when h < bh -> Some (h, p)
+            | Some (h, p), None -> Some (h, p)
+            | _, best -> best
+          in
+          let mid_coord =
+            match (n.left, n.right) with
+            | Some l, _ -> l.hi
+            | None, Some r -> r.lo
+            | None, None -> n.mid
+          in
+          if n.left = None && n.right = None then best
+          else if x < mid_coord then go n.left best
+          else go n.right best
+        end
+  in
+  Option.map snd (go t.root None)

@@ -1,0 +1,93 @@
+open Geom
+
+type rng = Random.State.t
+
+let rng seed = Random.State.make [| seed; 0x5eed |]
+
+let uniform rng range = Random.State.float rng (2. *. range) -. range
+
+let gaussian rng =
+  (* Box–Muller *)
+  let u1 = max 1e-12 (Random.State.float rng 1.) in
+  let u2 = Random.State.float rng 1. in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let uniform2 rng ~n ~range =
+  Array.init n (fun _ -> Point2.make (uniform rng range) (uniform rng range))
+
+let clusters2 rng ~n ~clusters ~sigma ~range =
+  let centers =
+    Array.init (max 1 clusters) (fun _ ->
+        (uniform rng range, uniform rng range))
+  in
+  Array.init n (fun _ ->
+      let cx, cy = centers.(Random.State.int rng (Array.length centers)) in
+      Point2.make (cx +. (sigma *. gaussian rng)) (cy +. (sigma *. gaussian rng)))
+
+let diagonal2 rng ~n ~jitter ~range =
+  Array.init n (fun _ ->
+      let x = uniform rng range in
+      Point2.make x (x +. (uniform rng 1. *. jitter)))
+
+let uniform3 rng ~n ~range =
+  Array.init n (fun _ ->
+      Point3.make (uniform rng range) (uniform rng range) (uniform rng range))
+
+let clusters3 rng ~n ~clusters ~sigma ~range =
+  let centers =
+    Array.init (max 1 clusters) (fun _ ->
+        (uniform rng range, uniform rng range, uniform rng range))
+  in
+  Array.init n (fun _ ->
+      let cx, cy, cz = centers.(Random.State.int rng (Array.length centers)) in
+      Point3.make
+        (cx +. (sigma *. gaussian rng))
+        (cy +. (sigma *. gaussian rng))
+        (cz +. (sigma *. gaussian rng)))
+
+let uniform_d rng ~n ~dim ~range =
+  Array.init n (fun _ -> Array.init dim (fun _ -> uniform rng range))
+
+(* Pick the intercept as the [fraction]-quantile of the residuals so
+   the query reports ~fraction * N points. *)
+let quantile values fraction =
+  let v = Array.copy values in
+  Array.sort Float.compare v;
+  let n = Array.length v in
+  if n = 0 then 0.
+  else begin
+    let i = min (n - 1) (max 0 (int_of_float (fraction *. float_of_int n))) in
+    v.(i)
+  end
+
+let halfplane_with_selectivity rng points ~fraction =
+  let slope = uniform rng 1.5 in
+  let residuals =
+    Array.map (fun p -> Point2.y p -. (slope *. Point2.x p)) points
+  in
+  (slope, quantile residuals fraction)
+
+let halfspace3_with_selectivity rng points ~fraction =
+  let a = uniform rng 1.5 and b = uniform rng 1.5 in
+  let residuals =
+    Array.map
+      (fun p -> Point3.z p -. (a *. Point3.x p) -. (b *. Point3.y p))
+      points
+  in
+  (a, b, quantile residuals fraction)
+
+let halfspace_d_with_selectivity rng points ~fraction =
+  if Array.length points = 0 then (0., [||])
+  else begin
+    let d = Array.length points.(0) in
+    let a = Array.init (d - 1) (fun _ -> uniform rng 1.5) in
+    let residuals =
+      Array.map
+        (fun p ->
+          let s = ref p.(d - 1) in
+          Array.iteri (fun i ai -> s := !s -. (ai *. p.(i))) a;
+          !s)
+        points
+    in
+    (quantile residuals fraction, a)
+  end

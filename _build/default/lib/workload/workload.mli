@@ -1,0 +1,51 @@
+(** Deterministic workload generators for the experiments.
+
+    Every generator takes an explicit seed, so bench runs are
+    reproducible.  Coordinates stay within moderate ranges (the
+    geometric kernels are tuned for them, see {!Geom.Eps}). *)
+
+type rng = Random.State.t
+
+val rng : int -> rng
+
+(** {1 Two-dimensional point sets} *)
+
+val uniform2 : rng -> n:int -> range:float -> Geom.Point2.t array
+(** i.i.d. uniform in the square [-range, range]^2. *)
+
+val clusters2 :
+  rng -> n:int -> clusters:int -> sigma:float -> range:float ->
+  Geom.Point2.t array
+(** Gaussian clusters with centers uniform in the square. *)
+
+val diagonal2 : rng -> n:int -> jitter:float -> range:float -> Geom.Point2.t array
+(** The §1.2 adversary: points within [jitter] of the diagonal y = x.
+    Heuristic structures degrade to Θ(n) I/Os on halfplane queries
+    bounded by a slightly perturbed diagonal. *)
+
+(** {1 Three-dimensional point sets} *)
+
+val uniform3 : rng -> n:int -> range:float -> Geom.Point3.t array
+val clusters3 :
+  rng -> n:int -> clusters:int -> sigma:float -> range:float ->
+  Geom.Point3.t array
+
+(** {1 d-dimensional point sets} *)
+
+val uniform_d : rng -> n:int -> dim:int -> range:float -> Partition.Cells.point array
+
+(** {1 Queries with controlled selectivity} *)
+
+val halfplane_with_selectivity :
+  rng -> Geom.Point2.t array -> fraction:float -> float * float
+(** A halfplane [y <= slope x + icept] with a random slope whose
+    intercept is chosen so that ~[fraction] of the points satisfy it —
+    this is how the benches sweep the output size t. *)
+
+val halfspace3_with_selectivity :
+  rng -> Geom.Point3.t array -> fraction:float -> float * float * float
+(** Same for [z <= a x + b y + c]. *)
+
+val halfspace_d_with_selectivity :
+  rng -> Partition.Cells.point array -> fraction:float -> float * float array
+(** Same in d dimensions: returns (a0, a). *)

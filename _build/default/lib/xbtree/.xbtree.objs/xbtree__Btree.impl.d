@@ -1,0 +1,1 @@
+lib/xbtree/btree.ml: Array Emio List

@@ -1,0 +1,1 @@
+lib/xbtree/btree.mli: Emio

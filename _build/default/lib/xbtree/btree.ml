@@ -1,0 +1,175 @@
+type root = Leaf_root of int | Node_root of int
+
+type ('k, 'v) t = {
+  leaves : ('k * 'v) Emio.Store.t;
+  internals : ('k * int) Emio.Store.t;
+  root : root;
+  height : int;
+  length : int;
+  n_leaves : int;
+  cmp : 'k -> 'k -> int;
+}
+
+let length t = t.length
+let height t = t.height
+let stats t = Emio.Store.stats t.leaves
+
+let space_blocks t =
+  Emio.Store.blocks_used t.leaves + Emio.Store.blocks_used t.internals
+
+let chunk ~size arr =
+  let n = Array.length arr in
+  let n_chunks = max 1 ((n + size - 1) / size) in
+  Array.init n_chunks (fun i ->
+      let lo = i * size in
+      Array.sub arr lo (min size (n - lo)))
+
+let bulk_load ~stats ~block_size ?(cache_blocks = 0) ~cmp entries =
+  let n = Array.length entries in
+  for i = 1 to n - 1 do
+    if cmp (fst entries.(i - 1)) (fst entries.(i)) > 0 then
+      invalid_arg "Btree.bulk_load: entries not sorted"
+  done;
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let leaf_blocks = chunk ~size:block_size entries in
+  Array.iter (fun block -> ignore (Emio.Store.alloc leaves block)) leaf_blocks;
+  let n_leaves = Array.length leaf_blocks in
+  (* Build the internal levels bottom-up.  Each routing entry carries
+     the minimum key of its child's subtree. *)
+  let min_key_of_leaf i =
+    let block = leaf_blocks.(i) in
+    if Array.length block = 0 then None else Some (fst block.(0))
+  in
+  if n = 0 || n_leaves = 1 then
+    {
+      leaves;
+      internals;
+      root = Leaf_root 0;
+      height = 1;
+      length = n;
+      n_leaves;
+      cmp;
+    }
+  else begin
+    let level =
+      ref
+        (Array.init n_leaves (fun i ->
+             match min_key_of_leaf i with
+             | Some k -> (k, i)
+             | None -> assert false))
+    in
+    let height = ref 1 in
+    while Array.length !level > 1 do
+      let parents = chunk ~size:block_size !level in
+      level :=
+        Array.map
+          (fun block ->
+            let id = Emio.Store.alloc internals block in
+            (fst block.(0), id))
+          parents;
+      incr height
+    done;
+    let _, root_id = (!level).(0) in
+    {
+      leaves;
+      internals;
+      root = Node_root root_id;
+      height = !height;
+      length = n;
+      n_leaves;
+      cmp;
+    }
+  end
+
+(* Index of the last entry in [block] whose key (via [key_of]) is <= x,
+   or -1 if none. *)
+let last_leq cmp key_of block x =
+  let lo = ref (-1) and hi = ref (Array.length block - 1) in
+  (* invariant: entries <= lo satisfy key <= x; entries > hi don't *)
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if cmp (key_of block.(mid)) x <= 0 then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* Descend from the root to the leaf that may contain the predecessor
+   of [x]; returns the leaf block id. *)
+let descend t x =
+  match t.root with
+  | Leaf_root id -> id
+  | Node_root root_id ->
+      let rec go node_id depth =
+        let block = Emio.Store.read t.internals node_id in
+        let idx = last_leq t.cmp fst block x in
+        let idx = max idx 0 (* x below everything: take leftmost path *) in
+        let _, child = block.(idx) in
+        if depth = 2 then child else go child (depth - 1)
+      in
+      go root_id t.height
+
+let predecessor t x =
+  if t.length = 0 then None
+  else begin
+    let leaf_id = ref (descend t x) in
+    let result = ref None in
+    (* the predecessor is in this leaf unless x precedes all its keys,
+       in which case it is the last entry of some previous leaf *)
+    let continue_search = ref true in
+    while !continue_search do
+      let block = Emio.Store.read t.leaves !leaf_id in
+      let idx = last_leq t.cmp fst block x in
+      if idx >= 0 then begin
+        result := Some block.(idx);
+        continue_search := false
+      end
+      else if !leaf_id = 0 then continue_search := false
+      else leaf_id := !leaf_id - 1
+    done;
+    !result
+  end
+
+let find t x =
+  match predecessor t x with
+  | Some (k, v) when t.cmp k x = 0 -> Some v
+  | _ -> None
+
+let iter_range t ~lo ~hi f =
+  if t.length > 0 && t.cmp lo hi <= 0 then begin
+    let leaf_id = ref (descend t lo) in
+    (* duplicates equal to [lo] may spill into earlier leaves *)
+    let stepping_back = ref true in
+    while !stepping_back && !leaf_id > 0 do
+      let prev = Emio.Store.read t.leaves (!leaf_id - 1) in
+      let len = Array.length prev in
+      if len > 0 && t.cmp (fst prev.(len - 1)) lo >= 0 then
+        leaf_id := !leaf_id - 1
+      else stepping_back := false
+    done;
+    let finished = ref false in
+    while not !finished do
+      let block = Emio.Store.read t.leaves !leaf_id in
+      Array.iter
+        (fun (k, v) ->
+          if t.cmp k hi > 0 then finished := true
+          else if t.cmp lo k <= 0 then f k v)
+        block;
+      incr leaf_id;
+      if !leaf_id >= t.n_leaves then finished := true
+    done
+  end
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  iter_range t ~lo ~hi (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n_leaves - 1 downto 0 do
+    let block = Emio.Store.read t.leaves i in
+    for j = Array.length block - 1 downto 0 do
+      acc := block.(j) :: !acc
+    done
+  done;
+  !acc

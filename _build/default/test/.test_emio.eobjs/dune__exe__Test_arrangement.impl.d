@@ -1,0 +1,1 @@
+test/test_arrangement.ml: Alcotest Arrangement Array Fun Geom Hashtbl Line2 List Point2 Printf QCheck QCheck_alcotest String

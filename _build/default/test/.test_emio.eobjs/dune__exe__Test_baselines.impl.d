@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Core Emio Eps Float Geom List Option Point2 Random Workload

@@ -1,0 +1,1 @@
+test/test_cert_tree.ml: Alcotest Array Core Emio Eps Float Fun Geom List Point3 QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Array Baselines Core Emio Fun Geom List Plane3 Point2 QCheck QCheck_alcotest Random Workload

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Core Emio Envelope2 Eps Geom Line2 List Point2 Printf Random Workload Xbtree

@@ -1,0 +1,1 @@
+test/test_emio.ml: Alcotest Array Emio Fun Gen List QCheck QCheck_alcotest

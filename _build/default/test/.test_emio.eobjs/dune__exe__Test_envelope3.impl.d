@@ -1,0 +1,1 @@
+test/test_envelope3.ml: Alcotest Array Envelope3 Float Fun Geom Plane3 Point2 QCheck QCheck_alcotest Random

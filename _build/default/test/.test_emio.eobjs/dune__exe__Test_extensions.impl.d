@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Core Emio Geom Hashtbl List Partition Point2 Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Dual2 Envelope2 Float Geom Line2 List Point2 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_halfspace2d.ml: Alcotest Array Core Emio Eps Geom List Point2 QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_halfspace3d.ml: Alcotest Array Core Emio Eps Float Format Geom List Plane3 Point2 Point3 Random

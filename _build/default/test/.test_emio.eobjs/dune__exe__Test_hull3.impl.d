@@ -1,0 +1,1 @@
+test/test_hull3.ml: Alcotest Array Fun Geom Hull3 List Point3 QCheck QCheck_alcotest Random

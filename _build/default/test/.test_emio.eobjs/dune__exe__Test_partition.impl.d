@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Cells Core Emio Float Fun Gen Geom Hashtbl List Partition Partitioner QCheck QCheck_alcotest Random

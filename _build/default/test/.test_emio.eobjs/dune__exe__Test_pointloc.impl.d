@@ -1,0 +1,1 @@
+test/test_pointloc.ml: Alcotest Array Core Emio Eps Float Geom List Option Plane3 Point2 Pointloc QCheck QCheck_alcotest Random

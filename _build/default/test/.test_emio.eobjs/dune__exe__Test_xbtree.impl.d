@@ -1,0 +1,1 @@
+test/test_xbtree.ml: Alcotest Array Emio Gen List Option Printf QCheck QCheck_alcotest Xbtree

@@ -1,0 +1,249 @@
+(* Tests for the k-level walk (§2.3) and the greedy 3k-clustering
+   (§3.1): Lemma 3.1, Lemma 3.2 and Corollary 3.3 invariants. *)
+
+open Geom
+
+let line s i = Line2.make ~slope:s ~icept:i
+
+(* Random pairwise-distinct lines in generic position. *)
+let gen_lines =
+  QCheck.Gen.(
+    let* n = 3 -- 25 in
+    let* slopes = list_repeat n (float_range (-10.) 10.) in
+    let* icepts = list_repeat n (float_range (-10.) 10.) in
+    let lines = List.map2 (fun s i -> line s i) slopes icepts in
+    (* drop duplicates (vanishingly rare, but the walk requires
+       distinct lines) *)
+    let tbl = Hashtbl.create 16 in
+    let lines =
+      List.filter
+        (fun l ->
+          let k = (Line2.slope l, Line2.icept l) in
+          if Hashtbl.mem tbl k then false
+          else begin
+            Hashtbl.add tbl k ();
+            true
+          end)
+        lines
+    in
+    return (Array.of_list lines))
+
+let gen_lines_and_k =
+  QCheck.Gen.(
+    let* lines = gen_lines in
+    let* k = 0 -- (Array.length lines - 1) in
+    return (lines, k))
+
+let arb_lines_and_k =
+  QCheck.make gen_lines_and_k
+    ~print:(fun (lines, k) ->
+      Printf.sprintf "k=%d lines=[%s]" k
+        (String.concat "; "
+           (Array.to_list
+              (Array.map
+                 (fun l ->
+                   Printf.sprintf "(%g,%g)" (Line2.slope l) (Line2.icept l))
+                 lines))))
+
+(* --- level walk ------------------------------------------------------- *)
+
+let test_level_triangle () =
+  (* Lines y=x, y=-x, y=-2: the 1-level runs along y=-2, climbs onto
+     y=x at (-2,-2), switches to y=-x at the apex (0,0) and returns to
+     y=-2 at (2,-2): three vertices. *)
+  let lines = [| line 1. 0.; line (-1.) 0.; line 0. (-2.) |] in
+  let level = Arrangement.Level_walk.walk ~lines ~k:1 () in
+  Alcotest.(check int) "complexity" 3
+    (Arrangement.Level_walk.complexity level);
+  Alcotest.(check (array int)) "edge lines" [| 2; 0; 1; 2 |] level.edge_lines;
+  Alcotest.(check bool) "valid" true
+    (Arrangement.Level_walk.check_level ~lines ~k:1 level)
+
+let test_level_zero_is_lower_envelope () =
+  let lines = [| line 1. 0.; line 0. 1.; line (-1.) 4. |] in
+  let level = Arrangement.Level_walk.walk ~lines ~k:0 () in
+  (* must follow the lower envelope: segments of lines 0, 1, 2 *)
+  Alcotest.(check (array int)) "edges" [| 0; 1; 2 |] level.edge_lines;
+  Alcotest.(check bool) "valid" true
+    (Arrangement.Level_walk.check_level ~lines ~k:0 level)
+
+let test_level_parallel_lines () =
+  (* Parallel lines never cross: every level is a single full line. *)
+  let lines = [| line 1. 0.; line 1. 1.; line 1. 2. |] in
+  for k = 0 to 2 do
+    let level = Arrangement.Level_walk.walk ~lines ~k () in
+    Alcotest.(check int) "no vertices" 0
+      (Arrangement.Level_walk.complexity level);
+    Alcotest.(check int) "edge is the k-th lowest" k level.edge_lines.(0)
+  done
+
+let prop_level_walk_valid =
+  QCheck.Test.make ~count:300 ~name:"level walk is exact (brute check)"
+    arb_lines_and_k (fun (lines, k) ->
+      let level = Arrangement.Level_walk.walk ~lines ~k () in
+      Arrangement.Level_walk.check_level ~lines ~k level)
+
+let prop_level_events_alternate_consistently =
+  QCheck.Test.make ~count:200 ~name:"event stream matches level edges"
+    arb_lines_and_k (fun (lines, k) ->
+      let events = ref [] in
+      let level =
+        Arrangement.Level_walk.walk
+          ~on_event:(fun ev ~below_after:_ -> events := ev :: !events)
+          ~lines ~k ()
+      in
+      let events = Array.of_list (List.rev !events) in
+      Array.length events = Array.length level.vertices
+      && Array.for_all2
+           (fun (ev : Arrangement.Level_walk.event) v ->
+             Point2.equal ev.vertex v)
+           events level.vertices)
+
+let prop_below_after_has_k_lines =
+  QCheck.Test.make ~count:200 ~name:"|L^-| = k after every vertex"
+    arb_lines_and_k (fun (lines, k) ->
+      let ok = ref true in
+      ignore
+        (Arrangement.Level_walk.walk
+           ~on_event:(fun _ ~below_after ->
+             if List.length (below_after ()) <> k then ok := false)
+           ~lines ~k ());
+      !ok)
+
+(* --- clustering ------------------------------------------------------- *)
+
+let gen_cluster_input =
+  QCheck.Gen.(
+    let* lines = gen_lines in
+    let n = Array.length lines in
+    let* k = 1 -- max 1 (n / 3) in
+    return (lines, min k (n - 1)))
+
+let arb_cluster_input = QCheck.make gen_cluster_input
+
+let prop_cluster_sizes =
+  QCheck.Test.make ~count:300 ~name:"every cluster has <= 3k lines"
+    arb_cluster_input (fun (lines, k) ->
+      let c = Arrangement.Clustering.greedy ~lines ~k in
+      Arrangement.Clustering.max_cluster_size c <= 3 * k)
+
+let prop_cluster_count =
+  QCheck.Test.make ~count:300 ~name:"at most N/k + 1 clusters (Lemma 3.2)"
+    arb_cluster_input (fun (lines, k) ->
+      let c = Arrangement.Clustering.greedy ~lines ~k in
+      Arrangement.Clustering.size c <= (Array.length lines / k) + 1)
+
+(* Lemma 3.1: if p is above fewer than k lines of its relevant cluster,
+   then every line below p is in the cluster. *)
+let prop_lemma_3_1 =
+  QCheck.Test.make ~count:300 ~name:"Lemma 3.1 (cluster captures output)"
+    (QCheck.make
+       QCheck.Gen.(
+         pair gen_cluster_input
+           (list_size (1 -- 15)
+              (pair (float_range (-30.) 30.) (float_range (-30.) 30.)))))
+    (fun ((lines, k), queries) ->
+      let c = Arrangement.Clustering.greedy ~lines ~k in
+      List.for_all
+        (fun (px, py) ->
+          let p = Point2.make px py in
+          let idx = Arrangement.Clustering.relevant c px in
+          let cluster = c.Arrangement.Clustering.clusters.(idx) in
+          let in_cluster = Hashtbl.create 16 in
+          Array.iter
+            (fun id -> Hashtbl.replace in_cluster id ())
+            cluster.Arrangement.Clustering.lines;
+          let below_in_cluster =
+            Array.fold_left
+              (fun acc id ->
+                if Line2.below_point lines.(id) p then acc + 1 else acc)
+              0 cluster.Arrangement.Clustering.lines
+          in
+          if below_in_cluster < k then begin
+            (* every line of the whole set below p must be a member *)
+            let ok = ref true in
+            Array.iteri
+              (fun id l ->
+                if Line2.below_point l p && not (Hashtbl.mem in_cluster id)
+                then ok := false)
+              lines;
+            !ok
+          end
+          else true)
+        queries)
+
+(* Corollary 3.3: the clusters containing any given line are contiguous. *)
+let prop_corollary_3_3 =
+  QCheck.Test.make ~count:300 ~name:"Corollary 3.3 (contiguous appearances)"
+    arb_cluster_input (fun (lines, k) ->
+      let c = Arrangement.Clustering.greedy ~lines ~k in
+      let n = Array.length lines in
+      let ok = ref true in
+      for id = 0 to n - 1 do
+        let appearances =
+          Array.to_list
+            (Array.mapi
+               (fun i (cl : Arrangement.Clustering.cluster) ->
+                 if Array.exists (fun x -> x = id) cl.lines then Some i
+                 else None)
+               c.Arrangement.Clustering.clusters)
+          |> List.filter_map Fun.id
+        in
+        match appearances with
+        | [] -> ()
+        | first :: rest ->
+            let expected = List.mapi (fun i _ -> first + i) (first :: rest) in
+            if first :: rest <> expected then ok := false
+      done;
+      !ok)
+
+(* Relevance partitions the x axis. *)
+let prop_relevant_partition =
+  QCheck.Test.make ~count:200 ~name:"exactly one relevant cluster per x"
+    (QCheck.make
+       QCheck.Gen.(pair gen_cluster_input (float_range (-100.) 100.)))
+    (fun ((lines, k), x) ->
+      let c = Arrangement.Clustering.greedy ~lines ~k in
+      let idx = Arrangement.Clustering.relevant c x in
+      let cl = c.Arrangement.Clustering.clusters.(idx) in
+      cl.Arrangement.Clustering.left_x <= x
+      && x < cl.Arrangement.Clustering.right_x
+      || (cl.left_x = neg_infinity && x < cl.right_x)
+      || (cl.right_x = infinity && cl.left_x <= x))
+
+let test_cluster_small_example () =
+  (* k=1 over five lines; the clustering must cover the whole axis. *)
+  let lines =
+    [| line 2. 0.; line 1. 1.; line 0. (-1.); line (-1.) 2.; line (-2.) (-3.) |]
+  in
+  let c = Arrangement.Clustering.greedy ~lines ~k:1 in
+  Alcotest.(check bool) "at least one cluster" true
+    (Arrangement.Clustering.size c >= 1);
+  Alcotest.(check bool) "sizes within 3k" true
+    (Arrangement.Clustering.max_cluster_size c <= 3);
+  let union = Arrangement.Clustering.member_union c in
+  Alcotest.(check bool) "union nonempty" true (union <> [])
+
+let () =
+  Alcotest.run "arrangement"
+    [
+      ( "level_walk",
+        [
+          Alcotest.test_case "triangle" `Quick test_level_triangle;
+          Alcotest.test_case "0-level = lower envelope" `Quick
+            test_level_zero_is_lower_envelope;
+          Alcotest.test_case "parallel lines" `Quick test_level_parallel_lines;
+          QCheck_alcotest.to_alcotest prop_level_walk_valid;
+          QCheck_alcotest.to_alcotest prop_level_events_alternate_consistently;
+          QCheck_alcotest.to_alcotest prop_below_after_has_k_lines;
+        ] );
+      ( "clustering",
+        [
+          Alcotest.test_case "small example" `Quick test_cluster_small_example;
+          QCheck_alcotest.to_alcotest prop_cluster_sizes;
+          QCheck_alcotest.to_alcotest prop_cluster_count;
+          QCheck_alcotest.to_alcotest prop_lemma_3_1;
+          QCheck_alcotest.to_alcotest prop_corollary_3_3;
+          QCheck_alcotest.to_alcotest prop_relevant_partition;
+        ] );
+    ]

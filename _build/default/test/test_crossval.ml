@@ -1,0 +1,165 @@
+(* Cross-validation properties: independently built structures (and
+   independently randomized instances of the same structure) must agree
+   on every query.  These catch bugs that single-oracle tests can miss
+   when the oracle shares code with the implementation. *)
+
+open Geom
+
+let sorted_counts l = List.sort compare l
+
+(* different random seeds (different levels lambda_i, different layer
+   decompositions) must not change any answer *)
+let prop_h2_seed_independent =
+  QCheck.Test.make ~count:40 ~name:"Halfspace2d: answers independent of seed"
+    QCheck.(pair (int_range 0 10_000) (int_range 50 400))
+    (fun (seed, n) ->
+      let rng = Workload.rng seed in
+      let points = Workload.uniform2 rng ~n ~range:50. in
+      let build s =
+        Core.Halfspace2d.build ~stats:(Emio.Io_stats.create ()) ~block_size:8
+          ~seed:s points
+      in
+      let t1 = build 1 and t2 = build 99 in
+      List.for_all
+        (fun _ ->
+          let slope, icept =
+            Workload.halfplane_with_selectivity rng points
+              ~fraction:(Random.State.float rng 1.)
+          in
+          Core.Halfspace2d.query_count t1 ~slope ~icept
+          = Core.Halfspace2d.query_count t2 ~slope ~icept)
+        (List.init 8 Fun.id))
+
+(* all five 2-D-capable reporting structures agree on the same data *)
+let prop_all_2d_structures_agree =
+  QCheck.Test.make ~count:25 ~name:"five 2-D structures agree"
+    QCheck.(pair (int_range 0 10_000) (int_range 50 300))
+    (fun (seed, n) ->
+      let rng = Workload.rng seed in
+      let points = Workload.clusters2 rng ~n ~clusters:4 ~sigma:5. ~range:50. in
+      let coords =
+        Array.map (fun p -> [| Point2.x p; Point2.y p |]) points
+      in
+      let stats () = Emio.Io_stats.create () in
+      let h2 = Core.Halfspace2d.build ~stats:(stats ()) ~block_size:8 points in
+      let pt =
+        Core.Partition_tree.build ~stats:(stats ()) ~block_size:8 ~dim:2 coords
+      in
+      let sh =
+        Core.Shallow_tree.build ~stats:(stats ()) ~block_size:8 ~dim:2 coords
+      in
+      let rt = Baselines.Rtree.build ~stats:(stats ()) ~block_size:8 points in
+      let qt = Baselines.Quadtree.build ~stats:(stats ()) ~block_size:8 points in
+      List.for_all
+        (fun _ ->
+          let slope, icept =
+            Workload.halfplane_with_selectivity rng points
+              ~fraction:(Random.State.float rng 1.)
+          in
+          let c1 = Core.Halfspace2d.query_count h2 ~slope ~icept in
+          let c2 =
+            List.length
+              (Core.Partition_tree.query_halfspace pt ~a0:icept ~a:[| slope |])
+          in
+          let c3 =
+            List.length
+              (Core.Shallow_tree.query_halfspace sh ~a0:icept ~a:[| slope |])
+          in
+          let c4 = Baselines.Rtree.query_count rt ~slope ~icept in
+          let c5 = Baselines.Quadtree.query_count qt ~slope ~icept in
+          c1 = c2 && c2 = c3 && c3 = c4 && c4 = c5)
+        (List.init 6 Fun.id))
+
+(* the dynamized tree, loaded in one shot, agrees with the static tree *)
+let prop_dynamic_agrees_with_static =
+  QCheck.Test.make ~count:30 ~name:"Dynamic_tree = static Partition_tree"
+    QCheck.(pair (int_range 0 10_000) (int_range 20 200))
+    (fun (seed, n) ->
+      let rng = Workload.rng seed in
+      let coords = Workload.uniform_d rng ~n ~dim:2 ~range:30. in
+      let stats () = Emio.Io_stats.create () in
+      let stat_tree =
+        Core.Partition_tree.build ~stats:(stats ()) ~block_size:4 ~dim:2 coords
+      in
+      let dyn = Core.Dynamic_tree.create ~stats:(stats ()) ~block_size:4 ~dim:2 () in
+      Array.iter (fun p -> ignore (Core.Dynamic_tree.insert dyn p)) coords;
+      List.for_all
+        (fun _ ->
+          let a0, a =
+            Workload.halfspace_d_with_selectivity rng coords
+              ~fraction:(Random.State.float rng 1.)
+          in
+          List.length (Core.Partition_tree.query_halfspace stat_tree ~a0 ~a)
+          = List.length (Core.Dynamic_tree.query_halfspace dyn ~a0 ~a))
+        (List.init 6 Fun.id))
+
+(* §4 structures with 1 copy and 3 copies return identical plane sets *)
+let prop_copies_equivalent =
+  QCheck.Test.make ~count:20 ~name:"Lowest_planes: 1 copy = 3 copies"
+    QCheck.(pair (int_range 0 10_000) (int_range 30 200))
+    (fun (seed, n) ->
+      let rng = Workload.rng seed in
+      let planes =
+        Array.init n (fun _ ->
+            Plane3.make
+              ~a:(Random.State.float rng 4. -. 2.)
+              ~b:(Random.State.float rng 4. -. 2.)
+              ~c:(Random.State.float rng 40. -. 20.))
+      in
+      let clip = (-50., -50., 50., 50.) in
+      let build copies =
+        Core.Lowest_planes.build ~stats:(Emio.Io_stats.create ())
+          ~block_size:8 ~copies ~clip planes
+      in
+      let t1 = build 1 and t3 = build 3 in
+      List.for_all
+        (fun _ ->
+          let x = Random.State.float rng 80. -. 40.
+          and y = Random.State.float rng 80. -. 40. in
+          let k = 1 + Random.State.int rng (n / 2) in
+          let ids t = List.map fst (Core.Lowest_planes.k_lowest t ~x ~y ~k) in
+          sorted_counts (ids t1) = sorted_counts (ids t3))
+        (List.init 6 Fun.id))
+
+(* Knn distances equal Disk_range membership: |disk(c, r)| counts
+   exactly the neighbors at distance <= r *)
+let prop_knn_consistent_with_disks =
+  QCheck.Test.make ~count:20 ~name:"Knn and Disk_range are consistent"
+    QCheck.(pair (int_range 0 10_000) (int_range 30 200))
+    (fun (seed, n) ->
+      let rng = Workload.rng seed in
+      let points = Workload.uniform2 rng ~n ~range:30. in
+      let clip = (-60., -60., 60., 60.) in
+      let stats () = Emio.Io_stats.create () in
+      let knn = Core.Knn.build ~stats:(stats ()) ~block_size:8 ~clip points in
+      let disks =
+        Core.Disk_range.build ~stats:(stats ()) ~block_size:8 ~clip points
+      in
+      List.for_all
+        (fun _ ->
+          let q =
+            Point2.make
+              (Random.State.float rng 100. -. 50.)
+              (Random.State.float rng 100. -. 50.)
+          in
+          let k = 1 + Random.State.int rng 20 in
+          match List.rev (Core.Knn.nearest knn q ~k) with
+          | [] -> true
+          | (_, dk) :: _ ->
+              (* all k nearest lie within distance dk, so the disk of
+                 radius dk holds at least k points *)
+              Core.Disk_range.query_count disks ~center:q ~radius:dk >= k)
+        (List.init 5 Fun.id))
+
+let () =
+  Alcotest.run "crossval"
+    [
+      ( "crossval",
+        [
+          QCheck_alcotest.to_alcotest prop_h2_seed_independent;
+          QCheck_alcotest.to_alcotest prop_all_2d_structures_agree;
+          QCheck_alcotest.to_alcotest prop_dynamic_agrees_with_static;
+          QCheck_alcotest.to_alcotest prop_copies_equivalent;
+          QCheck_alcotest.to_alcotest prop_knn_consistent_with_disks;
+        ] );
+    ]

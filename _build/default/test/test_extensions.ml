@@ -1,0 +1,232 @@
+(* Tests for the §7 open-problem extensions: the dynamized partition
+   tree (remark (iii) / open problem 1) and segment intersection
+   searching (open problem 2). *)
+
+open Geom
+
+(* --- Dynamic_tree ------------------------------------------------------ *)
+
+let dyn_oracle live ~a0 ~a =
+  let c = Partition.Cells.constr_of_halfspace ~dim:2 ~a0 ~a in
+  Hashtbl.fold
+    (fun h p acc -> if Partition.Cells.satisfies c p then h :: acc else acc)
+    live []
+  |> List.sort compare
+
+let test_dynamic_basic () =
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Dynamic_tree.create ~stats ~block_size:4 ~dim:2 () in
+  let h1 = Core.Dynamic_tree.insert t [| 0.; 0. |] in
+  let _h2 = Core.Dynamic_tree.insert t [| 0.; 10. |] in
+  Alcotest.(check int) "two live" 2 (Core.Dynamic_tree.length t);
+  let got = Core.Dynamic_tree.query_halfspace t ~a0:5. ~a:[| 0. |] in
+  Alcotest.(check (list int)) "only the low point" [ h1 ]
+    (List.map fst got);
+  Alcotest.(check bool) "delete" true (Core.Dynamic_tree.delete t h1);
+  Alcotest.(check bool) "double delete" false (Core.Dynamic_tree.delete t h1);
+  Alcotest.(check (list int)) "gone" []
+    (List.map fst (Core.Dynamic_tree.query_halfspace t ~a0:5. ~a:[| 0. |]))
+
+let prop_dynamic_matches_oracle =
+  QCheck.Test.make ~count:60 ~name:"dynamic tree = mutable-oracle replay"
+    (* a random script of inserts (Some (x, y)) / deletes (None, which
+       removes a pseudo-random live handle) and probing queries *)
+    QCheck.(
+      pair (int_range 0 1000)
+        (small_list
+           (option (pair (float_range (-20.) 20.) (float_range (-20.) 20.)))))
+    (fun (seed, script) ->
+      let rng = Random.State.make [| seed |] in
+      let stats = Emio.Io_stats.create () in
+      let t = Core.Dynamic_tree.create ~stats ~block_size:4 ~dim:2 () in
+      let live = Hashtbl.create 16 in
+      let check () =
+        let a0 = Random.State.float rng 40. -. 20.
+        and a = [| Random.State.float rng 4. -. 2. |] in
+        let got =
+          List.sort compare
+            (List.map fst (Core.Dynamic_tree.query_halfspace t ~a0 ~a))
+        in
+        got = dyn_oracle live ~a0 ~a
+      in
+      List.for_all
+        (fun step ->
+          (match step with
+          | Some (x, y) ->
+              let h = Core.Dynamic_tree.insert t [| x; y |] in
+              Hashtbl.replace live h [| x; y |]
+          | None ->
+              let handles = Hashtbl.fold (fun h _ acc -> h :: acc) live [] in
+              (match handles with
+              | [] -> ()
+              | hs ->
+                  let victim =
+                    List.nth hs (Random.State.int rng (List.length hs))
+                  in
+                  Hashtbl.remove live victim;
+                  ignore (Core.Dynamic_tree.delete t victim)));
+          check ())
+        script)
+
+let test_dynamic_amortized_rebuilds () =
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Dynamic_tree.create ~stats ~block_size:8 ~dim:2 () in
+  let rng = Random.State.make [| 5 |] in
+  let n = 2000 in
+  for _ = 1 to n do
+    ignore
+      (Core.Dynamic_tree.insert t
+         [| Random.State.float rng 10.; Random.State.float rng 10. |])
+  done;
+  (* logarithmic method: at most ~2N bucket builds over N inserts, and
+     at most log2 N + 1 live buckets *)
+  Alcotest.(check bool) "rebuilds amortized" true
+    (Core.Dynamic_tree.rebuilds t <= 3 * n);
+  Alcotest.(check bool) "few buckets" true (Core.Dynamic_tree.buckets t <= 12)
+
+let test_dynamic_mass_delete_compacts () =
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Dynamic_tree.create ~stats ~block_size:8 ~dim:2 () in
+  let handles =
+    List.init 500 (fun i ->
+        Core.Dynamic_tree.insert t [| float_of_int i; 0. |])
+  in
+  List.iteri
+    (fun i h -> if i < 400 then ignore (Core.Dynamic_tree.delete t h))
+    handles;
+  Alcotest.(check int) "100 live" 100 (Core.Dynamic_tree.length t);
+  (* global rebuild must have fired: space proportional to live set *)
+  let space = Core.Dynamic_tree.space_blocks t in
+  Alcotest.(check bool)
+    (Printf.sprintf "space %d compacted" space)
+    true (space < 200)
+
+(* --- Seg_intersect ------------------------------------------------------ *)
+
+let seg_oracle segments (qa, qb) =
+  let side a b p = Point2.orient a b p in
+  let intersects (a, b) (c, d) =
+    side a b c * side a b d <= 0 && side c d a * side c d b <= 0
+  in
+  Array.to_list
+    (Array.mapi (fun i s -> (i, s)) segments)
+  |> List.filter_map (fun (i, s) ->
+         if intersects s (qa, qb) then Some i else None)
+
+let rand_seg rng range =
+  let p () =
+    Point2.make
+      (Random.State.float rng (2. *. range) -. range)
+      (Random.State.float rng (2. *. range) -. range)
+  in
+  (p (), p ())
+
+let test_seg_basic () =
+  let segments =
+    [|
+      (Point2.make 0. 0., Point2.make 10. 10.);
+      (Point2.make 0. 10., Point2.make 10. 0.);
+      (Point2.make 20. 20., Point2.make 30. 20.);
+    |]
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Seg_intersect.build ~stats ~block_size:4 segments in
+  (* a segment crossing the X through the middle *)
+  Alcotest.(check (list int)) "crosses both diagonals" [ 0; 1 ]
+    (Core.Seg_intersect.query t (Point2.make 4. 6.) (Point2.make 6. 4.));
+  Alcotest.(check (list int)) "misses everything" []
+    (Core.Seg_intersect.query t (Point2.make 40. 0.) (Point2.make 50. 0.));
+  Alcotest.(check (list int)) "hits the far horizontal" [ 2 ]
+    (Core.Seg_intersect.query t (Point2.make 25. 0.) (Point2.make 25. 25.))
+
+let prop_seg_matches_oracle =
+  QCheck.Test.make ~count:80 ~name:"segment query = brute-force oracle"
+    QCheck.(pair (int_range 0 10_000) (int_range 5 120))
+    (fun (seed, n) ->
+      let rng = Random.State.make [| seed |] in
+      let segments = Array.init n (fun _ -> rand_seg rng 20.) in
+      let stats = Emio.Io_stats.create () in
+      let t = Core.Seg_intersect.build ~stats ~block_size:4 segments in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let q = rand_seg rng 25. in
+        let got = Core.Seg_intersect.query t (fst q) (snd q) in
+        let want = seg_oracle segments q in
+        if got <> want then ok := false
+      done;
+      !ok)
+
+let test_seg_vertical_cases () =
+  let segments =
+    [|
+      (Point2.make 5. 0., Point2.make 5. 10.); (* vertical stored *)
+      (Point2.make 0. 5., Point2.make 10. 5.);
+    |]
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Seg_intersect.build ~stats ~block_size:4 segments in
+  Alcotest.(check (list int)) "horizontal query hits vertical segment" [ 0 ]
+    (Core.Seg_intersect.query t (Point2.make 0. 2.) (Point2.make 10. 2.));
+  Alcotest.(check (list int)) "vertical query hits horizontal segment" [ 1 ]
+    (Core.Seg_intersect.query t (Point2.make 2. 0.) (Point2.make 2. 10.));
+  Alcotest.(check (list int)) "vertical query hits both" [ 0; 1 ]
+    (Core.Seg_intersect.query t (Point2.make 0. 0.) (Point2.make 10. 10.))
+
+let test_seg_empty () =
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Seg_intersect.build ~stats ~block_size:4 [||] in
+  Alcotest.(check (list int)) "empty" []
+    (Core.Seg_intersect.query t (Point2.make 0. 0.) (Point2.make 1. 1.))
+
+let test_seg_io_sublinear () =
+  (* on a sparse query, the structure must beat the n-block scan *)
+  let rng = Random.State.make [| 77 |] in
+  let n = 16384 and block_size = 32 in
+  (* short segments scattered in a large area *)
+  let segments =
+    Array.init n (fun _ ->
+        let cx = Random.State.float rng 400. -. 200.
+        and cy = Random.State.float rng 400. -. 200. in
+        ( Point2.make cx cy,
+          Point2.make
+            (cx +. Random.State.float rng 2.)
+            (cy +. Random.State.float rng 2.) ))
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Seg_intersect.build ~stats ~block_size segments in
+  let scan_blocks = n / block_size in
+  let total = ref 0 in
+  let trials = 20 in
+  for _ = 1 to trials do
+    let cx = Random.State.float rng 300. -. 150.
+    and cy = Random.State.float rng 300. -. 150. in
+    let q = (Point2.make cx cy, Point2.make (cx +. 5.) (cy +. 3.)) in
+    Emio.Io_stats.reset stats;
+    ignore (Core.Seg_intersect.query t (fst q) (snd q));
+    total := !total + Emio.Io_stats.reads stats
+  done;
+  let avg = float_of_int !total /. float_of_int trials in
+  if avg >= float_of_int scan_blocks then
+    Alcotest.failf "avg %g I/Os vs scan %d" avg scan_blocks
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "dynamic_tree",
+        [
+          Alcotest.test_case "basic" `Quick test_dynamic_basic;
+          QCheck_alcotest.to_alcotest prop_dynamic_matches_oracle;
+          Alcotest.test_case "amortized rebuilds" `Quick
+            test_dynamic_amortized_rebuilds;
+          Alcotest.test_case "mass delete compacts" `Quick
+            test_dynamic_mass_delete_compacts;
+        ] );
+      ( "seg_intersect",
+        [
+          Alcotest.test_case "basic" `Quick test_seg_basic;
+          QCheck_alcotest.to_alcotest prop_seg_matches_oracle;
+          Alcotest.test_case "vertical cases" `Quick test_seg_vertical_cases;
+          Alcotest.test_case "empty" `Quick test_seg_empty;
+          Alcotest.test_case "sublinear I/O" `Slow test_seg_io_sublinear;
+        ] );
+    ]

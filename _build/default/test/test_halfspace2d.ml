@@ -1,0 +1,173 @@
+(* Tests for the §3 structure (Theorem 3.5): exactness against a brute
+   force oracle, duplicate handling, and the O(log_B n + t) query I/O
+   bound measured on the simulator. *)
+
+open Geom
+
+(* The oracle uses the exact same floating-point expression as the
+   structure's dual-side test, so classification agrees bit-for-bit. *)
+let oracle points ~slope ~icept =
+  List.filter
+    (fun p -> ((-.Point2.x p) *. slope) +. Point2.y p <= icept +. Eps.eps)
+    (Array.to_list points)
+
+let sort_points =
+  List.sort (fun p q ->
+      compare (Point2.x p, Point2.y p) (Point2.x q, Point2.y q))
+
+let build ?(block_size = 8) points =
+  let stats = Emio.Io_stats.create () in
+  (Core.Halfspace2d.build ~stats ~block_size points, stats)
+
+let test_small_example () =
+  (* the paper's SQL example shape: points below y = 10x *)
+  let points =
+    [|
+      Point2.make 1. 5.;
+      Point2.make 1. 15.;
+      Point2.make 2. 19.;
+      Point2.make 2. 21.;
+      Point2.make 0.5 6.;
+    |]
+  in
+  let t, _ = build points in
+  let got = Core.Halfspace2d.query t ~slope:10. ~icept:0. in
+  Alcotest.(check int) "two companies pass the P/E screen" 2
+    (List.length got);
+  Alcotest.(check int) "count agrees" 2
+    (Core.Halfspace2d.query_count t ~slope:10. ~icept:0.)
+
+let test_extremes () =
+  let points = Array.init 50 (fun i -> Point2.make (float i) (float (i * i))) in
+  let t, _ = build points in
+  Alcotest.(check int) "everything below a very high line" 50
+    (Core.Halfspace2d.query_count t ~slope:0. ~icept:1e9);
+  Alcotest.(check int) "nothing below a very low line" 0
+    (Core.Halfspace2d.query_count t ~slope:0. ~icept:(-1e9))
+
+let test_duplicates_reported_with_multiplicity () =
+  let p = Point2.make 1. 1. in
+  let points = Array.append (Array.make 7 p) [| Point2.make 2. 100. |] in
+  let t, _ = build points in
+  Alcotest.(check int) "7 duplicates" 7
+    (Core.Halfspace2d.query_count t ~slope:0. ~icept:2.)
+
+let test_empty_and_singleton () =
+  let t, _ = build [||] in
+  Alcotest.(check int) "empty" 0
+    (Core.Halfspace2d.query_count t ~slope:1. ~icept:0.);
+  let t1, _ = build [| Point2.make 3. 4. |] in
+  Alcotest.(check int) "hit" 1
+    (Core.Halfspace2d.query_count t1 ~slope:0. ~icept:5.);
+  Alcotest.(check int) "miss" 0
+    (Core.Halfspace2d.query_count t1 ~slope:0. ~icept:3.)
+
+let gen_points =
+  QCheck.Gen.(
+    list_size (1 -- 250)
+      (map2
+         (fun x y -> Point2.make x y)
+         (float_range (-100.) 100.) (float_range (-100.) 100.)))
+
+let gen_query = QCheck.Gen.(pair (float_range (-5.) 5.) (float_range (-150.) 150.))
+
+let prop_matches_oracle =
+  QCheck.Test.make ~count:100 ~name:"query = brute-force oracle"
+    (QCheck.make QCheck.Gen.(pair gen_points (list_size (1 -- 10) gen_query)))
+    (fun (points, queries) ->
+      let points = Array.of_list points in
+      let t, _ = build ~block_size:4 points in
+      List.for_all
+        (fun (slope, icept) ->
+          let got = sort_points (Core.Halfspace2d.query t ~slope ~icept) in
+          let want = sort_points (oracle points ~slope ~icept) in
+          List.length got = List.length want
+          && List.for_all2 Point2.equal got want)
+        queries)
+
+let prop_monotone_in_icept =
+  QCheck.Test.make ~count:100 ~name:"raising the line reports more"
+    (QCheck.make QCheck.Gen.(triple gen_points gen_query (float_range 0. 50.)))
+    (fun (points, (slope, icept), lift) ->
+      let t, _ = build ~block_size:4 (Array.of_list points) in
+      Core.Halfspace2d.query_count t ~slope ~icept
+      <= Core.Halfspace2d.query_count t ~slope ~icept:(icept +. lift))
+
+(* Theorem 3.5 measured: queries on a 8192-point set must cost
+   O(log_B n + t) I/Os.  We allow a generous constant and check both a
+   small-output and a large-output query. *)
+let test_io_bound () =
+  let n_points = 8192 and block_size = 32 in
+  let rng = Random.State.make [| 42 |] in
+  let points =
+    Array.init n_points (fun _ ->
+        Point2.make
+          (Random.State.float rng 200. -. 100.)
+          (Random.State.float rng 200. -. 100.))
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Halfspace2d.build ~stats ~block_size points in
+  let n = (n_points + block_size - 1) / block_size in
+  let log_b_n =
+    max 1. (log (float_of_int n) /. log (float_of_int block_size))
+  in
+  let check_query ~slope ~icept =
+    Emio.Io_stats.reset stats;
+    let reported = Core.Halfspace2d.query_count t ~slope ~icept in
+    let ios = Emio.Io_stats.reads stats in
+    let t_blocks = (reported + block_size - 1) / block_size in
+    let budget = int_of_float (60. *. (log_b_n +. 1.)) + (8 * t_blocks) in
+    if ios > budget then
+      Alcotest.failf "query cost %d I/Os for t=%d blocks (budget %d)" ios
+        t_blocks budget
+  in
+  check_query ~slope:0.3 ~icept:(-95.);
+  check_query ~slope:0.0 ~icept:(-60.);
+  check_query ~slope:(-1.2) ~icept:0.;
+  check_query ~slope:0.1 ~icept:95.;
+  (* space must be linear: O(n) blocks *)
+  let space = Core.Halfspace2d.space_blocks t in
+  if space > 6 * n then
+    Alcotest.failf "space %d blocks exceeds 6n = %d" space (6 * n)
+
+let test_layer_shape () =
+  let rng = Random.State.make [| 7 |] in
+  let points =
+    Array.init 4096 (fun _ ->
+        Point2.make
+          (Random.State.float rng 2. -. 1.)
+          (Random.State.float rng 2. -. 1.))
+  in
+  let t, _ = build ~block_size:16 points in
+  let lambdas = Core.Halfspace2d.lambdas t in
+  Alcotest.(check bool) "has layers" true (Core.Halfspace2d.layers t >= 1);
+  (* every clustered layer's lambda is within [beta, 2 beta] for a
+     common beta *)
+  Array.iter
+    (fun l ->
+      if l <> 0 then begin
+        let beta_lo = 16 in
+        if l < beta_lo then Alcotest.failf "lambda %d below beta" l
+      end)
+    lambdas
+
+let () =
+  Alcotest.run "halfspace2d"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "small example" `Quick test_small_example;
+          Alcotest.test_case "extremes" `Quick test_extremes;
+          Alcotest.test_case "duplicates" `Quick
+            test_duplicates_reported_with_multiplicity;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          QCheck_alcotest.to_alcotest prop_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_monotone_in_icept;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "query I/O bound (Thm 3.5)" `Slow test_io_bound;
+          Alcotest.test_case "layer shape" `Quick test_layer_shape;
+        ] );
+    ]

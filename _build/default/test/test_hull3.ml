@@ -1,0 +1,121 @@
+(* Tests for the randomized incremental 3-D convex hull and its
+   conflict lists (the engine of §4.1). *)
+
+open Geom
+
+let pt = Point3.make
+
+let cube =
+  [|
+    pt 0. 0. 0.; pt 1. 0. 0.; pt 0. 1. 0.; pt 1. 1. 0.;
+    pt 0. 0. 1.; pt 1. 0. 1.; pt 0. 1. 1.; pt 1. 1. 1.;
+  |]
+
+let identity_order n = Array.init n Fun.id
+
+let test_cube () =
+  let t =
+    Hull3.build ~points:cube ~order:(identity_order 8) ~sample_size:8
+  in
+  Alcotest.(check int) "12 triangles" 12 (Array.length (Hull3.facets t));
+  Alcotest.(check (list int)) "all 8 vertices" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Hull3.vertex_ids t);
+  Alcotest.(check bool) "oracle" true (Hull3.check ~points:cube t);
+  (* exactly two lower facets (the bottom face, triangulated) *)
+  Alcotest.(check int) "2 lower facets" 2 (Array.length (Hull3.lower_facets t))
+
+let test_interior_point_not_vertex () =
+  let points = Array.append cube [| pt 0.5 0.5 0.5 |] in
+  let t =
+    Hull3.build ~points ~order:(identity_order 9) ~sample_size:9
+  in
+  Alcotest.(check bool) "interior point excluded" false
+    (List.mem 8 (Hull3.vertex_ids t));
+  Alcotest.(check bool) "oracle" true (Hull3.check ~points t)
+
+let test_conflicts_partial_sample () =
+  (* sample = cube corners; extra points: one inside (no conflicts),
+     one far outside (conflicts with some facet) *)
+  let points = Array.append cube [| pt 0.5 0.5 0.5; pt 5. 5. 5. |] in
+  let t =
+    Hull3.build ~points ~order:(identity_order 10) ~sample_size:8
+  in
+  Alcotest.(check bool) "oracle validates conflicts" true
+    (Hull3.check ~points t);
+  let facets = Hull3.facets t in
+  let conflict_ids =
+    Array.fold_left
+      (fun acc (f : Hull3.facet) ->
+        Array.fold_left (fun acc q -> q :: acc) acc f.conflicts)
+      [] facets
+  in
+  Alcotest.(check bool) "inside point conflicts nowhere" false
+    (List.mem 8 conflict_ids);
+  Alcotest.(check bool) "outside point conflicts somewhere" true
+    (List.mem 9 conflict_ids)
+
+let test_degenerate_rejected () =
+  let flat = Array.init 6 (fun i -> pt (float i) (float (i * i)) 0.) in
+  Alcotest.check_raises "coplanar input"
+    (Invalid_argument "Hull3.build: degenerate sample (coplanar points)")
+    (fun () ->
+      ignore (Hull3.build ~points:flat ~order:(identity_order 6) ~sample_size:6))
+
+let gen_points3 =
+  QCheck.Gen.(
+    list_size (4 -- 60)
+      (map3
+         (fun x y z -> pt x y z)
+         (float_range (-10.) 10.) (float_range (-10.) 10.)
+         (float_range (-10.) 10.)))
+
+let prop_hull_oracle =
+  QCheck.Test.make ~count:150 ~name:"hull + conflicts match brute force"
+    (QCheck.make QCheck.Gen.(pair gen_points3 (0 -- 1000)))
+    (fun (pts, seed) ->
+      let points = Array.of_list pts in
+      let n = Array.length points in
+      let rng = Random.State.make [| seed |] in
+      let order = identity_order n in
+      (* random permutation *)
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- tmp
+      done;
+      let sample_size = 4 + Random.State.int rng (n - 3) in
+      match Hull3.build ~points ~order ~sample_size with
+      | t -> Hull3.check ~points t
+      | exception Invalid_argument _ -> true (* degenerate random sample *))
+
+let prop_euler_formula =
+  QCheck.Test.make ~count:100 ~name:"triangulated hull satisfies F = 2V - 4"
+    (QCheck.make gen_points3) (fun pts ->
+      let points = Array.of_list pts in
+      let n = Array.length points in
+      match
+        Hull3.build ~points ~order:(identity_order n) ~sample_size:n
+      with
+      | t ->
+          let f = Array.length (Hull3.facets t) in
+          let v = List.length (Hull3.vertex_ids t) in
+          f = (2 * v) - 4
+      | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "hull3"
+    [
+      ( "hull3",
+        [
+          Alcotest.test_case "cube" `Quick test_cube;
+          Alcotest.test_case "interior point" `Quick
+            test_interior_point_not_vertex;
+          Alcotest.test_case "partial sample conflicts" `Quick
+            test_conflicts_partial_sample;
+          Alcotest.test_case "degenerate rejected" `Quick
+            test_degenerate_rejected;
+          QCheck_alcotest.to_alcotest prop_hull_oracle;
+          QCheck_alcotest.to_alcotest prop_euler_formula;
+        ] );
+    ]

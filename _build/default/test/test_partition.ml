@@ -1,0 +1,355 @@
+(* Tests for the d-dimensional cells, the balanced partitioners
+   (Theorem 5.1 role), the §5 partition tree (Theorem 5.2), the §6
+   shallow tree (Theorem 6.3) and tradeoff structure (Theorem 6.1). *)
+
+open Partition
+
+let rand_points rng ~dim ~n ~range =
+  Array.init n (fun _ ->
+      Array.init dim (fun _ -> Random.State.float rng (2. *. range) -. range))
+
+(* --- cells ------------------------------------------------------------ *)
+
+let test_constr_halfspace () =
+  (* y <= 1 + 2x in the plane *)
+  let c = Cells.constr_of_halfspace ~dim:2 ~a0:1. ~a:[| 2. |] in
+  Alcotest.(check bool) "inside" true (Cells.satisfies c [| 0.; 0.5 |]);
+  Alcotest.(check bool) "boundary" true (Cells.satisfies c [| 1.; 3. |]);
+  Alcotest.(check bool) "outside" false (Cells.satisfies c [| 0.; 2. |])
+
+let test_classify_box () =
+  let c = Cells.constr_of_halfspace ~dim:2 ~a0:0. ~a:[| 0. |] in
+  (* y <= 0 *)
+  let box lo hi = Cells.Box { lo; hi } in
+  Alcotest.(check bool) "below" true
+    (Cells.classify (box [| 0.; -2. |] [| 1.; -1. |]) c = Cells.Inside);
+  Alcotest.(check bool) "above" true
+    (Cells.classify (box [| 0.; 1. |] [| 1.; 2. |]) c = Cells.Outside);
+  Alcotest.(check bool) "crossing" true
+    (Cells.classify (box [| 0.; -1. |] [| 1.; 1. |]) c = Cells.Crossing)
+
+let test_classify_simplex () =
+  let c = Cells.constr_of_halfspace ~dim:2 ~a0:0. ~a:[| 0. |] in
+  let tri a b d = Cells.Simplex [| a; b; d |] in
+  Alcotest.(check bool) "below" true
+    (Cells.classify (tri [| 0.; -3. |] [| 1.; -1. |] [| 2.; -2. |]) c
+    = Cells.Inside);
+  Alcotest.(check bool) "crossing" true
+    (Cells.classify (tri [| 0.; -1. |] [| 1.; 1. |] [| 2.; -1. |]) c
+    = Cells.Crossing)
+
+let test_simplex_contains () =
+  let tri = Cells.Simplex [| [| 0.; 0. |]; [| 4.; 0. |]; [| 0.; 4. |] |] in
+  Alcotest.(check bool) "inside" true (Cells.cell_contains tri [| 1.; 1. |]);
+  Alcotest.(check bool) "outside" false (Cells.cell_contains tri [| 3.; 3. |]);
+  Alcotest.(check bool) "vertex" true (Cells.cell_contains tri [| 0.; 0. |])
+
+let prop_bounding_simplex_contains =
+  QCheck.Test.make ~count:200 ~name:"bounding simplex contains its points"
+    QCheck.(
+      pair (int_range 2 4)
+        (pair small_int (list_of_size Gen.(1 -- 40) (float_range (-10.) 10.))))
+    (fun (dim, (seed, _)) ->
+      let rng = Random.State.make [| seed |] in
+      let pts = rand_points rng ~dim ~n:(5 + Random.State.int rng 30) ~range:8. in
+      let s = Cells.bounding_simplex ~dim pts in
+      Array.for_all (fun p -> Cells.cell_contains s p) pts)
+
+(* --- partitioners ----------------------------------------------------- *)
+
+let check_partition name parts n r =
+  (* disjoint cover *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (_, g) ->
+      Array.iter
+        (fun i ->
+          if Hashtbl.mem seen i then Alcotest.failf "%s: %d twice" name i;
+          Hashtbl.add seen i ())
+        g)
+    parts;
+  Alcotest.(check int) (name ^ ": covers all") n (Hashtbl.length seen);
+  Alcotest.(check bool)
+    (name ^ ": balanced")
+    true
+    (Partitioner.is_balanced parts ~n ~r)
+
+let test_partitioners_cover_and_balance () =
+  let rng = Random.State.make [| 5 |] in
+  List.iter
+    (fun dim ->
+      let n = 500 in
+      let points = rand_points rng ~dim ~n ~range:10. in
+      List.iter
+        (fun r ->
+          check_partition "kd" (Partitioner.kd ~points ~r) n r;
+          check_partition "simplicial" (Partitioner.simplicial ~points ~r) n r;
+          let sh = Partitioner.shallow ~points ~r in
+          (* the shallow partitioner trades balance for depth bands:
+             only require disjoint cover *)
+          let seen = Hashtbl.create 64 in
+          Array.iter
+            (fun (_, g) -> Array.iter (fun i -> Hashtbl.add seen i ()) g)
+            sh;
+          Alcotest.(check int) "shallow covers" n (Hashtbl.length seen))
+        [ 4; 16; 64 ])
+    [ 2; 3; 4 ]
+
+let test_points_inside_their_cells () =
+  let rng = Random.State.make [| 6 |] in
+  let points = rand_points rng ~dim:3 ~n:300 ~range:10. in
+  List.iter
+    (fun parts ->
+      Array.iter
+        (fun (cell, g) ->
+          Array.iter
+            (fun i ->
+              if not (Cells.cell_contains cell points.(i)) then
+                Alcotest.fail "point outside its cell")
+            g)
+        parts)
+    [
+      Partitioner.kd ~points ~r:16;
+      Partitioner.simplicial ~points ~r:16;
+      Partitioner.shallow ~points ~r:16;
+    ]
+
+(* Theorem 5.1's crossing bound for the kd partitioner, measured. *)
+let test_kd_crossing_bound () =
+  let rng = Random.State.make [| 7 |] in
+  List.iter
+    (fun dim ->
+      let points = rand_points rng ~dim ~n:2048 ~range:10. in
+      let r = 64 in
+      let parts = Partitioner.kd ~points ~r in
+      let cells = Array.map fst parts in
+      let worst = ref 0 in
+      for _ = 1 to 50 do
+        let a = Array.init (dim - 1) (fun _ -> Random.State.float rng 2. -. 1.) in
+        let a0 = Random.State.float rng 10. -. 5. in
+        let c = Cells.constr_of_halfspace ~dim ~a0 ~a in
+        worst := max !worst (Cells.crossing_number cells c)
+      done;
+      let bound =
+        (* alpha r^{1-1/d} with a generous alpha = 4 *)
+        int_of_float
+          (4. *. Float.pow (float_of_int r) (1. -. (1. /. float_of_int dim)))
+      in
+      if !worst > bound then
+        Alcotest.failf "dim %d: worst crossing %d > %d" dim !worst bound)
+    [ 2; 3; 4 ]
+
+(* --- partition tree (§5) ---------------------------------------------- *)
+
+let brute_halfspace points ~a0 ~a =
+  let dim = Array.length points.(0) in
+  let c = Cells.constr_of_halfspace ~dim ~a0 ~a in
+  List.filter (fun i -> Cells.satisfies c points.(i))
+    (List.init (Array.length points) Fun.id)
+
+let test_partition_tree_oracle () =
+  let rng = Random.State.make [| 8 |] in
+  List.iter
+    (fun dim ->
+      List.iter
+        (fun kind ->
+          let points = rand_points rng ~dim ~n:700 ~range:10. in
+          let stats = Emio.Io_stats.create () in
+          let t =
+            Core.Partition_tree.build ~stats ~block_size:8 ~partitioner:kind
+              ~dim points
+          in
+          for _ = 1 to 25 do
+            let a =
+              Array.init (dim - 1) (fun _ -> Random.State.float rng 2. -. 1.)
+            in
+            let a0 = Random.State.float rng 16. -. 8. in
+            let got =
+              List.sort compare (Core.Partition_tree.query_halfspace t ~a0 ~a)
+            in
+            let want = brute_halfspace points ~a0 ~a in
+            if got <> want then
+              Alcotest.failf "dim %d: %d vs %d results" dim (List.length got)
+                (List.length want)
+          done)
+        [ Core.Partition_tree.Kd; Core.Partition_tree.Simplicial ])
+    [ 2; 3; 4 ]
+
+let test_partition_tree_simplex_query () =
+  let rng = Random.State.make [| 9 |] in
+  let points = rand_points rng ~dim:2 ~n:600 ~range:10. in
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Partition_tree.build ~stats ~block_size:8 ~dim:2 points in
+  for _ = 1 to 25 do
+    (* a random triangle as three halfplane constraints *)
+    let cx = Random.State.float rng 10. -. 5.
+    and cy = Random.State.float rng 10. -. 5. in
+    let verts =
+      Array.init 3 (fun i ->
+          let ang =
+            (float_of_int i *. 2.1)
+            +. Random.State.float rng 1.
+          in
+          let rad = 1. +. Random.State.float rng 6. in
+          [| cx +. (rad *. cos ang); cy +. (rad *. sin ang) |])
+    in
+    (* constraint for edge (i, i+1) keeping the third vertex inside *)
+    let constrs =
+      List.init 3 (fun i ->
+          let p = verts.(i) and q = verts.((i + 1) mod 3) in
+          let o = verts.((i + 2) mod 3) in
+          let w = [| q.(1) -. p.(1); p.(0) -. q.(0) |] in
+          let b = -.((w.(0) *. p.(0)) +. (w.(1) *. p.(1))) in
+          let v = (w.(0) *. o.(0)) +. (w.(1) *. o.(1)) +. b in
+          if v <= 0. then { Cells.w; b }
+          else { Cells.w = [| -.w.(0); -.w.(1) |]; b = -.b })
+    in
+    let got = List.sort compare (Core.Partition_tree.query_simplex t constrs) in
+    let want =
+      List.filter
+        (fun i -> List.for_all (fun c -> Cells.satisfies c points.(i)) constrs)
+        (List.init (Array.length points) Fun.id)
+    in
+    if got <> want then
+      Alcotest.failf "simplex: got %d want %d" (List.length got)
+        (List.length want)
+  done
+
+let test_partition_tree_space_linear () =
+  let rng = Random.State.make [| 10 |] in
+  let points = rand_points rng ~dim:3 ~n:8192 ~range:10. in
+  let stats = Emio.Io_stats.create () in
+  let block_size = 32 in
+  let t = Core.Partition_tree.build ~stats ~block_size ~dim:3 points in
+  let n = (8192 + block_size - 1) / block_size in
+  Alcotest.(check bool) "O(n) blocks" true
+    (Core.Partition_tree.space_blocks t <= 4 * n)
+
+let test_partition_tree_visit_bound () =
+  (* Theorem 5.2: the recursion visits O(n^{1-1/d}) nodes. *)
+  let rng = Random.State.make [| 14 |] in
+  let dim = 2 in
+  let points = rand_points rng ~dim ~n:16384 ~range:10. in
+  let stats = Emio.Io_stats.create () in
+  let block_size = 32 in
+  let t = Core.Partition_tree.build ~stats ~block_size ~dim points in
+  let n = 16384 / block_size in
+  let worst = ref 0 in
+  for _ = 1 to 30 do
+    let a = [| Random.State.float rng 2. -. 1. |] in
+    let a0 = Random.State.float rng 16. -. 8. in
+    ignore (Core.Partition_tree.query_halfspace t ~a0 ~a);
+    worst := max !worst (Core.Partition_tree.last_visited_nodes t)
+  done;
+  let bound = int_of_float (12. *. sqrt (float_of_int n)) in
+  if !worst > bound then Alcotest.failf "visited %d > %d" !worst bound
+
+(* --- shallow tree (§6) ------------------------------------------------ *)
+
+let test_shallow_tree_oracle () =
+  let rng = Random.State.make [| 15 |] in
+  List.iter
+    (fun dim ->
+      let points = rand_points rng ~dim ~n:700 ~range:10. in
+      let stats = Emio.Io_stats.create () in
+      let t = Core.Shallow_tree.build ~stats ~block_size:8 ~dim points in
+      for _ = 1 to 25 do
+        let a = Array.init (dim - 1) (fun _ -> Random.State.float rng 2. -. 1.) in
+        let a0 = Random.State.float rng 16. -. 8. in
+        let got =
+          List.sort compare (Core.Shallow_tree.query_halfspace t ~a0 ~a)
+        in
+        let want = brute_halfspace points ~a0 ~a in
+        if got <> want then
+          Alcotest.failf "shallow dim %d: got %d want %d" dim
+            (List.length got) (List.length want)
+      done)
+    [ 2; 3 ]
+
+let test_shallow_tree_shallow_queries_stay_shallow () =
+  let rng = Random.State.make [| 16 |] in
+  let points = rand_points rng ~dim:3 ~n:4096 ~range:10. in
+  let stats = Emio.Io_stats.create () in
+  let t = Core.Shallow_tree.build ~stats ~block_size:16 ~dim:3 points in
+  (* a very shallow horizontal query: z <= -9.8 (few points below) *)
+  let res = Core.Shallow_tree.query_halfspace t ~a0:(-9.8) ~a:[| 0.; 0. |] in
+  Alcotest.(check bool) "small output" true (List.length res < 256);
+  Alcotest.(check bool) "no secondary bailout for shallow query" true
+    (Core.Shallow_tree.last_secondary_uses t <= 1)
+
+(* --- tradeoff structure (§6.1) ---------------------------------------- *)
+
+let test_tradeoff3d_oracle () =
+  let rng = Random.State.make [| 17 |] in
+  let points =
+    Array.init 600 (fun _ ->
+        Geom.Point3.make
+          (Random.State.float rng 20. -. 10.)
+          (Random.State.float rng 20. -. 10.)
+          (Random.State.float rng 20. -. 10.))
+  in
+  let stats = Emio.Io_stats.create () in
+  let t =
+    Core.Tradeoff3d.build ~stats ~block_size:8 ~a:1.5
+      ~clip:(-50., -50., 50., 50.) points
+  in
+  for _ = 1 to 25 do
+    let a = Random.State.float rng 2. -. 1.
+    and b = Random.State.float rng 2. -. 1.
+    and c = Random.State.float rng 30. -. 15. in
+    let got = List.sort compare (Core.Tradeoff3d.query_ids t ~a ~b ~c) in
+    let want =
+      List.filter
+        (fun i ->
+          let p = points.(i) in
+          Geom.Point3.z p
+          <= (a *. Geom.Point3.x p) +. (b *. Geom.Point3.y p) +. c
+             +. Geom.Eps.eps)
+        (List.init (Array.length points) Fun.id)
+    in
+    if got <> want then
+      Alcotest.failf "tradeoff: got %d want %d" (List.length got)
+        (List.length want)
+  done
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "halfspace constr" `Quick test_constr_halfspace;
+          Alcotest.test_case "classify box" `Quick test_classify_box;
+          Alcotest.test_case "classify simplex" `Quick test_classify_simplex;
+          Alcotest.test_case "simplex contains" `Quick test_simplex_contains;
+          QCheck_alcotest.to_alcotest prop_bounding_simplex_contains;
+        ] );
+      ( "partitioner",
+        [
+          Alcotest.test_case "cover and balance" `Quick
+            test_partitioners_cover_and_balance;
+          Alcotest.test_case "points inside cells" `Quick
+            test_points_inside_their_cells;
+          Alcotest.test_case "kd crossing bound (Thm 5.1)" `Quick
+            test_kd_crossing_bound;
+        ] );
+      ( "partition_tree",
+        [
+          Alcotest.test_case "halfspace oracle" `Quick
+            test_partition_tree_oracle;
+          Alcotest.test_case "simplex oracle" `Quick
+            test_partition_tree_simplex_query;
+          Alcotest.test_case "linear space" `Quick
+            test_partition_tree_space_linear;
+          Alcotest.test_case "visit bound (Thm 5.2)" `Slow
+            test_partition_tree_visit_bound;
+        ] );
+      ( "shallow_tree",
+        [
+          Alcotest.test_case "halfspace oracle" `Quick test_shallow_tree_oracle;
+          Alcotest.test_case "shallow stays shallow" `Quick
+            test_shallow_tree_shallow_queries_stay_shallow;
+        ] );
+      ( "tradeoff3d",
+        [ Alcotest.test_case "halfspace oracle" `Quick test_tradeoff3d_oracle ]
+      );
+    ]

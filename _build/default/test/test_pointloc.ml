@@ -1,0 +1,187 @@
+(* Tests for the two point-location substrates: the expected-case grid
+   and the worst-case segment tree, plus their agreement inside the §4
+   structure. *)
+
+open Geom
+
+(* --- Seg_tree ---------------------------------------------------------- *)
+
+(* brute oracle: lowest segment at or above (x, y) among those whose
+   x-span contains x *)
+let brute_locate segs x y =
+  List.fold_left
+    (fun best (a, b, payload) ->
+      let x0 = min (Point2.x a) (Point2.x b)
+      and x1 = max (Point2.x a) (Point2.x b) in
+      if x < x0 || x > x1 then best
+      else begin
+        let slope = (Point2.y b -. Point2.y a) /. (Point2.x b -. Point2.x a) in
+        let h = Point2.y a +. (slope *. (x -. Point2.x a)) in
+        if h >= y -. Eps.eps then
+          match best with
+          | Some (bh, _) when bh <= h -> best
+          | _ -> Some (h, payload)
+        else best
+      end)
+    None segs
+
+let test_segtree_basic () =
+  let stats = Emio.Io_stats.create () in
+  let segments =
+    [|
+      (Point2.make 0. 0., Point2.make 10. 0., "low");
+      (Point2.make 0. 5., Point2.make 10. 5., "mid");
+      (Point2.make 2. 10., Point2.make 8. 10., "high");
+    |]
+  in
+  let t = Pointloc.Seg_tree.create ~stats ~block_size:4 ~segments () in
+  Alcotest.(check (option string)) "below everything" (Some "low")
+    (Pointloc.Seg_tree.locate_above t 5. (-3.));
+  Alcotest.(check (option string)) "between low and mid" (Some "mid")
+    (Pointloc.Seg_tree.locate_above t 5. 2.);
+  Alcotest.(check (option string)) "between mid and high" (Some "high")
+    (Pointloc.Seg_tree.locate_above t 5. 7.);
+  Alcotest.(check (option string)) "x outside the short segment" None
+    (Pointloc.Seg_tree.locate_above t 1. 7.);
+  Alcotest.(check (option string)) "above everything" None
+    (Pointloc.Seg_tree.locate_above t 5. 99.)
+
+(* random horizontal segments never cross: a clean oracle workload *)
+let prop_segtree_horizontal_oracle =
+  QCheck.Test.make ~count:200 ~name:"seg_tree = oracle (horizontal segments)"
+    QCheck.(pair (int_range 0 5000) (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Random.State.make [| seed |] in
+      let segments =
+        Array.init n (fun i ->
+            let x0 = Random.State.float rng 80. -. 40. in
+            let len = 1. +. Random.State.float rng 30. in
+            let y = Random.State.float rng 60. -. 30. in
+            (Point2.make x0 y, Point2.make (x0 +. len) y, i))
+      in
+      let stats = Emio.Io_stats.create () in
+      let t = Pointloc.Seg_tree.create ~stats ~block_size:4 ~segments () in
+      let ok = ref true in
+      for _ = 1 to 25 do
+        let x = Random.State.float rng 100. -. 50.
+        and y = Random.State.float rng 80. -. 40. in
+        let got = Pointloc.Seg_tree.locate_above t x y in
+        let want =
+          Option.map snd (brute_locate (Array.to_list segments) x y)
+        in
+        if got <> want then ok := false
+      done;
+      !ok)
+
+(* a triangle fan: segments sharing endpoints, mixed slopes *)
+let test_segtree_fan () =
+  let apex = Point2.make 0. 10. in
+  let segments =
+    Array.init 8 (fun i ->
+        let x = -8. +. (2. *. float_of_int i) in
+        (apex, Point2.make x 0., i))
+  in
+  (* drop the two near-vertical spokes *)
+  let segments =
+    Array.of_list
+      (List.filter
+         (fun (a, b, _) ->
+           Float.abs (Point2.x a -. Point2.x b) > 0.5)
+         (Array.to_list segments))
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Pointloc.Seg_tree.create ~stats ~block_size:4 ~segments () in
+  let rng = Random.State.make [| 9 |] in
+  for _ = 1 to 100 do
+    let x = Random.State.float rng 16. -. 8.
+    and y = Random.State.float rng 12. -. 1. in
+    let got = Pointloc.Seg_tree.locate_above t x y in
+    let want = Option.map snd (brute_locate (Array.to_list segments) x y) in
+    if got <> want then
+      Alcotest.failf "fan mismatch at (%g, %g)" x y
+  done
+
+let test_segtree_rejects_vertical () =
+  let stats = Emio.Io_stats.create () in
+  Alcotest.check_raises "vertical"
+    (Invalid_argument "Seg_tree.create: near-vertical segment") (fun () ->
+      ignore
+        (Pointloc.Seg_tree.create ~stats ~block_size:4
+           ~segments:[| (Point2.make 0. 0., Point2.make 0. 5., ()) |]
+           ()))
+
+let test_segtree_empty () =
+  let stats = Emio.Io_stats.create () in
+  let t = Pointloc.Seg_tree.create ~stats ~block_size:4 ~segments:[||] () in
+  Alcotest.(check bool) "empty" true
+    (Pointloc.Seg_tree.locate_above t 0. 0. = None)
+
+(* --- Grid -------------------------------------------------------------- *)
+
+let test_grid_basic () =
+  let stats = Emio.Io_stats.create () in
+  let tri a b c =
+    [| Point2.make (fst a) (snd a); Point2.make (fst b) (snd b);
+       Point2.make (fst c) (snd c) |]
+  in
+  let items =
+    [|
+      (tri (0., 0.) (4., 0.) (0., 4.), "left");
+      (tri (4., 0.) (4., 4.) (0., 4.), "right");
+    |]
+  in
+  let t =
+    Pointloc.Grid.create ~stats ~block_size:4 ~clip:(0., 0., 4., 4.) ~items ()
+  in
+  Alcotest.(check (option string)) "left triangle" (Some "left")
+    (Pointloc.Grid.locate t 1. 1.);
+  Alcotest.(check (option string)) "right triangle" (Some "right")
+    (Pointloc.Grid.locate t 3. 3.);
+  Alcotest.(check (option string)) "outside clip" None
+    (Pointloc.Grid.locate t 9. 9.)
+
+(* --- agreement inside the §4 structure (grid vs segtree) -------------- *)
+
+let test_locators_agree_in_lowest_planes () =
+  let rng = Random.State.make [| 31337 |] in
+  let planes =
+    Array.init 1024 (fun _ ->
+        Plane3.make
+          ~a:(Random.State.float rng 4. -. 2.)
+          ~b:(Random.State.float rng 4. -. 2.)
+          ~c:(Random.State.float rng 40. -. 20.))
+  in
+  let clip = (-50., -50., 50., 50.) in
+  let build use_segtree =
+    let stats = Emio.Io_stats.create () in
+    Core.Lowest_planes.build ~stats ~block_size:16 ~clip ~use_segtree planes
+  in
+  let g = build false and s = build true in
+  for _ = 1 to 50 do
+    let x = Random.State.float rng 80. -. 40.
+    and y = Random.State.float rng 80. -. 40. in
+    let k = 1 + Random.State.int rng 64 in
+    let ids l = List.map fst (Core.Lowest_planes.k_lowest l ~x ~y ~k) in
+    Alcotest.(check (list int)) "same k-lowest" (ids g) (ids s)
+  done
+
+let () =
+  Alcotest.run "pointloc"
+    [
+      ( "seg_tree",
+        [
+          Alcotest.test_case "basic" `Quick test_segtree_basic;
+          QCheck_alcotest.to_alcotest prop_segtree_horizontal_oracle;
+          Alcotest.test_case "triangle fan" `Quick test_segtree_fan;
+          Alcotest.test_case "rejects vertical" `Quick
+            test_segtree_rejects_vertical;
+          Alcotest.test_case "empty" `Quick test_segtree_empty;
+        ] );
+      ( "grid",
+        [ Alcotest.test_case "basic" `Quick test_grid_basic ] );
+      ( "integration",
+        [
+          Alcotest.test_case "grid and segtree agree in §4" `Quick
+            test_locators_agree_in_lowest_planes;
+        ] );
+    ]
