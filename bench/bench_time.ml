@@ -73,3 +73,64 @@ let run () =
       | Some [ est ] -> Printf.printf "%-28s %12.1f ns/query\n" name est
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
+
+(* Persistence experiment: the same §3 structure queried in memory
+   (simulated model I/Os) and reopened from a snapshot file (real page
+   faults through the buffer pool).  The result counts must agree; the
+   wall-clock and fault numbers show what the file backend costs at
+   different pool sizes and policies. *)
+let run_persistence () =
+  Util.section "PERSIST" "file-backed snapshots: wall-clock and page faults";
+  let n = 32768 and queries = 200 in
+  let rng = Workload.rng 9001 in
+  let stats = Emio.Io_stats.create () in
+  let pts = Workload.uniform2 rng ~n ~range:100. in
+  let h2 = Core.Halfspace2d.build ~stats ~block_size pts in
+  let qs =
+    Array.init queries (fun _ ->
+        Workload.halfplane_with_selectivity rng pts ~fraction:0.01)
+  in
+  let time_queries run =
+    let t0 = Unix.gettimeofday () in
+    let total = ref 0 in
+    Array.iter (fun (slope, icept) -> total := !total + run ~slope ~icept) qs;
+    (1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int queries, !total)
+  in
+  Emio.Io_stats.reset stats;
+  let mem_us, mem_t =
+    time_queries (fun ~slope ~icept ->
+        Core.Halfspace2d.query_count h2 ~slope ~icept)
+  in
+  Printf.printf
+    "in-memory simulator   %8.1f us/query  %6d model I/Os  (%d queries, avg t=%d)\n"
+    mem_us (Emio.Io_stats.reads stats) queries (mem_t / queries);
+  let path = Filename.temp_file "lcsearch_bench" ".snapshot" in
+  Core.Halfspace2d.save_snapshot h2 ~path ();
+  List.iter
+    (fun (label, policy, cache_pages) ->
+      let fstats = Emio.Io_stats.create () in
+      match Core.Halfspace2d.of_snapshot ~stats:fstats ~policy ~cache_pages path with
+      | Error e ->
+          Printf.printf "%-20s load failed: %s\n" label
+            (Diskstore.Snapshot.error_to_string e)
+      | Ok (t, _) ->
+          Emio.Io_stats.reset fstats;
+          let us, tt =
+            time_queries (fun ~slope ~icept ->
+                Core.Halfspace2d.query_count t ~slope ~icept)
+          in
+          Printf.printf
+            "%-20s %8.1f us/query  %6d page faults  %6d hits  %5d evictions  %6.0f KiB read%s\n"
+            label us
+            (Emio.Io_stats.reads fstats)
+            (Emio.Io_stats.cache_hits fstats)
+            (Emio.Io_stats.evictions fstats)
+            (float_of_int (Emio.Io_stats.bytes_read fstats) /. 1024.)
+            (if tt = mem_t then "" else "  RESULT MISMATCH"))
+    [
+      ("file, lru, 256p", Diskstore.Buffer_pool.Lru, 256);
+      ("file, lru, 16p", Diskstore.Buffer_pool.Lru, 16);
+      ("file, clock, 16p", Diskstore.Buffer_pool.Clock, 16);
+      ("file, no pool", Diskstore.Buffer_pool.Lru, 0);
+    ];
+  Sys.remove path

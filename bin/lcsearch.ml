@@ -4,7 +4,10 @@
      info    — the paper's Table 1 and what this repo implements
      run     — build a structure over a generated workload, run queries,
                and report I/O statistics
-     sweep   — sweep N and print scaling rows for one structure *)
+     sweep   — sweep N and print scaling rows for one structure
+     build   — build a structure and persist it to a snapshot file
+     query   — reopen a snapshot in this (fresh) process and query it
+     inspect — print a snapshot file's header *)
 
 open Cmdliner
 
@@ -313,6 +316,295 @@ let segments_cmd =
        ~doc:"segment intersection searching (§7 open problem 2)")
     Term.(const segments_once $ n $ b $ seed)
 
+(* ---------- persistence: build / query / inspect ---------- *)
+
+let structure_name = function
+  | H2 -> "h2"
+  | H3 -> "h3"
+  | Ptree -> "ptree"
+  | Shallow -> "shallow"
+  | Tradeoff -> "tradeoff"
+  | Rtree -> "rtree"
+  | Quad -> "quadtree"
+  | Grid -> "gridfile"
+  | Scan -> "scan"
+
+let workload_name = function
+  | Uniform -> "uniform"
+  | Clusters -> "clusters"
+  | Diagonal -> "diagonal"
+
+(* The snapshot's meta string records the workload parameters, so
+   [query] can regenerate the exact point and query streams of the
+   process that built the file (same seed -> same Workload.rng). *)
+let meta_string ~s ~n ~block_size ~kind ~seed =
+  Printf.sprintf "s=%s;n=%d;b=%d;w=%s;seed=%d" (structure_name s) n block_size
+    (workload_name kind) seed
+
+let meta_field meta key =
+  List.find_map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | Some i when String.sub kv 0 i = key ->
+          Some (String.sub kv (i + 1) (String.length kv - i - 1))
+      | _ -> None)
+    (String.split_on_char ';' meta)
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let build_once s n block_size kind seed out page_size =
+  (match page_size with
+  | Some p when p < Diskstore.Block_file.min_page_size ->
+      die "--page-size must be at least %d bytes"
+        Diskstore.Block_file.min_page_size
+  | _ -> ());
+  let rng = Workload.rng seed in
+  let points = gen2 kind rng n in
+  let stats = Emio.Io_stats.create () in
+  let meta = meta_string ~s ~n ~block_size ~kind ~seed in
+  (try
+     match s with
+  | H2 ->
+      let t = Core.Halfspace2d.build ~stats ~block_size points in
+      Core.Halfspace2d.save_snapshot t ~path:out ~meta ?page_size ()
+  | Rtree ->
+      let t = Baselines.Rtree.build ~stats ~block_size points in
+      Baselines.Rtree.save_snapshot t ~path:out ~meta ?page_size ()
+  | Scan ->
+      let t = Baselines.Linear_scan.build ~stats ~block_size points in
+      Baselines.Linear_scan.save_snapshot t ~path:out ~meta ?page_size ()
+     | other ->
+         die "structure %s does not support snapshots (use h2, rtree or scan)"
+           (structure_name other)
+   with Invalid_argument msg -> die "cannot write %s: %s" out msg);
+  match Diskstore.Snapshot.read_info out with
+  | Error e -> die "wrote %s but cannot read it back: %s" out
+                 (Diskstore.Snapshot.error_to_string e)
+  | Ok info ->
+      Printf.printf
+        "%s: %s  N=%d  B=%d  build=%d model I/Os  %d pages of %d bytes\n" out
+        info.Diskstore.Snapshot.kind n block_size
+        (Emio.Io_stats.total stats)
+        info.Diskstore.Snapshot.total_pages info.Diskstore.Snapshot.page_size
+
+let build_cmd =
+  let s =
+    Arg.(
+      value
+      & opt structure_conv H2
+      & info [ "s"; "structure" ]
+          ~doc:"Structure to persist: h2, rtree, or scan.")
+  in
+  let n = Arg.(value & opt int 16384 & info [ "n" ] ~doc:"Number of points.") in
+  let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
+  let kind =
+    Arg.(
+      value
+      & opt workload_conv Uniform
+      & info [ "w"; "workload" ] ~doc:"Workload: uniform, clusters, diagonal.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Snapshot file to write.")
+  in
+  let page_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "page-size" ] ~doc:"Snapshot page size in bytes (default 4096).")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a structure and persist it to a snapshot")
+    Term.(const build_once $ s $ n $ b $ kind $ seed $ out $ page_size)
+
+let policy_conv =
+  Arg.enum
+    [ ("lru", Diskstore.Buffer_pool.Lru); ("clock", Diskstore.Buffer_pool.Clock) ]
+
+let sorted_pts l =
+  List.sort compare
+    (List.map (fun p -> (Geom.Point2.x p, Geom.Point2.y p)) l)
+
+(* Reopen [path] and return a halfplane query closure over it,
+   dispatching on the header's kind tag. *)
+let open_snapshot path ~stats ~policy ~cache_pages info =
+  let kind = info.Diskstore.Snapshot.kind in
+  let wrap = function
+    | Error e ->
+        die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+    | Ok q -> q
+  in
+  if kind = Core.Halfspace2d.snapshot_kind then
+    wrap
+      (match Core.Halfspace2d.of_snapshot ~stats ~policy ~cache_pages path with
+      | Error _ as e -> e
+      | Ok (t, _) ->
+          Ok (fun ~slope ~icept -> Core.Halfspace2d.query t ~slope ~icept))
+  else if kind = Baselines.Rtree.snapshot_kind then
+    wrap
+      (match Baselines.Rtree.of_snapshot ~stats ~policy ~cache_pages path with
+      | Error _ as e -> e
+      | Ok (t, _) ->
+          Ok (fun ~slope ~icept -> Baselines.Rtree.query_halfplane t ~slope ~icept))
+  else if kind = Baselines.Linear_scan.snapshot_kind then
+    wrap
+      (match Baselines.Linear_scan.of_snapshot ~stats ~policy ~cache_pages path with
+      | Error _ as e -> e
+      | Ok (t, _) ->
+          Ok
+            (fun ~slope ~icept ->
+              Baselines.Linear_scan.query_halfplane t ~slope ~icept))
+  else die "%s: unknown snapshot kind %S" path kind
+
+(* In-memory rebuild over the same points, for --check. *)
+let reference_query s ~block_size points =
+  let stats = Emio.Io_stats.create () in
+  match s with
+  | "h2" ->
+      let t = Core.Halfspace2d.build ~stats ~block_size points in
+      fun ~slope ~icept -> Core.Halfspace2d.query t ~slope ~icept
+  | "rtree" ->
+      let t = Baselines.Rtree.build ~stats ~block_size points in
+      fun ~slope ~icept -> Baselines.Rtree.query_halfplane t ~slope ~icept
+  | "scan" ->
+      let t = Baselines.Linear_scan.build ~stats ~block_size points in
+      fun ~slope ~icept -> Baselines.Linear_scan.query_halfplane t ~slope ~icept
+  | other -> die "unknown structure %S in snapshot meta" other
+
+let query_once path fraction queries cache_pages policy check =
+  let info =
+    match Diskstore.Snapshot.read_info path with
+    | Ok info -> info
+    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  in
+  let meta = info.Diskstore.Snapshot.meta in
+  let field key =
+    match meta_field meta key with
+    | Some v -> v
+    | None -> die "%s: snapshot meta %S lacks %S" path meta key
+  in
+  let int_field key =
+    match int_of_string_opt (field key) with
+    | Some v -> v
+    | None -> die "%s: bad %S in snapshot meta" path key
+  in
+  let n = int_field "n"
+  and block_size = int_field "b"
+  and seed = int_field "seed" in
+  let kind =
+    match field "w" with
+    | "uniform" -> Uniform
+    | "clusters" -> Clusters
+    | "diagonal" -> Diagonal
+    | w -> die "%s: unknown workload %S in snapshot meta" path w
+  in
+  (* replay the builder's stream: points first, then queries *)
+  let rng = Workload.rng seed in
+  let points = gen2 kind rng n in
+  let stats = Emio.Io_stats.create () in
+  let run_query = open_snapshot path ~stats ~policy ~cache_pages info in
+  let reference =
+    if check then Some (reference_query (field "s") ~block_size points)
+    else None
+  in
+  Printf.printf "%s: %s  meta %s  %d pages of %d bytes\n" path
+    info.Diskstore.Snapshot.kind meta info.Diskstore.Snapshot.total_pages
+    info.Diskstore.Snapshot.page_size;
+  Emio.Io_stats.reset stats (* drop the load-time verification sweep *);
+  let total_t = ref 0 and mismatches = ref 0 in
+  for _ = 1 to queries do
+    let slope, icept =
+      Workload.halfplane_with_selectivity rng points ~fraction
+    in
+    let result = run_query ~slope ~icept in
+    total_t := !total_t + List.length result;
+    match reference with
+    | Some ref_query ->
+        if sorted_pts (ref_query ~slope ~icept) <> sorted_pts result then
+          incr mismatches
+    | None -> ()
+  done;
+  Printf.printf
+    "%d queries at selectivity %.3f: avg t=%d points, %d page faults, %d \
+     pool hits, %d evictions, %.1f KiB read\n"
+    queries fraction
+    (!total_t / max 1 queries)
+    (Emio.Io_stats.reads stats)
+    (Emio.Io_stats.cache_hits stats)
+    (Emio.Io_stats.evictions stats)
+    (float_of_int (Emio.Io_stats.bytes_read stats) /. 1024.);
+  if check then
+    if !mismatches = 0 then
+      Printf.printf
+        "check: all %d result sets identical to an in-memory rebuild\n" queries
+    else
+      die "check FAILED: %d of %d result sets differ from in-memory rebuild"
+        !mismatches queries
+
+let query_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH" ~doc:"Snapshot file written by $(b,lcsearch build).")
+  in
+  let fraction =
+    Arg.(value & opt float 0.02 & info [ "f"; "fraction" ] ~doc:"Query selectivity.")
+  in
+  let queries = Arg.(value & opt int 20 & info [ "q"; "queries" ] ~doc:"Query count.") in
+  let cache_pages =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-pages" ] ~doc:"Buffer-pool capacity in pages.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Diskstore.Buffer_pool.Lru
+      & info [ "policy" ] ~doc:"Buffer-pool eviction policy: lru or clock.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Rebuild the structure in memory from the recorded workload and \
+             verify every result set matches the snapshot's.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Reopen a persisted snapshot and query it")
+    Term.(
+      const query_once $ path $ fraction $ queries $ cache_pages $ policy
+      $ check)
+
+let inspect_once path =
+  match Diskstore.Snapshot.read_info path with
+  | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  | Ok i ->
+      Printf.printf
+        "%s:\n  kind        %s\n  meta        %s\n  version     %d\n\
+        \  page size   %d bytes\n  block size  %d items\n  blocks      %d\n\
+        \  pages       %d (%d bytes)\n"
+        path i.Diskstore.Snapshot.kind i.Diskstore.Snapshot.meta
+        i.Diskstore.Snapshot.version i.Diskstore.Snapshot.page_size
+        i.Diskstore.Snapshot.block_size i.Diskstore.Snapshot.n_blocks
+        i.Diskstore.Snapshot.total_pages
+        (i.Diskstore.Snapshot.total_pages * i.Diskstore.Snapshot.page_size)
+
+let inspect_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH" ~doc:"Snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print a snapshot file's header")
+    Term.(const inspect_once $ path)
+
 let info_text () =
   print_string
     "Efficient Searching with Linear Constraints — OCaml reproduction\n\
@@ -339,4 +631,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lcsearch" ~version:"1.0.0" ~doc)
-          [ run_cmd; sweep_cmd; knn_cmd; segments_cmd; info_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            build_cmd;
+            query_cmd;
+            inspect_cmd;
+            knn_cmd;
+            segments_cmd;
+            info_cmd;
+          ]))

@@ -15,7 +15,7 @@ let length t = t.length
 let space_blocks t =
   Emio.Run.block_count t.directory + Emio.Run.block_count t.buckets
 
-let build ~stats ~block_size ?(cache_blocks = 0) points =
+let build ~stats ~block_size ?(cache_blocks = 0) ?backend points =
   let n = Array.length points in
   let bbox =
     if n = 0 then { Rect.x0 = 0.; y0 = 0.; x1 = 1.; y1 = 1. }
@@ -59,7 +59,7 @@ let build ~stats ~block_size ?(cache_blocks = 0) points =
         ps)
     cells;
   let store_dir = Emio.Store.create ~stats ~block_size ~cache_blocks () in
-  let store_b = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let store_b = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   {
     directory = Emio.Run.of_array store_dir dir;
     buckets = Emio.Run.of_array store_b (Array.of_list (List.rev !flat));

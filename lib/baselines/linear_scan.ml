@@ -2,8 +2,8 @@ open Geom
 
 type t = { run : Point2.t Emio.Run.t; length : int }
 
-let build ~stats ~block_size ?(cache_blocks = 0) points =
-  let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+let build ~stats ~block_size ?(cache_blocks = 0) ?backend points =
+  let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   { run = Emio.Run.of_array store points; length = Array.length points }
 
 let below ~slope ~icept p =
@@ -21,3 +21,21 @@ let query_count t ~slope ~icept =
 
 let space_blocks t = Emio.Run.block_count t.run
 let length t = t.length
+
+let snapshot_kind = "lcsearch.scan"
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~store:(Emio.Run.store t.run) ~value:t ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let t : t = opened.Diskstore.Snapshot.value in
+      Emio.Store.attach (Emio.Run.store t.run) ~stats
+        opened.Diskstore.Snapshot.backend;
+      Ok (t, opened.Diskstore.Snapshot.info)

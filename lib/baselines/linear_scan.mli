@@ -6,6 +6,7 @@ type t
 
 val build :
   stats:Emio.Io_stats.t -> block_size:int -> ?cache_blocks:int ->
+  ?backend:Emio.Store_intf.backend ->
   Geom.Point2.t array -> t
 
 val query_halfplane : t -> slope:float -> icept:float -> Geom.Point2.t list
@@ -15,3 +16,16 @@ val query_count : t -> slope:float -> icept:float -> int
 
 val space_blocks : t -> int
 val length : t -> int
+
+val snapshot_kind : string
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result
+(** See {!Core.Halfspace2d.of_snapshot}; same snapshot contract. *)

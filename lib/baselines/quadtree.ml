@@ -29,8 +29,9 @@ let quadrants (r : Rect.t) =
     { Rect.x0 = mx; y0 = r.Rect.y0; x1 = r.Rect.x1; y1 = my };
   |]
 
-let build ~stats ~block_size ?(cache_blocks = 0) ?(max_depth = 40) points =
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(max_depth = 40)
+    points =
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let n = Array.length points in
   let bbox =

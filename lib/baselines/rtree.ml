@@ -96,8 +96,9 @@ let str_pack ~block_size points =
   done;
   Array.of_list (List.rev !groups)
 
-let build ~stats ~block_size ?(cache_blocks = 0) ?(packing = Str) points =
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(packing = Str)
+    points =
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   if Array.length points = 0 then
     {
@@ -220,3 +221,25 @@ let query_window t w =
       else Rect.Outside)
     ~keep:(fun p -> Rect.contains w p)
     []
+
+(* Persistence: the leaf store is the snapshot payload; the internal
+   levels (O(n/B) entries) ride in the skeleton and stay in memory,
+   like a real system pinning index nodes. *)
+
+let snapshot_kind = "lcsearch.rtree"
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~store:t.leaves ~value:t ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let t : t = opened.Diskstore.Snapshot.value in
+      Emio.Store.attach t.leaves ~stats opened.Diskstore.Snapshot.backend;
+      Emio.Store.set_stats t.internals stats;
+      Ok (t, opened.Diskstore.Snapshot.info)

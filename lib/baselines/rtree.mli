@@ -17,6 +17,7 @@ type packing =
 
 val build :
   stats:Emio.Io_stats.t -> block_size:int -> ?cache_blocks:int ->
+  ?backend:Emio.Store_intf.backend ->
   ?packing:packing -> Geom.Point2.t array -> t
 
 val query_halfplane : t -> slope:float -> icept:float -> Geom.Point2.t list
@@ -28,3 +29,18 @@ val query_window : t -> Rect.t -> Geom.Point2.t list
 val space_blocks : t -> int
 val length : t -> int
 val height : t -> int
+
+val snapshot_kind : string
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+(** Leaf blocks become payload pages; internal levels ride in the
+    skeleton (pinned in memory when reopened). *)
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result
+(** See {!Core.Halfspace2d.of_snapshot}; same snapshot contract. *)

@@ -75,8 +75,8 @@ let dedupe points =
     tbl []
   |> Array.of_list
 
-let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) points =
-  let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(seed = 0) points =
+  let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   let beta = compute_beta ~block_size (Array.length points) in
   let rng = Random.State.make [| seed; 0x2d; Array.length points |] in
   let remaining = ref (dedupe points) in
@@ -227,3 +227,28 @@ let query_count t ~slope ~icept =
     (fun acc e -> acc + Array.length e.points)
     0
     (query_entries t ~slope ~icept)
+
+(* Persistence: the entry store is the snapshot payload; layer lists
+   and the per-layer boundary B-trees ride in the skeleton. *)
+
+let snapshot_kind = "lcsearch.h2"
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~store:t.store ~value:t ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let t : t = opened.Diskstore.Snapshot.value in
+      Emio.Store.attach t.store ~stats opened.Diskstore.Snapshot.backend;
+      Array.iter
+        (function
+          | Clustered { btree; _ } -> Xbtree.Btree.relink_stats btree stats
+          | Scan _ -> ())
+        t.layer_list;
+      Ok (t, opened.Diskstore.Snapshot.info)

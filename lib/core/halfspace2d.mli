@@ -21,12 +21,14 @@ val build :
   stats:Emio.Io_stats.t ->
   block_size:int ->
   ?cache_blocks:int ->
+  ?backend:Emio.Store_intf.backend ->
   ?seed:int ->
   Geom.Point2.t array ->
   t
 (** Duplicate points are stored once with multiplicity.  [seed] drives
     the random level choices (λ_i); default 0 makes builds
-    deterministic. *)
+    deterministic.  [backend] places the entry store on an external
+    (file) backend instead of the in-memory simulator. *)
 
 val query : t -> slope:float -> icept:float -> Geom.Point2.t list
 (** All input points (with multiplicity) satisfying
@@ -57,3 +59,22 @@ val last_clusters_visited : t -> int
 
 val last_layers_visited : t -> int
 (** Layers the most recent query visited before halting. *)
+
+val snapshot_kind : string
+(** Kind tag stored in this structure's snapshot headers. *)
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+(** Persist the structure: entry blocks become checksummed payload
+    pages, layers and boundary B-trees become the skeleton.  See
+    {!Diskstore.Snapshot}. *)
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result
+(** Reopen a snapshot for querying: entry blocks are served from the
+    file through a buffer pool; corruption (bad magic, bad CRC,
+    truncation) is returned as a typed error. *)

@@ -29,14 +29,14 @@ let partition_of = function
   | Simplicial -> Partitioner.simplicial
   | Shallow -> Partitioner.shallow
 
-let build ~stats ~block_size ?(cache_blocks = 0) ?(partitioner = Kd) ~dim
-    points =
+let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(partitioner = Kd)
+    ~dim points =
   Array.iter
     (fun p ->
       if Array.length p <> dim then
         invalid_arg "Partition_tree.build: wrong point dimension")
     points;
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let partition = partition_of partitioner in
   let rec build_node (items : item array) =

@@ -29,14 +29,14 @@ let space_blocks t =
       (fun _ (pt, _) acc -> acc + Partition_tree.space_blocks pt)
       t.secondaries 0
 
-let build ~stats ~block_size ?(cache_blocks = 0) ?(shallow_factor = 2.0) ~dim
-    points =
+let build ~stats ~block_size ?(cache_blocks = 0) ?backend
+    ?(shallow_factor = 2.0) ~dim points =
   Array.iter
     (fun p ->
       if Array.length p <> dim then
         invalid_arg "Shallow_tree.build: wrong point dimension")
     points;
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let secondaries = Hashtbl.create 64 in
   let rec build_node (items : item array) =

@@ -1,0 +1,26 @@
+(* CRC-32 (ISO 3309 / ITU-T V.42, polynomial 0xEDB88320), table-driven.
+   Implemented here so the file backend needs no external dependency;
+   matches the zlib/`cksum -o 3` checksum, e.g.
+   digest "123456789" = 0xCBF43926. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc bytes ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Crc32.update: out of bounds";
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get bytes i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest bytes = update 0 bytes ~pos:0 ~len:(Bytes.length bytes)
+let digest_string s = digest (Bytes.unsafe_of_string s)

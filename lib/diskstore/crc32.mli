@@ -1,0 +1,12 @@
+(** CRC-32 (ISO 3309, polynomial 0xEDB88320) — the per-page integrity
+    checksum of {!Block_file}.  Pure OCaml, no dependencies. *)
+
+val digest : bytes -> int
+(** Checksum of the whole buffer, in [0, 0xFFFFFFFF]. *)
+
+val digest_string : string -> int
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** [update crc b ~pos ~len] extends [crc] over a slice, so multi-part
+    payloads can be checksummed without concatenation.  The initial
+    value is [0]. *)

@@ -1,0 +1,137 @@
+(* The byte-level Store backend over a real file: each logical block
+   (a marshalled 'a array handed over by Emio.Store) occupies a span of
+   consecutive checksummed pages, accessed through the buffer pool.
+   The block table (block id -> first page, byte length) lives in
+   memory and is persisted by Snapshot alongside the pages. *)
+
+type t = {
+  pool : Buffer_pool.t;
+  base_page : int; (* pages below this belong to the snapshot envelope *)
+  mutable table : (int * int) array; (* id -> (first page - base, bytes) *)
+  mutable n_blocks : int;
+  mutable next_page : int; (* next free page, relative to base *)
+}
+
+let capacity t = Block_file.payload_capacity (Buffer_pool.file t.pool)
+
+let span_pages t len = max 1 ((len + capacity t - 1) / capacity t)
+
+let create ?(base_page = 0) pool =
+  {
+    pool;
+    base_page;
+    table = Array.make 16 (0, 0);
+    n_blocks = 0;
+    next_page = 0;
+  }
+
+let of_table ?(base_page = 0) ~table pool =
+  let b =
+    {
+      pool;
+      base_page;
+      table = (if Array.length table = 0 then Array.make 16 (0, 0) else Array.copy table);
+      n_blocks = Array.length table;
+      next_page = 0;
+    }
+  in
+  Array.iter
+    (fun (first, len) ->
+      b.next_page <- max b.next_page (first + span_pages b len))
+    table;
+  b
+
+let pool t = t.pool
+let table t = Array.sub t.table 0 t.n_blocks
+let payload_pages t = t.next_page
+let name t = "file:" ^ Block_file.path (Buffer_pool.file t.pool)
+let blocks_used t = t.n_blocks
+
+let write_span t ~first data =
+  let cap = capacity t in
+  let len = Bytes.length data in
+  let np = span_pages t len in
+  for j = 0 to np - 1 do
+    let lo = j * cap in
+    let chunk = Bytes.sub data lo (min cap (len - lo)) in
+    Buffer_pool.write_page t.pool (t.base_page + first + j) chunk
+  done
+
+let grow t =
+  let cap = Array.length t.table in
+  if t.n_blocks >= cap then begin
+    let bigger = Array.make (2 * cap) (0, 0) in
+    Array.blit t.table 0 bigger 0 cap;
+    t.table <- bigger
+  end
+
+let alloc t data =
+  grow t;
+  let id = t.n_blocks in
+  let first = t.next_page in
+  write_span t ~first data;
+  t.table.(id) <- (first, Bytes.length data);
+  t.n_blocks <- t.n_blocks + 1;
+  t.next_page <- first + span_pages t (Bytes.length data);
+  id
+
+let read t id =
+  if id < 0 || id >= t.n_blocks then
+    invalid_arg "File_backend.read: bad block id";
+  let first, len = t.table.(id) in
+  let cap = capacity t in
+  let out = Bytes.create len in
+  let np = span_pages t len in
+  for j = 0 to np - 1 do
+    match Buffer_pool.read_page t.pool (t.base_page + first + j) with
+    | Ok payload ->
+        let lo = j * cap in
+        Bytes.blit payload 0 out lo (min (Bytes.length payload) (len - lo))
+    | Error e ->
+        failwith
+          (Format.asprintf "File_backend.read (%s): %a" (name t)
+             Block_file.pp_read_error e)
+  done;
+  out
+
+let write t id data =
+  if id < 0 || id >= t.n_blocks then
+    invalid_arg "File_backend.write: bad block id";
+  let first, old_len = t.table.(id) in
+  let len = Bytes.length data in
+  if span_pages t len <= span_pages t old_len then begin
+    (* fits in the existing span: overwrite in place *)
+    write_span t ~first data;
+    t.table.(id) <- (first, len)
+  end
+  else begin
+    (* relocate to a fresh span at the end (the old pages become
+       garbage; snapshots re-pack, so the leak is bounded by updates
+       within one session) *)
+    let first = t.next_page in
+    write_span t ~first data;
+    t.table.(id) <- (first, len);
+    t.next_page <- first + span_pages t len
+  end
+
+let drop_cache t = Buffer_pool.drop t.pool
+let flush t = Buffer_pool.flush t.pool
+
+let close t =
+  Buffer_pool.flush t.pool;
+  Block_file.close (Buffer_pool.file t.pool)
+
+module Backend_impl = struct
+  type nonrec t = t
+
+  let name = name
+  let alloc = alloc
+  let read = read
+  let write = write
+  let blocks_used = blocks_used
+  let drop_cache = drop_cache
+  let flush = flush
+  let close = close
+end
+
+let backend t = Emio.Store_intf.Backend ((module Backend_impl), t)

@@ -1,0 +1,44 @@
+(** The file-backed implementation of {!Emio.Store_intf.BACKEND}.
+
+    Each logical store block — already marshalled to bytes by
+    {!Emio.Store} — occupies a span of consecutive checksummed pages in
+    a {!Block_file}, read and written through a {!Buffer_pool}.  The
+    block table (block id → first page, byte length) is kept in memory
+    and persisted by {!Snapshot}.
+
+    Plug it into any structure with
+    {[
+      let pool = Buffer_pool.create ~file ~policy:Lru ~capacity:64 in
+      let be = File_backend.(backend (create pool)) in
+      let t = Core.Halfspace2d.build ~stats ~block_size ~backend:be pts
+    ]} *)
+
+type t
+
+val create : ?base_page:int -> Buffer_pool.t -> t
+(** Fresh backend with an empty block table, allocating pages from
+    [base_page] (default 0) upward. *)
+
+val of_table : ?base_page:int -> table:(int * int) array -> Buffer_pool.t -> t
+(** Reopen over an existing page layout (used by {!Snapshot.load}). *)
+
+val backend : t -> Emio.Store_intf.backend
+(** First-class module wrapper to pass to [Emio.Store.create ~backend]
+    or [Emio.Store.attach]. *)
+
+val alloc : t -> bytes -> int
+val read : t -> int -> bytes
+val write : t -> int -> bytes -> unit
+val blocks_used : t -> int
+
+val table : t -> (int * int) array
+(** Copy of the live block table, for persisting. *)
+
+val payload_pages : t -> int
+(** Pages allocated so far (relative to [base_page]). *)
+
+val pool : t -> Buffer_pool.t
+val name : t -> string
+val drop_cache : t -> unit
+val flush : t -> unit
+val close : t -> unit

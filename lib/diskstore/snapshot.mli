@@ -1,0 +1,90 @@
+(** Persistent index snapshots: build a structure once, serialize it,
+    and reopen it for querying in a later process with its payload
+    blocks served from disk through a {!Buffer_pool}.
+
+    A snapshot file is a sequence of checksummed {!Block_file} pages:
+    a header page (magic, version, page/block size, kind and free-form
+    meta strings), block-table pages mapping each store block to its
+    page span, the payload pages themselves, and finally the
+    structure's {e skeleton} — everything except the payload blocks
+    (layer lists, auxiliary B-trees, block ids), marshalled with
+    {!Emio.Store.marshal_flags}.
+
+    Loading validates the whole file (magic, version, per-page CRC-32,
+    length bookkeeping) before any value is unmarshalled; every way a
+    file can be damaged is a constructor of {!error}, never an escaping
+    exception.  Because skeletons may contain closures, a snapshot can
+    only be reopened by the binary that wrote it — a mismatch surfaces
+    as [Bad_payload].
+
+    Structures wrap this module with their own [save_snapshot] /
+    [of_snapshot] (e.g. {!Core.Halfspace2d.of_snapshot}), which pin the
+    skeleton's type via the [kind] tag and re-{!Emio.Store.attach} the
+    reopened backend. *)
+
+type error =
+  | Bad_magic
+  | Unsupported_version of int
+  | Bad_header of string
+  | Truncated of { expected_bytes : int; actual_bytes : int }
+  | Bad_checksum of { page : int }
+  | Bad_payload of string  (** unmarshalling failed (or wrong binary) *)
+  | Kind_mismatch of { expected : string; got : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type info = {
+  kind : string;  (** structure tag, e.g. ["lcsearch.h2"] *)
+  meta : string;  (** free-form builder metadata (workload parameters) *)
+  version : int;
+  page_size : int;
+  block_size : int;
+  n_blocks : int;
+  total_pages : int;
+}
+
+type 'v opened = {
+  info : info;
+  value : 'v;
+      (** the unmarshalled skeleton.  Its type is pinned by the caller
+          (guarded by [expect_kind]); its primary store is empty until
+          {!Emio.Store.attach}ed to [backend]. *)
+  backend : Emio.Store_intf.backend;
+  pool : Buffer_pool.t;
+}
+
+val default_page_size : int
+(** 4096. *)
+
+val save :
+  path:string ->
+  kind:string ->
+  ?meta:string ->
+  ?page_size:int ->
+  store:'a Emio.Store.t ->
+  value:'v ->
+  unit ->
+  unit
+(** Write [value]'s snapshot: [store]'s blocks become the payload
+    pages, and [value] is marshalled with the store ejected (see
+    {!Emio.Store.with_ejected}).  [store] must be the primary store
+    referenced inside [value].  Fsyncs before returning. *)
+
+val read_info : string -> (info, error) result
+(** Header-only probe (no CRC sweep of the body, but the header page
+    itself is verified) — cheap kind/meta dispatch for the CLI. *)
+
+val load :
+  path:string ->
+  stats:Emio.Io_stats.t ->
+  ?policy:Buffer_pool.policy ->
+  ?cache_pages:int ->
+  ?expect_kind:string ->
+  unit ->
+  ('v opened, error) result
+(** Open a snapshot: verify every page, rebuild the block table, and
+    return the skeleton plus a file backend (buffer pool of
+    [cache_pages] pages, default 64, eviction [policy] default LRU)
+    ready to be {!Emio.Store.attach}ed.  All verification I/O is
+    recorded in [stats]; reset it afterwards to measure queries alone. *)

@@ -2,25 +2,47 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable hits : int;
+  mutable evictions : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
 }
 
-let create () = { reads = 0; writes = 0; hits = 0 }
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    hits = 0;
+    evictions = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
 
 let reads t = t.reads
 let writes t = t.writes
 let total t = t.reads + t.writes
 let cache_hits t = t.hits
+let evictions t = t.evictions
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
 
 let record_read t = t.reads <- t.reads + 1
 let record_write t = t.writes <- t.writes + 1
 let record_hit t = t.hits <- t.hits + 1
+let record_eviction t = t.evictions <- t.evictions + 1
+let record_bytes_read t n = t.bytes_read <- t.bytes_read + n
+let record_bytes_written t n = t.bytes_written <- t.bytes_written + n
 
 let reset t =
   t.reads <- 0;
   t.writes <- 0;
-  t.hits <- 0
+  t.hits <- 0;
+  t.evictions <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0
 
 let checkpoint t = total t
 
 let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d hits=%d" t.reads t.writes t.hits
+  Format.fprintf ppf
+    "reads=%d writes=%d hits=%d evictions=%d bytes_read=%d bytes_written=%d"
+    t.reads t.writes t.hits t.evictions t.bytes_read t.bytes_written

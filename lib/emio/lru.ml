@@ -46,23 +46,29 @@ let evict_lru t =
   let victim = t.tail.prev in
   if victim != t.head then begin
     unlink victim;
-    Hashtbl.remove t.table victim.key
+    Hashtbl.remove t.table victim.key;
+    Some victim.key
   end
+  else None
 
-let touch t id =
-  if t.capacity = 0 then false
+let touch_report t id =
+  if t.capacity = 0 then (false, None)
   else
     match Hashtbl.find_opt t.table id with
     | Some node ->
         unlink node;
         push_front t node;
-        true
+        (true, None)
     | None ->
-        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        let evicted =
+          if Hashtbl.length t.table >= t.capacity then evict_lru t else None
+        in
         let rec node = { key = id; prev = node; next = node } in
         push_front t node;
         Hashtbl.add t.table id node;
-        false
+        (false, evicted)
+
+let touch t id = fst (touch_report t id)
 
 let remove t id =
   match Hashtbl.find_opt t.table id with

@@ -16,6 +16,11 @@ val touch : t -> int -> bool
     evicting the least-recently-used block if full, and returns
     [false]. *)
 
+val touch_report : t -> int -> bool * int option
+(** Like {!touch}, but also reports the id evicted to make room (if
+    any) so callers managing per-id payloads — e.g. a buffer pool
+    writing back dirty pages — can act on the victim. *)
+
 val remove : t -> int -> unit
 
 val clear : t -> unit

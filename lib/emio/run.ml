@@ -19,6 +19,7 @@ let of_array store items =
 let of_list store items = of_array store (Array.of_list items)
 
 let of_block_ids store block_ids length = { store; block_ids; length }
+let store t = t.store
 let empty store = { store; block_ids = [||]; length = 0 }
 let length t = t.length
 let block_count t = Array.length t.block_ids

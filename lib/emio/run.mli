@@ -16,6 +16,9 @@ val of_block_ids : 'a Store.t -> int array -> int -> 'a t
 
 val empty : 'a Store.t -> 'a t
 
+val store : 'a t -> 'a Store.t
+(** The store the run's blocks live in. *)
+
 val length : 'a t -> int
 
 val block_count : 'a t -> int

@@ -1,31 +1,46 @@
+(* Marshal flags for block payloads and snapshot skeletons.  [Closures]
+   is required because some structures keep comparison closures (e.g.
+   Btree's [cmp]) in their skeletons; it ties snapshots to the binary
+   that wrote them, which Snapshot.load surfaces as a typed error. *)
+let marshal_flags = [ Marshal.Closures ]
+
+type 'a mem = { mutable blocks : 'a array array; mutable used : int }
+type ext = { backend : Store_intf.backend; mutable allocated : int }
+type 'a state = Mem of 'a mem | Ext of ext
+
 type 'a t = {
-  stats : Io_stats.t;
+  mutable stats : Io_stats.t;
   block_size : int;
-  mutable blocks : 'a array array;
-  mutable used : int;
+  mutable state : 'a state;
   cache : Lru.t;
 }
 
-let create ~stats ~block_size ?(cache_blocks = 0) () =
+let create ~stats ~block_size ?(cache_blocks = 0) ?backend () =
   if block_size <= 0 then invalid_arg "Store.create: block_size must be > 0";
-  {
-    stats;
-    block_size;
-    blocks = Array.make 16 [||];
-    used = 0;
-    cache = Lru.create ~capacity:cache_blocks;
-  }
+  let state =
+    match backend with
+    | None -> Mem { blocks = Array.make 16 [||]; used = 0 }
+    | Some backend -> Ext { backend; allocated = 0 }
+  in
+  { stats; block_size; state; cache = Lru.create ~capacity:cache_blocks }
 
 let block_size t = t.block_size
 let stats t = t.stats
-let blocks_used t = t.used
 
-let grow t =
-  let capacity = Array.length t.blocks in
-  if t.used >= capacity then begin
+let blocks_used t =
+  match t.state with Mem m -> m.used | Ext e -> e.allocated
+
+let is_external t = match t.state with Mem _ -> false | Ext _ -> true
+
+let backend t =
+  match t.state with Mem _ -> None | Ext e -> Some e.backend
+
+let grow m =
+  let capacity = Array.length m.blocks in
+  if m.used >= capacity then begin
     let bigger = Array.make (2 * capacity) [||] in
-    Array.blit t.blocks 0 bigger 0 capacity;
-    t.blocks <- bigger
+    Array.blit m.blocks 0 bigger 0 capacity;
+    m.blocks <- bigger
   end
 
 let check_block t data =
@@ -34,25 +49,76 @@ let check_block t data =
 
 let alloc t data =
   check_block t data;
-  grow t;
-  let id = t.used in
-  t.blocks.(id) <- data;
-  t.used <- t.used + 1;
-  if Lru.touch t.cache id then Io_stats.record_hit t.stats
-  else Io_stats.record_write t.stats;
-  id
+  match t.state with
+  | Mem m ->
+      grow m;
+      let id = m.used in
+      m.blocks.(id) <- data;
+      m.used <- m.used + 1;
+      if Lru.touch t.cache id then Io_stats.record_hit t.stats
+      else Io_stats.record_write t.stats;
+      id
+  | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
+      let id = B.alloc b (Marshal.to_bytes data marshal_flags) in
+      e.allocated <- e.allocated + 1;
+      id
 
-let read t id =
-  if id < 0 || id >= t.used then invalid_arg "Store.read: bad block id";
-  if Lru.touch t.cache id then Io_stats.record_hit t.stats
-  else Io_stats.record_read t.stats;
-  t.blocks.(id)
+let read (t : 'a t) id : 'a array =
+  match t.state with
+  | Mem m ->
+      if id < 0 || id >= m.used then invalid_arg "Store.read: bad block id";
+      if Lru.touch t.cache id then Io_stats.record_hit t.stats
+      else Io_stats.record_read t.stats;
+      m.blocks.(id)
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
+      (Marshal.from_bytes (B.read b id) 0 : 'a array)
 
 let write t id data =
-  if id < 0 || id >= t.used then invalid_arg "Store.write: bad block id";
   check_block t data;
-  t.blocks.(id) <- data;
-  if Lru.touch t.cache id then Io_stats.record_hit t.stats
-  else Io_stats.record_write t.stats
+  match t.state with
+  | Mem m ->
+      if id < 0 || id >= m.used then invalid_arg "Store.write: bad block id";
+      m.blocks.(id) <- data;
+      if Lru.touch t.cache id then Io_stats.record_hit t.stats
+      else Io_stats.record_write t.stats
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
+      B.write b id (Marshal.to_bytes data marshal_flags)
 
-let drop_cache t = Lru.clear t.cache
+let drop_cache t =
+  Lru.clear t.cache;
+  match t.state with
+  | Mem _ -> ()
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.drop_cache b
+
+let flush t =
+  match t.state with
+  | Mem _ -> ()
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.flush b
+
+let close t =
+  match t.state with
+  | Mem _ -> ()
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.close b
+
+let export_bytes t =
+  match t.state with
+  | Mem m ->
+      Array.init m.used (fun i -> Marshal.to_bytes m.blocks.(i) marshal_flags)
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
+      Array.init (B.blocks_used b) (fun i -> B.read b i)
+
+let attach t ~stats backend =
+  let allocated =
+    let (Store_intf.Backend ((module B), b)) = backend in
+    B.blocks_used b
+  in
+  t.stats <- stats;
+  t.state <- Ext { backend; allocated };
+  Lru.clear t.cache
+
+let set_stats t stats = t.stats <- stats
+
+let with_ejected t f =
+  let saved = t.state in
+  t.state <- Mem { blocks = [||]; used = blocks_used t };
+  Fun.protect ~finally:(fun () -> t.state <- saved) f

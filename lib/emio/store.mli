@@ -1,20 +1,35 @@
-(** A simulated disk holding blocks of ['a].
+(** A disk of blocks of ['a], over one of two interchangeable backends.
 
-    Each block stores at most [block_size] items.  Reading or writing a
+    The default backend is the purely in-memory {e simulator}: each
+    block stores at most [block_size] items, and reading or writing a
     block charges one I/O to the attached {!Io_stats}, unless the block
     is resident in the store's LRU cache (see [cache_blocks]), in which
     case the access is a free cache hit — this models a main memory of
-    [cache_blocks * block_size] items.
+    [cache_blocks * block_size] items.  All of the paper's structures
+    are laid out in stores like this one, so the I/O counts our
+    benchmarks report are exactly the quantity Table 1 bounds.
 
-    All of the paper's structures are laid out in stores like this one,
-    so the I/O counts our benchmarks report are exactly the quantity
-    Table 1 bounds. *)
+    Passing [?backend] instead plugs in an external byte-level backend
+    (see {!Store_intf.BACKEND}, implemented by [Diskstore.File_backend]):
+    blocks are marshalled and handed to the backend, which lays them
+    out as fixed-size checksummed pages on a real file and records
+    physical page reads/writes, buffer-pool hits and evictions, and
+    byte counts through its own {!Io_stats}.  The store itself charges
+    nothing in that mode, so model-level accounting is never mixed with
+    physical accounting. *)
 
 type 'a t
 
 val create :
-  stats:Io_stats.t -> block_size:int -> ?cache_blocks:int -> unit -> 'a t
-(** [cache_blocks] defaults to [0] (cold cache: every access charged). *)
+  stats:Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  ?backend:Store_intf.backend ->
+  unit ->
+  'a t
+(** [cache_blocks] defaults to [0] (cold cache: every access charged)
+    and only applies to the simulator backend.  [backend] defaults to
+    the in-memory simulator. *)
 
 val block_size : 'a t -> int
 val stats : 'a t -> Io_stats.t
@@ -34,4 +49,43 @@ val blocks_used : 'a t -> int
 (** Number of allocated blocks: the structure's space in disk blocks. *)
 
 val drop_cache : 'a t -> unit
-(** Empty the LRU cache (e.g. between build and query phases). *)
+(** Empty the LRU cache or the backend's buffer pool (e.g. between
+    build and query phases).  Dirty pages are written back first. *)
+
+val is_external : 'a t -> bool
+(** [true] iff the store runs over an external (file) backend. *)
+
+val backend : 'a t -> Store_intf.backend option
+
+val flush : 'a t -> unit
+(** Force dirty pages to stable storage (no-op for the simulator). *)
+
+val close : 'a t -> unit
+(** Release backend resources (no-op for the simulator). *)
+
+val export_bytes : 'a t -> bytes array
+(** Every block, marshalled — the payload a [Diskstore.Snapshot]
+    persists.  For external stores this returns the backend's raw
+    payloads (only valid when the store is the backend's sole user). *)
+
+val attach : 'a t -> stats:Io_stats.t -> Store_intf.backend -> unit
+(** Repoint the store at an external backend (and a fresh stats sink).
+    Used when reopening a snapshot: the unmarshalled skeleton's store
+    is empty, and [attach] gives it the file-backed payload blocks. *)
+
+val set_stats : 'a t -> Io_stats.t -> unit
+(** Repoint the store's accounting at a fresh sink.  Needed after
+    unmarshalling a snapshot skeleton, whose auxiliary stores still
+    reference the stats object of the process that built them. *)
+
+val with_ejected : 'a t -> (unit -> 'r) -> 'r
+(** Run [f] with the store's contents temporarily replaced by an empty
+    placeholder (restored afterwards, also on exceptions).  This lets a
+    snapshot marshal a structure's skeleton — layer lists, block ids,
+    auxiliary btrees — without duplicating the payload blocks that are
+    written separately as pages. *)
+
+val marshal_flags : Marshal.extern_flags list
+(** Flags used for block payloads and snapshot skeletons
+    ([Marshal.Closures]: skeletons may contain comparator closures,
+    which ties a snapshot to the binary that wrote it). *)

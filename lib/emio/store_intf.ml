@@ -1,0 +1,45 @@
+(* The byte-level backend signature behind Store: a pluggable "disk".
+
+   The simulator keeps blocks as OCaml arrays and charges model I/Os;
+   an external backend (Diskstore.File_backend) receives each block
+   already marshalled to bytes and is free to lay it out on a real
+   device, cache it in a buffer pool, and record physical I/O itself.
+   Backends are passed around as first-class modules paired with their
+   state (the [backend] GADT), so a single ['a Store.t] type covers
+   every structure in the repo without functorizing each one. *)
+
+module type BACKEND = sig
+  type t
+
+  val name : t -> string
+  (** Human-readable backend identifier (e.g. ["file:/tmp/h2.idx"]). *)
+
+  val alloc : t -> bytes -> int
+  (** Store a fresh block payload; returns its block id.  The backend
+      records whatever physical I/O the allocation costs. *)
+
+  val read : t -> int -> bytes
+  (** Fetch a block payload.  Raises [Failure] on an unreadable or
+      corrupt block (snapshot loading verifies checksums up front, so
+      this only fires on concurrent file damage). *)
+
+  val write : t -> int -> bytes -> unit
+  (** Overwrite an existing block payload (the new payload may have a
+      different length). *)
+
+  val blocks_used : t -> int
+  (** Number of blocks allocated through this backend. *)
+
+  val drop_cache : t -> unit
+  (** Flush and empty any cache (buffer pool) the backend maintains. *)
+
+  val flush : t -> unit
+  (** Force dirty state to stable storage (write-back + fsync). *)
+
+  val close : t -> unit
+  (** Release file descriptors.  The backend must not be used after. *)
+end
+
+type backend = Backend : (module BACKEND with type t = 'b) * 'b -> backend
+
+let backend_name (Backend ((module B), b)) = B.name b

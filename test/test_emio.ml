@@ -52,6 +52,32 @@ let test_cold_cache_every_access_charged () =
   done;
   check "five reads, no cache" 5 (Emio.Io_stats.reads stats)
 
+(* The simulator charges model I/Os only: the physical-device counters
+   (bytes, evictions) stay zero, so model-level experiments are not
+   polluted.  reset must clear them too (they are fed by the file
+   backend). *)
+let test_stats_physical_counters () =
+  let stats = Emio.Io_stats.create () in
+  let store = Emio.Store.create ~stats ~block_size:4 ~cache_blocks:1 () in
+  let id1 = Emio.Store.alloc store [| 1 |] in
+  let id2 = Emio.Store.alloc store [| 2 |] in
+  ignore (Emio.Store.read store id1);
+  ignore (Emio.Store.read store id2);
+  check "simulator writes no bytes" 0 (Emio.Io_stats.bytes_written stats);
+  check "simulator reads no bytes" 0 (Emio.Io_stats.bytes_read stats);
+  check "simulator records no evictions" 0 (Emio.Io_stats.evictions stats);
+  Emio.Io_stats.record_bytes_read stats 4096;
+  Emio.Io_stats.record_bytes_written stats 8192;
+  Emio.Io_stats.record_eviction stats;
+  check "bytes read recorded" 4096 (Emio.Io_stats.bytes_read stats);
+  check "bytes written recorded" 8192 (Emio.Io_stats.bytes_written stats);
+  check "eviction recorded" 1 (Emio.Io_stats.evictions stats);
+  Emio.Io_stats.reset stats;
+  check "reset clears bytes read" 0 (Emio.Io_stats.bytes_read stats);
+  check "reset clears bytes written" 0 (Emio.Io_stats.bytes_written stats);
+  check "reset clears evictions" 0 (Emio.Io_stats.evictions stats);
+  check "reset clears reads" 0 (Emio.Io_stats.reads stats)
+
 let test_lru_eviction_order () =
   let lru = Emio.Lru.create ~capacity:2 in
   Alcotest.(check bool) "miss a" false (Emio.Lru.touch lru 1);
@@ -198,6 +224,8 @@ let () =
           Alcotest.test_case "oversized rejected" `Quick
             test_store_rejects_oversized;
           Alcotest.test_case "cache hits" `Quick test_cache_hits;
+          Alcotest.test_case "physical counters" `Quick
+            test_stats_physical_counters;
           Alcotest.test_case "cold cache" `Quick
             test_cold_cache_every_access_charged;
         ] );
