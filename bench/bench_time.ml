@@ -1,59 +1,38 @@
-(* Wall-clock microbenchmarks (bechamel): one Test.make per Table 1
-   row, timing a representative query against a prebuilt structure.
-   The I/O experiments above are the primary reproduction; these show
-   CPU-side costs are sane. *)
+(* Wall-clock microbenchmarks (bechamel): one Test.make per registered
+   structure, timing a representative query against a prebuilt
+   instance.  The I/O experiments are the primary reproduction; these
+   show CPU-side costs are sane. *)
 
 open Bechamel
 open Toolkit
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Workloads = Lcsearch_index.Workloads
 
-let block_size = 64
+let bench_n = 8192
 
+(* One prebuilt instance + query per registered structure, at the
+   smallest dimension it supports. *)
 let make_tests () =
-  let rng = Workload.rng 7001 in
-  let stats = Emio.Io_stats.create () in
-  (* row 1: §3 *)
-  let pts2 = Workload.uniform2 rng ~n:8192 ~range:100. in
-  let h2 = Core.Halfspace2d.build ~stats ~block_size pts2 in
-  let s1, c1 = Workload.halfplane_with_selectivity rng pts2 ~fraction:0.01 in
-  (* row 2: §4 *)
-  let pts3 = Workload.uniform3 rng ~n:4096 ~range:50. in
-  let h3 =
-    Core.Halfspace3d.build ~stats ~block_size ~clip:(-10., -10., 10., 10.)
-      pts3
-  in
-  let qa, qb, qc = Workload.halfspace3_with_selectivity rng pts3 ~fraction:0.01 in
-  let qa = max (-9.9) (min 9.9 qa) and qb = max (-9.9) (min 9.9 qb) in
-  (* row 3/6: shallow tree *)
-  let ptsd = Workload.uniform_d rng ~n:8192 ~dim:3 ~range:50. in
-  let sh = Core.Shallow_tree.build ~stats ~block_size ~dim:3 ptsd in
-  let sa0, sa = Workload.halfspace_d_with_selectivity rng ptsd ~fraction:0.01 in
-  (* row 4: tradeoff *)
-  let tr =
-    Core.Tradeoff3d.build ~stats ~block_size ~a:1.5 ~clip:(-10., -10., 10., 10.)
-      pts3
-  in
-  (* rows 5/7: partition tree *)
-  let pt = Core.Partition_tree.build ~stats ~block_size ~dim:3 ptsd in
-  [
-    Test.make ~name:"row1 halfspace2d"
-      (Staged.stage (fun () ->
-           ignore (Core.Halfspace2d.query_count h2 ~slope:s1 ~icept:c1)));
-    Test.make ~name:"row2 halfspace3d"
-      (Staged.stage (fun () ->
-           ignore (Core.Halfspace3d.query_count h3 ~a:qa ~b:qb ~c:qc)));
-    Test.make ~name:"row3 shallow_tree"
-      (Staged.stage (fun () ->
-           ignore (Core.Shallow_tree.query_halfspace sh ~a0:sa0 ~a:sa)));
-    Test.make ~name:"row4 tradeoff3d"
-      (Staged.stage (fun () ->
-           ignore (Core.Tradeoff3d.query_count tr ~a:qa ~b:qb ~c:qc)));
-    Test.make ~name:"row5/7 partition_tree"
-      (Staged.stage (fun () ->
-           ignore (Core.Partition_tree.query_halfspace pt ~a0:sa0 ~a:sa)));
-  ]
+  List.map
+    (fun (module M : Index.S) ->
+      let dim = List.hd M.dims in
+      let rng = Workload.rng 7001 in
+      let ds = Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n:bench_n
+          (module M : Index.S)
+      in
+      let q = Workloads.query rng ds ~fraction:0.01 in
+      let stats = Emio.Io_stats.create () in
+      let inst =
+        Index.build (module M : Index.S) ~params:Index.default_params ~stats ds
+      in
+      Test.make
+        ~name:(Printf.sprintf "%s d=%d" M.name dim)
+        (Staged.stage (fun () -> ignore (Index.query_count inst q))))
+    (Registry.all ())
 
 let run () =
-  Util.section "TIME" "Wall-clock per query (bechamel, one test per row)";
+  Util.section "TIME" "Wall-clock per query (bechamel, one test per structure)";
   let tests = make_tests () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -64,7 +43,7 @@ let run () =
   in
   let raw =
     Benchmark.all cfg instances
-      (Test.make_grouped ~name:"table1" ~fmt:"%s %s" tests)
+      (Test.make_grouped ~name:"registry" ~fmt:"%s %s" tests)
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Hashtbl.iter
@@ -74,63 +53,74 @@ let run () =
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
 
-(* Persistence experiment: the same §3 structure queried in memory
-   (simulated model I/Os) and reopened from a snapshot file (real page
-   faults through the buffer pool).  The result counts must agree; the
-   wall-clock and fault numbers show what the file backend costs at
-   different pool sizes and policies. *)
+(* Persistence experiment, generically over every snapshot-capable
+   registered structure: the same instance queried in memory (simulated
+   model I/Os) and reopened from a snapshot file (real page faults
+   through the buffer pool).  The result counts must agree; wall-clock
+   and fault numbers show what the file backend costs at different pool
+   sizes and policies. *)
 let run_persistence () =
   Util.section "PERSIST" "file-backed snapshots: wall-clock and page faults";
   let n = 32768 and queries = 200 in
-  let rng = Workload.rng 9001 in
-  let stats = Emio.Io_stats.create () in
-  let pts = Workload.uniform2 rng ~n ~range:100. in
-  let h2 = Core.Halfspace2d.build ~stats ~block_size pts in
-  let qs =
-    Array.init queries (fun _ ->
-        Workload.halfplane_with_selectivity rng pts ~fraction:0.01)
-  in
-  let time_queries run =
-    let t0 = Unix.gettimeofday () in
-    let total = ref 0 in
-    Array.iter (fun (slope, icept) -> total := !total + run ~slope ~icept) qs;
-    (1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int queries, !total)
-  in
-  Emio.Io_stats.reset stats;
-  let mem_us, mem_t =
-    time_queries (fun ~slope ~icept ->
-        Core.Halfspace2d.query_count h2 ~slope ~icept)
-  in
-  Printf.printf
-    "in-memory simulator   %8.1f us/query  %6d model I/Os  (%d queries, avg t=%d)\n"
-    mem_us (Emio.Io_stats.reads stats) queries (mem_t / queries);
-  let path = Filename.temp_file "lcsearch_bench" ".snapshot" in
-  Core.Halfspace2d.save_snapshot h2 ~path ();
   List.iter
-    (fun (label, policy, cache_pages) ->
-      let fstats = Emio.Io_stats.create () in
-      match Core.Halfspace2d.of_snapshot ~stats:fstats ~policy ~cache_pages path with
-      | Error e ->
-          Printf.printf "%-20s load failed: %s\n" label
-            (Diskstore.Snapshot.error_to_string e)
-      | Ok (t, _) ->
-          Emio.Io_stats.reset fstats;
-          let us, tt =
-            time_queries (fun ~slope ~icept ->
-                Core.Halfspace2d.query_count t ~slope ~icept)
+    (fun (module M : Index.S) ->
+      match M.snapshot with
+      | None -> ()
+      | Some ops ->
+          let dim = List.hd M.dims in
+          let rng = Workload.rng 9001 in
+          let ds =
+            Lcsearch_index.Workloads.dataset rng
+              ~kind:Lcsearch_index.Workloads.Uniform ~dim ~n
+              (module M : Index.S)
           in
+          let qs =
+            Array.of_list
+              (Lcsearch_index.Workloads.queries rng ds ~fraction:0.01
+                 ~count:queries)
+          in
+          let stats = Emio.Io_stats.create () in
+          let t = M.build ~params:Index.default_params ~stats ds in
+          let time_queries t =
+            let t0 = Unix.gettimeofday () in
+            let total = ref 0 in
+            Array.iter (fun q -> total := !total + M.query_count t q) qs;
+            ( 1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int queries,
+              !total )
+          in
+          Printf.printf "\n%s (N=%d, %d queries):\n" M.name n queries;
+          Emio.Io_stats.reset stats;
+          let mem_us, mem_t = time_queries t in
           Printf.printf
-            "%-20s %8.1f us/query  %6d page faults  %6d hits  %5d evictions  %6.0f KiB read%s\n"
-            label us
-            (Emio.Io_stats.reads fstats)
-            (Emio.Io_stats.cache_hits fstats)
-            (Emio.Io_stats.evictions fstats)
-            (float_of_int (Emio.Io_stats.bytes_read fstats) /. 1024.)
-            (if tt = mem_t then "" else "  RESULT MISMATCH"))
-    [
-      ("file, lru, 256p", Diskstore.Buffer_pool.Lru, 256);
-      ("file, lru, 16p", Diskstore.Buffer_pool.Lru, 16);
-      ("file, clock, 16p", Diskstore.Buffer_pool.Clock, 16);
-      ("file, no pool", Diskstore.Buffer_pool.Lru, 0);
-    ];
-  Sys.remove path
+            "  in-memory simulator   %8.1f us/query  %6d model I/Os  (avg \
+             t=%d)\n"
+            mem_us (Emio.Io_stats.reads stats) (mem_t / queries);
+          let path = Filename.temp_file "lcsearch_bench" ".snapshot" in
+          ops.Index.save t ~path ~meta:"" ~page_size:None;
+          List.iter
+            (fun (label, policy, cache_pages) ->
+              let fstats = Emio.Io_stats.create () in
+              match ops.Index.load ~stats:fstats ~policy ~cache_pages path with
+              | Error e ->
+                  Printf.printf "  %-20s load failed: %s\n" label
+                    (Diskstore.Snapshot.error_to_string e)
+              | Ok (t, _) ->
+                  Emio.Io_stats.reset fstats;
+                  let us, tt = time_queries t in
+                  Printf.printf
+                    "  %-20s %8.1f us/query  %6d page faults  %6d hits  %5d \
+                     evictions  %6.0f KiB read%s\n"
+                    label us
+                    (Emio.Io_stats.reads fstats)
+                    (Emio.Io_stats.cache_hits fstats)
+                    (Emio.Io_stats.evictions fstats)
+                    (float_of_int (Emio.Io_stats.bytes_read fstats) /. 1024.)
+                    (if tt = mem_t then "" else "  RESULT MISMATCH"))
+            [
+              ("file, lru, 256p", Diskstore.Buffer_pool.Lru, 256);
+              ("file, lru, 16p", Diskstore.Buffer_pool.Lru, 16);
+              ("file, clock, 16p", Diskstore.Buffer_pool.Clock, 16);
+              ("file, no pool", Diskstore.Buffer_pool.Lru, 0);
+            ];
+          Sys.remove path)
+    (Registry.all ())

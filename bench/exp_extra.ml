@@ -9,63 +9,38 @@ let block_size = 64
 let sec12 () =
   Util.section "S1.2"
     "§1.2 — heuristic indexes degrade to Θ(n); the §3 structure does not";
+  let module Index = Lcsearch_index.Index in
+  let module Registry = Lcsearch_index.Registry in
+  let module Query_engine = Lcsearch_index.Query_engine in
   let n_pts = 16384 in
   let n = Util.blocks ~block_size n_pts in
   let rng = Workload.rng 3001 in
-  let run name points ~slope ~icept =
-    Printf.printf "\n%s  (N=%d, n=%d, query y <= %gx%+g):\n" name n_pts n slope
-      icept;
+  (* Every registered 2-d structure over the same point set and the
+     same single query — the §1.2 story told generically. *)
+  let run name points (q : Index.query) =
+    Printf.printf "\n%s  (N=%d, n=%d, query y <= %gx%+g):\n" name n_pts n
+      q.a.(0) q.a0;
     Printf.printf "  %-14s %8s %8s %8s\n" "structure" "IOs" "t" "space";
-    let report label ios t space =
-      Printf.printf "  %-14s %8d %8d %8d\n" label ios t space
-    in
-    let stats = Emio.Io_stats.create () in
-    let s = Baselines.Linear_scan.build ~stats ~block_size points in
-    Emio.Io_stats.reset stats;
-    let t = Baselines.Linear_scan.query_count s ~slope ~icept in
-    report "linear scan" (Emio.Io_stats.reads stats) t
-      (Baselines.Linear_scan.space_blocks s);
-    let stats = Emio.Io_stats.create () in
-    let s = Baselines.Rtree.build ~stats ~block_size points in
-    Emio.Io_stats.reset stats;
-    let t = Baselines.Rtree.query_count s ~slope ~icept in
-    report "R-tree (STR)" (Emio.Io_stats.reads stats) t
-      (Baselines.Rtree.space_blocks s);
-    let stats = Emio.Io_stats.create () in
-    let s =
-      Baselines.Rtree.build ~stats ~block_size ~packing:Baselines.Rtree.Hilbert
-        points
-    in
-    Emio.Io_stats.reset stats;
-    let t = Baselines.Rtree.query_count s ~slope ~icept in
-    report "Hilbert R-tree" (Emio.Io_stats.reads stats) t
-      (Baselines.Rtree.space_blocks s);
-    let stats = Emio.Io_stats.create () in
-    let s = Baselines.Quadtree.build ~stats ~block_size points in
-    Emio.Io_stats.reset stats;
-    let t = Baselines.Quadtree.query_count s ~slope ~icept in
-    report "quadtree" (Emio.Io_stats.reads stats) t
-      (Baselines.Quadtree.space_blocks s);
-    let stats = Emio.Io_stats.create () in
-    let s = Baselines.Grid_file.build ~stats ~block_size points in
-    Emio.Io_stats.reset stats;
-    let t = Baselines.Grid_file.query_count s ~slope ~icept in
-    report "grid file" (Emio.Io_stats.reads stats) t
-      (Baselines.Grid_file.space_blocks s);
-    let stats = Emio.Io_stats.create () in
-    let s = Core.Halfspace2d.build ~stats ~block_size points in
-    Emio.Io_stats.reset stats;
-    let t = Core.Halfspace2d.query_count s ~slope ~icept in
-    report "Thm 3.5 (§3)" (Emio.Io_stats.reads stats) t
-      (Core.Halfspace2d.space_blocks s)
+    List.iter
+      (fun (module M : Index.S) ->
+        let stats = Emio.Io_stats.create () in
+        let inst =
+          Index.build
+            (module M : Index.S)
+            ~params:Index.default_params ~stats (Index.Pts2 points)
+        in
+        let cost = Query_engine.run_query inst q in
+        Printf.printf "  %-14s %8d %8d %8d\n" M.name cost.Query_engine.reads
+          cost.Query_engine.result (Index.space_blocks inst))
+      (Registry.for_dim 2)
   in
   let uniform = Workload.uniform2 rng ~n:n_pts ~range:100. in
   let slope, icept =
     Workload.halfplane_with_selectivity rng uniform ~fraction:0.01
   in
-  run "uniform points" uniform ~slope ~icept;
+  run "uniform points" uniform { Index.a0 = icept; a = [| slope |] };
   let diagonal = Workload.diagonal2 rng ~n:n_pts ~jitter:0.01 ~range:100. in
-  run "diagonal adversary" diagonal ~slope:1.0 ~icept:(-0.02)
+  run "diagonal adversary" diagonal { Index.a0 = -0.02; a = [| 1.0 |] }
 
 (* ---- A1: partitioner ablation ---------------------------------------- *)
 

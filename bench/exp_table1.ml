@@ -1,264 +1,70 @@
-(* Table 1: one experiment per row, regenerating the paper's
-   space/query-I/O claims on the simulator (shape, not absolute
-   constants — see EXPERIMENTS.md). *)
+(* Table 1, registry-generically: every registered structure swept over
+   N at each dimension it supports, measured by the one shared
+   Bench_kit protocol, printed as a table and written to
+   BENCH_TABLE1.json (structure × N × {build I/Os, query I/Os
+   p50/p95, space blocks}).
 
-let block_size = 64
+   Environment knobs (the CI smoke step uses both):
+     LCSEARCH_TABLE1_NS   comma-separated N list overriding the plan
+     LCSEARCH_TABLE1_OUT  output path (default BENCH_TABLE1.json)  *)
 
-(* ---- row 1: d=2, O(log_B n + t) query, O(n) space (§3) -------------- *)
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Bench_kit = Lcsearch_index.Bench_kit
 
-let row1 () =
-  Util.section "T1.1" "Table 1 row 1 — 2-D: O(log_B n + t) I/Os, O(n) space";
-  Printf.printf
-    "%8s %6s %8s %8s %8s %8s %10s\n"
-    "N" "n" "log_B n" "avg t" "avg IO" "max IO" "space/n";
+let json_path () =
+  match Sys.getenv_opt "LCSEARCH_TABLE1_OUT" with
+  | Some p when p <> "" -> p
+  | _ -> "BENCH_TABLE1.json"
+
+let env_ns () =
+  match Sys.getenv_opt "LCSEARCH_TABLE1_NS" with
+  | None -> None
+  | Some s -> (
+      match
+        List.filter_map int_of_string_opt (String.split_on_char ',' s)
+      with
+      | [] -> None
+      | ns -> Some ns)
+
+(* Default N sweep per structure: the expensive 3-d builds (§4-based)
+   get a shorter ladder so the whole table stays in seconds. *)
+let plan_ns (module M : Index.S) ~dim =
+  match env_ns () with
+  | Some ns -> ns
+  | None -> (
+      match M.name with
+      | "h3" | "tradeoff" | "cert" -> [ 1024; 2048 ]
+      | "scan" -> [ 4096 ]
+      | _ when dim >= 4 -> [ 4096; 8192 ]
+      | _ -> [ 4096; 8192; 16384 ])
+
+let table1 () =
+  Util.section "T1"
+    "Table 1 (registry-generic) — every structure × N, shared protocol";
+  let results = ref [] in
   List.iter
-    (fun n_pts ->
-      let rng = Workload.rng (100 + n_pts) in
-      let points = Workload.uniform2 rng ~n:n_pts ~range:100. in
-      let stats = Emio.Io_stats.create () in
-      let t = Core.Halfspace2d.build ~stats ~block_size points in
-      let n = Util.blocks ~block_size n_pts in
-      let queries =
-        List.init 40 (fun _ ->
-            let slope, icept =
-              Workload.halfplane_with_selectivity rng points ~fraction:0.02
-            in
-            fun () -> Core.Halfspace2d.query_count t ~slope ~icept)
-      in
-      let avg_io, max_io, avg_t =
-        Util.measure_queries ~stats ~block_size queries
-      in
-      Printf.printf "%8d %6d %8.2f %8.1f %8.1f %8d %10.2f\n" n_pts n
-        (Util.log_base (float_of_int block_size) (float_of_int n))
-        avg_t avg_io max_io
-        (float_of_int (Core.Halfspace2d.space_blocks t) /. float_of_int n))
-    [ 4096; 8192; 16384; 32768 ];
-  (* output sensitivity: t sweep at fixed N *)
-  let n_pts = 16384 in
-  let rng = Workload.rng 4242 in
-  let points = Workload.uniform2 rng ~n:n_pts ~range:100. in
-  let stats = Emio.Io_stats.create () in
-  let t = Core.Halfspace2d.build ~stats ~block_size points in
-  Printf.printf "\noutput sensitivity at N=%d:\n%10s %8s %8s %10s\n" n_pts
-    "fraction" "avg t" "avg IO" "IO per t";
-  List.iter
-    (fun fraction ->
-      let queries =
-        List.init 25 (fun _ ->
-            let slope, icept =
-              Workload.halfplane_with_selectivity rng points ~fraction
-            in
-            fun () -> Core.Halfspace2d.query_count t ~slope ~icept)
-      in
-      let avg_io, _, avg_t = Util.measure_queries ~stats ~block_size queries in
-      Printf.printf "%10.3f %8.1f %8.1f %10.2f\n" fraction avg_t avg_io
-        (avg_io /. max 1. avg_t))
-    [ 0.005; 0.02; 0.08; 0.3 ]
-
-(* ---- row 2: d=3, O(log_B n + t) expected, O(n log2 n) space (§4) ---- *)
-
-let row2 () =
-  Util.section "T1.2"
-    "Table 1 row 2 — 3-D: O(log_B n + t) expected I/Os, O(n log2 n) space";
-  Printf.printf "%8s %6s %8s %8s %8s %13s %10s\n" "N" "n" "avg t" "avg IO"
-    "max IO" "space/nlog2n" "fallbacks";
-  List.iter
-    (fun n_pts ->
-      let rng = Workload.rng (200 + n_pts) in
-      let points = Workload.uniform3 rng ~n:n_pts ~range:50. in
-      let stats = Emio.Io_stats.create () in
-      let t =
-        Core.Halfspace3d.build ~stats ~block_size ~clip:(-10., -10., 10., 10.)
-          points
-      in
-      let n = Util.blocks ~block_size n_pts in
-      let queries =
-        List.init 40 (fun _ ->
-            let a, b, c =
-              Workload.halfspace3_with_selectivity rng points ~fraction:0.02
-            in
-            (* keep the dual query point inside the clip box *)
-            let a = max (-9.9) (min 9.9 a) and b = max (-9.9) (min 9.9 b) in
-            fun () -> Core.Halfspace3d.query_count t ~a ~b ~c)
-      in
-      let avg_io, max_io, avg_t =
-        Util.measure_queries ~stats ~block_size queries
-      in
-      Printf.printf "%8d %6d %8.1f %8.1f %8d %13.2f %10d\n" n_pts n avg_t
-        avg_io max_io
-        (float_of_int (Core.Halfspace3d.space_blocks t)
-        /. (float_of_int n *. Util.log_base 2. (float_of_int n)))
-        (Core.Halfspace3d.fallbacks t))
-    [ 2048; 4096; 8192; 16384 ]
-
-(* ---- row 3: d=3, O(n^eps + t), O(n log_B n) space (§6, Thm 6.3) ----- *)
-
-let row3 () =
-  Util.section "T1.3"
-    "Table 1 row 3 — 3-D shallow tree: O(n^eps + t) I/Os, O(n log_B n) space";
-  Printf.printf "%8s %6s %8s %8s %8s %12s %10s\n" "N" "n" "avg t" "avg IO"
-    "max IO" "space/nlogBn" "secondary";
-  let series = ref [] in
-  List.iter
-    (fun n_pts ->
-      let rng = Workload.rng (300 + n_pts) in
-      let points = Workload.uniform_d rng ~n:n_pts ~dim:3 ~range:50. in
-      let stats = Emio.Io_stats.create () in
-      let t = Core.Shallow_tree.build ~stats ~block_size ~dim:3 points in
-      let n = Util.blocks ~block_size n_pts in
-      let secondary = ref 0 in
-      let queries =
-        List.init 30 (fun _ ->
-            let a0, a =
-              Workload.halfspace_d_with_selectivity rng points ~fraction:0.01
-            in
-            fun () ->
-              let r = List.length (Core.Shallow_tree.query_halfspace t ~a0 ~a) in
-              secondary := !secondary + Core.Shallow_tree.last_secondary_uses t;
-              r)
-      in
-      let avg_io, max_io, avg_t =
-        Util.measure_queries ~stats ~block_size queries
-      in
-      series := (float_of_int n, avg_io) :: !series;
-      Printf.printf "%8d %6d %8.1f %8.1f %8d %12.2f %10d\n" n_pts n avg_t
-        avg_io max_io
-        (float_of_int (Core.Shallow_tree.space_blocks t)
-        /. (float_of_int n
-           *. Util.log_base (float_of_int block_size) (float_of_int n)))
-        !secondary)
-    [ 8192; 16384; 32768; 65536 ];
-  Printf.printf "empirical I/O exponent vs n: %.2f   (paper: eps, i.e. ~0)\n"
-    (Util.scaling_exponent !series)
-
-(* ---- row 4: d=3 tradeoff (§6, Thm 6.1) ------------------------------ *)
-
-let row4 () =
-  Util.section "T1.4"
-    "Table 1 row 4 — 3-D tradeoff: O((n/B^{a-1})^{2/3+eps} + t), O(n log2 B)";
-  let n_pts = 16384 in
-  let rng = Workload.rng 440 in
-  let points = Workload.uniform3 rng ~n:n_pts ~range:50. in
-  let n = Util.blocks ~block_size n_pts in
-  Printf.printf "%6s %10s %10s %8s %8s %10s\n" "a" "leaf cap" "space" "avg t"
-    "avg IO" "leaves hit";
-  List.iter
-    (fun a_param ->
-      let stats = Emio.Io_stats.create () in
-      let t =
-        Core.Tradeoff3d.build ~stats ~block_size ~a:a_param
-          ~clip:(-10., -10., 10., 10.) points
-      in
-      let leaves_hit = ref 0 in
-      let queries =
-        List.init 25 (fun _ ->
-            let a, b, c =
-              Workload.halfspace3_with_selectivity rng points ~fraction:0.02
-            in
-            let a = max (-9.9) (min 9.9 a) and b = max (-9.9) (min 9.9 b) in
-            fun () ->
-              let r = Core.Tradeoff3d.query_count t ~a ~b ~c in
-              leaves_hit := !leaves_hit + Core.Tradeoff3d.last_secondary_queries t;
-              r)
-      in
-      let avg_io, _, avg_t = Util.measure_queries ~stats ~block_size queries in
-      Printf.printf "%6.2f %10d %10d %8.1f %8.1f %10d\n" a_param
-        (Core.Tradeoff3d.leaf_capacity t)
-        (Core.Tradeoff3d.space_blocks t)
-        avg_t avg_io !leaves_hit)
-    [ 1.3; 1.6; 2.0 ];
-  Printf.printf "(n = %d blocks; larger a => bigger §4 leaves: more space, fewer I/Os)\n" n
-
-(* ---- rows 5 and 7: §5 partition tree, d = 2, 3, 4 ------------------- *)
-
-let rows5_7 () =
-  Util.section "T1.5/T1.7"
-    "Table 1 rows 5,7 — partition tree: O(n^{1-1/d+eps} + t) I/Os, O(n) space";
-  List.iter
-    (fun dim ->
-      Printf.printf "\nd = %d (paper exponent %.2f):\n" dim
-        (1. -. (1. /. float_of_int dim));
-      Printf.printf "%8s %6s %8s %8s %8s %8s %9s\n" "N" "n" "avg t" "avg IO"
-        "max IO" "visited" "space/n";
-      let io_series = ref [] and visit_series = ref [] in
+    (fun (module M : Index.S) ->
       List.iter
-        (fun n_pts ->
-          let rng = Workload.rng (500 + (10 * dim) + n_pts) in
-          let points = Workload.uniform_d rng ~n:n_pts ~dim ~range:50. in
-          let stats = Emio.Io_stats.create () in
-          let t = Core.Partition_tree.build ~stats ~block_size ~dim points in
-          let n = Util.blocks ~block_size n_pts in
-          let visited = ref 0 in
-          let queries =
-            List.init 25 (fun _ ->
-                let a0, a =
-                  Workload.halfspace_d_with_selectivity rng points
-                    ~fraction:0.005
-                in
-                fun () ->
-                  let r =
-                    List.length (Core.Partition_tree.query_halfspace t ~a0 ~a)
-                  in
-                  visited := !visited + Core.Partition_tree.last_visited_nodes t;
-                  r)
-          in
-          let avg_io, max_io, avg_t =
-            Util.measure_queries ~stats ~block_size queries
-          in
-          let avg_visited = float_of_int !visited /. 25. in
-          io_series := (float_of_int n, avg_io) :: !io_series;
-          visit_series := (float_of_int n, avg_visited) :: !visit_series;
-          Printf.printf "%8d %6d %8.1f %8.1f %8d %8.1f %9.2f\n" n_pts n avg_t
-            avg_io max_io avg_visited
-            (float_of_int (Core.Partition_tree.space_blocks t) /. float_of_int n))
-        [ 8192; 16384; 32768; 65536 ];
-      Printf.printf
-        "empirical exponents vs n: I/O %.2f, visited nodes %.2f (paper: %.2f + eps)\n"
-        (Util.scaling_exponent !io_series)
-        (Util.scaling_exponent !visit_series)
-        (1. -. (1. /. float_of_int dim)))
-    [ 2; 3; 4 ]
-
-(* ---- row 6: d-dim shallow tree (§6 remark) --------------------------- *)
-
-let row6 () =
-  Util.section "T1.6"
-    "Table 1 row 6 — d-dim shallow tree: O(n^{1-1/(d/2)+eps} + t), O(n log_B n)";
-  let dim = 4 in
-  Printf.printf "d = %d (paper exponent %.2f):\n" dim
-    (1. -. (1. /. float_of_int (dim / 2)));
-  Printf.printf "%8s %6s %8s %8s %10s\n" "N" "n" "avg t" "avg IO" "secondary";
-  let series = ref [] in
-  List.iter
-    (fun n_pts ->
-      let rng = Workload.rng (600 + n_pts) in
-      let points = Workload.uniform_d rng ~n:n_pts ~dim ~range:50. in
-      let stats = Emio.Io_stats.create () in
-      let t = Core.Shallow_tree.build ~stats ~block_size ~dim points in
-      let n = Util.blocks ~block_size n_pts in
-      let secondary = ref 0 in
-      let queries =
-        List.init 20 (fun _ ->
-            let a0, a =
-              Workload.halfspace_d_with_selectivity rng points ~fraction:0.01
-            in
-            fun () ->
-              let r = List.length (Core.Shallow_tree.query_halfspace t ~a0 ~a) in
-              secondary := !secondary + Core.Shallow_tree.last_secondary_uses t;
-              r)
-      in
-      let avg_io, _, avg_t = Util.measure_queries ~stats ~block_size queries in
-      series := (float_of_int n, avg_io) :: !series;
-      Printf.printf "%8d %6d %8.1f %8.1f %10d\n" n_pts n avg_t avg_io !secondary)
-    [ 8192; 16384; 32768 ];
-  Printf.printf "empirical I/O exponent vs n: %.2f (paper: %.2f + eps)\n"
-    (Util.scaling_exponent !series)
-    (1. -. (1. /. float_of_int (dim / 2)))
-
-let all () =
-  row1 ();
-  row2 ();
-  row3 ();
-  row4 ();
-  rows5_7 ();
-  row6 ()
+        (fun dim ->
+          let series = ref [] in
+          List.iter
+            (fun n ->
+              let r = Bench_kit.measure (module M : Index.S) ~dim ~n in
+              results := r :: !results;
+              series :=
+                ( float_of_int (Util.blocks ~block_size:64 n),
+                  float_of_int (Bench_kit.q_reads_p50 r) )
+                :: !series;
+              Format.printf "  %a@." Bench_kit.pp_row r)
+            (plan_ns (module M) ~dim);
+          if List.length !series >= 2 then
+            Printf.printf
+              "  %-14s d=%d empirical I/O exponent vs n: %.2f\n" M.name dim
+              (Util.scaling_exponent !series))
+        M.dims)
+    (Registry.all ());
+  let results = List.rev !results in
+  let path = json_path () in
+  Bench_kit.write_json ~path results;
+  Printf.printf "\nwrote %d measurements to %s\n" (List.length results) path

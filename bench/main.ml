@@ -4,17 +4,12 @@
 
    Usage:
      dune exec bench/main.exe              # run everything
-     dune exec bench/main.exe -- T1.1 F2   # run selected experiments
+     dune exec bench/main.exe -- TABLE1 F2 # run selected experiments
      dune exec bench/main.exe -- --list    # list experiment ids *)
 
 let experiments =
   [
-    ("T1.1", "Table 1 row 1: 2-D optimal structure", Exp_table1.row1);
-    ("T1.2", "Table 1 row 2: 3-D structure", Exp_table1.row2);
-    ("T1.3", "Table 1 row 3: 3-D shallow tree", Exp_table1.row3);
-    ("T1.4", "Table 1 row 4: 3-D tradeoff", Exp_table1.row4);
-    ("T1.5", "Table 1 rows 5+7: partition trees", Exp_table1.rows5_7);
-    ("T1.6", "Table 1 row 6: d-dim shallow tree", Exp_table1.row6);
+    ("TABLE1", "Table 1, registry-generic + BENCH_TABLE1.json", Exp_table1.table1);
     ("F1", "Figure 1: duality", Exp_figures.figure1);
     ("F2", "Figure 2: k-levels", Exp_figures.figure2);
     ("F3", "Figure 3: clusters", Exp_figures.figure3);

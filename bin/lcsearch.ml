@@ -1,7 +1,13 @@
 (* lcsearch: command-line front end for the library.
 
+   Every structure subcommand goes through the Lcsearch_index registry:
+   `-s/--structure` accepts any registered name, and snapshots reopen
+   by looking their header kind up in the registry — no per-structure
+   dispatch lives here.
+
    Subcommands:
      info    — the paper's Table 1 and what this repo implements
+     list    — the structure registry (names, dims, Table-1 bounds)
      run     — build a structure over a generated workload, run queries,
                and report I/O statistics
      sweep   — sweep N and print scaling rows for one structure
@@ -10,194 +16,121 @@
      inspect — print a snapshot file's header *)
 
 open Cmdliner
-
-type structure = H2 | H3 | Ptree | Shallow | Tradeoff | Rtree | Quad | Grid | Scan
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Workloads = Lcsearch_index.Workloads
+module Query_engine = Lcsearch_index.Query_engine
 
 let structure_conv =
-  let parse = function
-    | "h2" -> Ok H2
-    | "h3" -> Ok H3
-    | "ptree" -> Ok Ptree
-    | "shallow" -> Ok Shallow
-    | "tradeoff" -> Ok Tradeoff
-    | "rtree" -> Ok Rtree
-    | "quadtree" -> Ok Quad
-    | "gridfile" -> Ok Grid
-    | "scan" -> Ok Scan
-    | s -> Error (`Msg (Printf.sprintf "unknown structure %S" s))
+  let parse name =
+    match Registry.find name with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown structure %S (known: %s)" name
+                (String.concat ", " (Registry.names ()))))
   in
-  let print ppf s =
-    Format.pp_print_string ppf
-      (match s with
-      | H2 -> "h2"
-      | H3 -> "h3"
-      | Ptree -> "ptree"
-      | Shallow -> "shallow"
-      | Tradeoff -> "tradeoff"
-      | Rtree -> "rtree"
-      | Quad -> "quadtree"
-      | Grid -> "gridfile"
-      | Scan -> "scan")
-  in
+  let print ppf (module M : Index.S) = Format.pp_print_string ppf M.name in
   Arg.conv (parse, print)
-
-type workload_kind = Uniform | Clusters | Diagonal
 
 let workload_conv =
-  let parse = function
-    | "uniform" -> Ok Uniform
-    | "clusters" -> Ok Clusters
-    | "diagonal" -> Ok Diagonal
-    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
-  in
-  let print ppf w =
-    Format.pp_print_string ppf
-      (match w with
-      | Uniform -> "uniform"
-      | Clusters -> "clusters"
-      | Diagonal -> "diagonal")
-  in
-  Arg.conv (parse, print)
+  Arg.enum
+    [
+      ("uniform", Workloads.Uniform);
+      ("clusters", Workloads.Clusters);
+      ("diagonal", Workloads.Diagonal);
+    ]
 
-let is_3d = function H3 | Tradeoff -> true | _ -> false
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
-let gen2 kind rng n =
-  match kind with
-  | Uniform -> Workload.uniform2 rng ~n ~range:100.
-  | Clusters -> Workload.clusters2 rng ~n ~clusters:10 ~sigma:3. ~range:100.
-  | Diagonal -> Workload.diagonal2 rng ~n ~jitter:0.01 ~range:100.
+(* The dimension to run a structure at: --dim if given, else the
+   structure's first supported dimension. *)
+let pick_dim (module M : Index.S) = function
+  | None -> List.hd M.dims
+  | Some d ->
+      if List.mem d M.dims then d
+      else
+        die "%s supports dimensions %s, not %d" M.name
+          (String.concat ", " (List.map string_of_int M.dims))
+          d
 
-(* Build the chosen structure; returns (space in blocks, query runner
-   where the query reports the count for a halfplane/halfspace of the
-   requested selectivity). *)
-let build_structure s ~stats ~block_size ~kind ~rng n =
-  if is_3d s then begin
-    let points = Workload.uniform3 rng ~n ~range:100. in
-    let query fraction =
-      let a, b, c = Workload.halfspace3_with_selectivity rng points ~fraction in
-      let a = max (-9.9) (min 9.9 a) and b = max (-9.9) (min 9.9 b) in
-      (a, b, c)
-    in
-    match s with
-    | H3 ->
-        let t =
-          Core.Halfspace3d.build ~stats ~block_size ~clip:(-10., -10., 10., 10.)
-            points
-        in
-        ( Core.Halfspace3d.space_blocks t,
-          fun fraction ->
-            let a, b, c = query fraction in
-            Core.Halfspace3d.query_count t ~a ~b ~c )
-    | Tradeoff ->
-        let t =
-          Core.Tradeoff3d.build ~stats ~block_size ~a:1.5
-            ~clip:(-10., -10., 10., 10.) points
-        in
-        ( Core.Tradeoff3d.space_blocks t,
-          fun fraction ->
-            let a, b, c = query fraction in
-            Core.Tradeoff3d.query_count t ~a ~b ~c )
-    | _ -> assert false
-  end
-  else begin
-    match s with
-    | Ptree | Shallow ->
-        let points =
-          Array.map
-            (fun p -> [| Geom.Point2.x p; Geom.Point2.y p |])
-            (gen2 kind rng n)
-        in
-        let query fraction =
-          Workload.halfspace_d_with_selectivity rng points ~fraction
-        in
-        if s = Ptree then begin
-          let t = Core.Partition_tree.build ~stats ~block_size ~dim:2 points in
-          ( Core.Partition_tree.space_blocks t,
-            fun fraction ->
-              let a0, a = query fraction in
-              List.length (Core.Partition_tree.query_halfspace t ~a0 ~a) )
-        end
-        else begin
-          let t = Core.Shallow_tree.build ~stats ~block_size ~dim:2 points in
-          ( Core.Shallow_tree.space_blocks t,
-            fun fraction ->
-              let a0, a = query fraction in
-              List.length (Core.Shallow_tree.query_halfspace t ~a0 ~a) )
-        end
-    | _ ->
-        let points = gen2 kind rng n in
-        let query fraction =
-          Workload.halfplane_with_selectivity rng points ~fraction
-        in
-        (match s with
-        | H2 ->
-            let t = Core.Halfspace2d.build ~stats ~block_size points in
-            ( Core.Halfspace2d.space_blocks t,
-              fun fraction ->
-                let slope, icept = query fraction in
-                Core.Halfspace2d.query_count t ~slope ~icept )
-        | Rtree ->
-            let t = Baselines.Rtree.build ~stats ~block_size points in
-            ( Baselines.Rtree.space_blocks t,
-              fun fraction ->
-                let slope, icept = query fraction in
-                Baselines.Rtree.query_count t ~slope ~icept )
-        | Quad ->
-            let t = Baselines.Quadtree.build ~stats ~block_size points in
-            ( Baselines.Quadtree.space_blocks t,
-              fun fraction ->
-                let slope, icept = query fraction in
-                Baselines.Quadtree.query_count t ~slope ~icept )
-        | Grid ->
-            let t = Baselines.Grid_file.build ~stats ~block_size points in
-            ( Baselines.Grid_file.space_blocks t,
-              fun fraction ->
-                let slope, icept = query fraction in
-                Baselines.Grid_file.query_count t ~slope ~icept )
-        | Scan ->
-            let t = Baselines.Linear_scan.build ~stats ~block_size points in
-            ( Baselines.Linear_scan.space_blocks t,
-              fun fraction ->
-                let slope, icept = query fraction in
-                Baselines.Linear_scan.query_count t ~slope ~icept )
-        | H3 | Tradeoff | Ptree | Shallow -> assert false)
-  end
+let params_of ~block_size = { Index.default_params with block_size }
 
-let run_once s n block_size fraction queries kind seed =
+(* ---------- list ---------- *)
+
+let list_structures () =
+  Printf.printf "%-14s %-7s %-10s %-26s %-30s %s\n" "name" "dims" "queries"
+    "space" "query I/Os" "snapshot";
+  List.iter
+    (fun (module M : Index.S) ->
+      Printf.printf "%-14s %-7s %-10s %-26s %-30s %s\n" M.name
+        (String.concat "," (List.map string_of_int M.dims))
+        (String.concat ","
+           (List.map Index.query_kind_name M.kinds))
+        M.space_bound M.query_bound
+        (match M.snapshot with
+        | Some ops -> ops.Index.snapshot_kind
+        | None -> "-");
+      Printf.printf "%-14s   %s\n" "" M.description)
+    (Registry.all ())
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the structure registry and Table-1 bounds")
+    Term.(const list_structures $ const ())
+
+(* ---------- run / sweep ---------- *)
+
+let run_once (module M : Index.S) n block_size fraction queries kind seed dim =
+  let dim = pick_dim (module M) dim in
   let rng = Workload.rng seed in
+  let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
+  let qs = Workloads.queries rng ds ~fraction ~count:queries in
   let stats = Emio.Io_stats.create () in
-  let space, run_query = build_structure s ~stats ~block_size ~kind ~rng n in
-  let build_ios = Emio.Io_stats.total stats in
-  Printf.printf "N=%d  B=%d  n=%d blocks  space=%d blocks  build=%d I/Os\n" n
-    block_size
+  let bctx = Emio.Cost_ctx.create () in
+  let inst =
+    Emio.Cost_ctx.with_ctx bctx (fun () ->
+        Index.build (module M : Index.S) ~params:(params_of ~block_size) ~stats
+          ds)
+  in
+  Printf.printf "%s  N=%d  B=%d  n=%d blocks  space=%d blocks  build=%d I/Os\n"
+    M.name n block_size
     ((n + block_size - 1) / block_size)
-    space build_ios;
-  let total_io = ref 0 and total_t = ref 0 and max_io = ref 0 in
-  for _ = 1 to queries do
-    Emio.Io_stats.reset stats;
-    let t = run_query fraction in
-    let io = Emio.Io_stats.reads stats in
-    total_io := !total_io + io;
-    max_io := max !max_io io;
-    total_t := !total_t + t
-  done;
+    (Index.space_blocks inst)
+    (Emio.Cost_ctx.total bctx);
+  let costs = Query_engine.run_batch inst qs in
+  let reads = List.map (fun c -> c.Query_engine.reads) costs in
+  let total_io = List.fold_left ( + ) 0 reads in
+  let total_t =
+    List.fold_left (fun acc c -> acc + c.Query_engine.result) 0 costs
+  in
   Printf.printf
-    "%d queries at selectivity %.3f: avg %.1f I/Os (max %d), avg t=%d points\n"
+    "%d queries at selectivity %.3f: avg %.1f I/Os (p95 %d, max %d), avg t=%d \
+     points\n"
     queries fraction
-    (float_of_int !total_io /. float_of_int queries)
-    !max_io
-    (!total_t / queries)
+    (float_of_int total_io /. float_of_int (max 1 queries))
+    (Query_engine.percentile 0.95 reads)
+    (List.fold_left max 0 reads)
+    (total_t / max 1 queries);
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
+    (Index.counters inst)
+
+let structure_arg =
+  Arg.(
+    value
+    & opt structure_conv (Registry.find_exn "h2")
+    & info [ "s"; "structure" ]
+        ~doc:"Structure name from the registry (see $(b,lcsearch list)).")
+
+let dim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "d"; "dim" ] ~doc:"Dimension (default: structure's first).")
 
 let run_cmd =
-  let s =
-    Arg.(
-      value
-      & opt structure_conv H2
-      & info [ "s"; "structure" ]
-          ~doc:
-            "Structure: h2 (§3), h3 (§4), ptree (§5), shallow (§6), tradeoff \
-             (§6.1), rtree, quadtree, gridfile, scan.")
-  in
   let n = Arg.(value & opt int 16384 & info [ "n" ] ~doc:"Number of points.") in
   let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
   let fraction =
@@ -207,49 +140,57 @@ let run_cmd =
   let kind =
     Arg.(
       value
-      & opt workload_conv Uniform
+      & opt workload_conv Workloads.Uniform
       & info [ "w"; "workload" ] ~doc:"Workload: uniform, clusters, diagonal.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   Cmd.v
     (Cmd.info "run" ~doc:"Build a structure and measure query I/Os")
-    Term.(const run_once $ s $ n $ b $ fraction $ queries $ kind $ seed)
+    Term.(
+      const run_once $ structure_arg $ n $ b $ fraction $ queries $ kind $ seed
+      $ dim_arg)
 
-let sweep_once s block_size fraction kind seed =
+let sweep_once (module M : Index.S) block_size fraction kind seed dim =
+  let dim = pick_dim (module M) dim in
   Printf.printf "%10s %8s %10s %10s\n" "N" "n" "avg IO" "space";
   List.iter
     (fun n ->
       let rng = Workload.rng (seed + n) in
+      let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
+      let qs = Workloads.queries rng ds ~fraction ~count:15 in
       let stats = Emio.Io_stats.create () in
-      let space, run_query = build_structure s ~stats ~block_size ~kind ~rng n in
-      let total = ref 0 in
-      let queries = 15 in
-      for _ = 1 to queries do
-        Emio.Io_stats.reset stats;
-        ignore (run_query fraction);
-        total := !total + Emio.Io_stats.reads stats
-      done;
+      let inst =
+        Index.build (module M : Index.S) ~params:(params_of ~block_size) ~stats
+          ds
+      in
+      let costs = Query_engine.run_batch inst qs in
+      let total =
+        List.fold_left (fun acc c -> acc + c.Query_engine.reads) 0 costs
+      in
       Printf.printf "%10d %8d %10.1f %10d\n" n
         ((n + block_size - 1) / block_size)
-        (float_of_int !total /. float_of_int queries)
-        space)
+        (float_of_int total /. 15.)
+        (Index.space_blocks inst))
     [ 4096; 8192; 16384; 32768 ]
 
 let sweep_cmd =
-  let s =
-    Arg.(value & opt structure_conv H2 & info [ "s"; "structure" ] ~doc:"Structure.")
-  in
   let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
   let fraction =
     Arg.(value & opt float 0.02 & info [ "f"; "fraction" ] ~doc:"Query selectivity.")
   in
   let kind =
-    Arg.(value & opt workload_conv Uniform & info [ "w"; "workload" ] ~doc:"Workload.")
+    Arg.(
+      value
+      & opt workload_conv Workloads.Uniform
+      & info [ "w"; "workload" ] ~doc:"Workload.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep N and print I/O scaling")
-    Term.(const sweep_once $ s $ b $ fraction $ kind $ seed)
+    Term.(
+      const sweep_once $ structure_arg $ b $ fraction $ kind $ seed $ dim_arg)
+
+(* ---------- knn / segments (structure-specific extensions) ---------- *)
 
 let knn_once n block_size k qx qy seed =
   let rng = Workload.rng seed in
@@ -318,28 +259,17 @@ let segments_cmd =
 
 (* ---------- persistence: build / query / inspect ---------- *)
 
-let structure_name = function
-  | H2 -> "h2"
-  | H3 -> "h3"
-  | Ptree -> "ptree"
-  | Shallow -> "shallow"
-  | Tradeoff -> "tradeoff"
-  | Rtree -> "rtree"
-  | Quad -> "quadtree"
-  | Grid -> "gridfile"
-  | Scan -> "scan"
-
 let workload_name = function
-  | Uniform -> "uniform"
-  | Clusters -> "clusters"
-  | Diagonal -> "diagonal"
+  | Workloads.Uniform -> "uniform"
+  | Workloads.Clusters -> "clusters"
+  | Workloads.Diagonal -> "diagonal"
 
 (* The snapshot's meta string records the workload parameters, so
    [query] can regenerate the exact point and query streams of the
    process that built the file (same seed -> same Workload.rng). *)
-let meta_string ~s ~n ~block_size ~kind ~seed =
-  Printf.sprintf "s=%s;n=%d;b=%d;w=%s;seed=%d" (structure_name s) n block_size
-    (workload_name kind) seed
+let meta_string ~name ~n ~block_size ~kind ~seed ~dim =
+  Printf.sprintf "s=%s;n=%d;b=%d;w=%s;seed=%d;d=%d" name n block_size
+    (workload_name kind) seed dim
 
 let meta_field meta key =
   List.find_map
@@ -350,57 +280,53 @@ let meta_field meta key =
       | _ -> None)
     (String.split_on_char ';' meta)
 
-let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
-
-let build_once s n block_size kind seed out page_size =
+let build_once (module M : Index.S) n block_size kind seed out page_size dim =
   (match page_size with
   | Some p when p < Diskstore.Block_file.min_page_size ->
       die "--page-size must be at least %d bytes"
         Diskstore.Block_file.min_page_size
   | _ -> ());
+  let ops =
+    match M.snapshot with
+    | Some ops -> ops
+    | None ->
+        die "structure %s does not support snapshots (capable: %s)" M.name
+          (String.concat ", "
+             (List.filter_map
+                (fun (module S : Index.S) ->
+                  Option.map (fun _ -> S.name) S.snapshot)
+                (Registry.all ())))
+  in
+  let dim = pick_dim (module M) dim in
   let rng = Workload.rng seed in
-  let points = gen2 kind rng n in
+  let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
   let stats = Emio.Io_stats.create () in
-  let meta = meta_string ~s ~n ~block_size ~kind ~seed in
-  (try
-     match s with
-  | H2 ->
-      let t = Core.Halfspace2d.build ~stats ~block_size points in
-      Core.Halfspace2d.save_snapshot t ~path:out ~meta ?page_size ()
-  | Rtree ->
-      let t = Baselines.Rtree.build ~stats ~block_size points in
-      Baselines.Rtree.save_snapshot t ~path:out ~meta ?page_size ()
-  | Scan ->
-      let t = Baselines.Linear_scan.build ~stats ~block_size points in
-      Baselines.Linear_scan.save_snapshot t ~path:out ~meta ?page_size ()
-     | other ->
-         die "structure %s does not support snapshots (use h2, rtree or scan)"
-           (structure_name other)
+  let bctx = Emio.Cost_ctx.create () in
+  let t =
+    Emio.Cost_ctx.with_ctx bctx (fun () ->
+        M.build ~params:(params_of ~block_size) ~stats ds)
+  in
+  let meta = meta_string ~name:M.name ~n ~block_size ~kind ~seed ~dim in
+  (try ops.Index.save t ~path:out ~meta ~page_size
    with Invalid_argument msg -> die "cannot write %s: %s" out msg);
   match Diskstore.Snapshot.read_info out with
-  | Error e -> die "wrote %s but cannot read it back: %s" out
-                 (Diskstore.Snapshot.error_to_string e)
+  | Error e ->
+      die "wrote %s but cannot read it back: %s" out
+        (Diskstore.Snapshot.error_to_string e)
   | Ok info ->
       Printf.printf
         "%s: %s  N=%d  B=%d  build=%d model I/Os  %d pages of %d bytes\n" out
         info.Diskstore.Snapshot.kind n block_size
-        (Emio.Io_stats.total stats)
+        (Emio.Cost_ctx.total bctx)
         info.Diskstore.Snapshot.total_pages info.Diskstore.Snapshot.page_size
 
 let build_cmd =
-  let s =
-    Arg.(
-      value
-      & opt structure_conv H2
-      & info [ "s"; "structure" ]
-          ~doc:"Structure to persist: h2, rtree, or scan.")
-  in
   let n = Arg.(value & opt int 16384 & info [ "n" ] ~doc:"Number of points.") in
   let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
   let kind =
     Arg.(
       value
-      & opt workload_conv Uniform
+      & opt workload_conv Workloads.Uniform
       & info [ "w"; "workload" ] ~doc:"Workload: uniform, clusters, diagonal.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
@@ -418,61 +344,15 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a structure and persist it to a snapshot")
-    Term.(const build_once $ s $ n $ b $ kind $ seed $ out $ page_size)
+    Term.(
+      const build_once $ structure_arg $ n $ b $ kind $ seed $ out $ page_size
+      $ dim_arg)
 
 let policy_conv =
   Arg.enum
     [ ("lru", Diskstore.Buffer_pool.Lru); ("clock", Diskstore.Buffer_pool.Clock) ]
 
-let sorted_pts l =
-  List.sort compare
-    (List.map (fun p -> (Geom.Point2.x p, Geom.Point2.y p)) l)
-
-(* Reopen [path] and return a halfplane query closure over it,
-   dispatching on the header's kind tag. *)
-let open_snapshot path ~stats ~policy ~cache_pages info =
-  let kind = info.Diskstore.Snapshot.kind in
-  let wrap = function
-    | Error e ->
-        die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
-    | Ok q -> q
-  in
-  if kind = Core.Halfspace2d.snapshot_kind then
-    wrap
-      (match Core.Halfspace2d.of_snapshot ~stats ~policy ~cache_pages path with
-      | Error _ as e -> e
-      | Ok (t, _) ->
-          Ok (fun ~slope ~icept -> Core.Halfspace2d.query t ~slope ~icept))
-  else if kind = Baselines.Rtree.snapshot_kind then
-    wrap
-      (match Baselines.Rtree.of_snapshot ~stats ~policy ~cache_pages path with
-      | Error _ as e -> e
-      | Ok (t, _) ->
-          Ok (fun ~slope ~icept -> Baselines.Rtree.query_halfplane t ~slope ~icept))
-  else if kind = Baselines.Linear_scan.snapshot_kind then
-    wrap
-      (match Baselines.Linear_scan.of_snapshot ~stats ~policy ~cache_pages path with
-      | Error _ as e -> e
-      | Ok (t, _) ->
-          Ok
-            (fun ~slope ~icept ->
-              Baselines.Linear_scan.query_halfplane t ~slope ~icept))
-  else die "%s: unknown snapshot kind %S" path kind
-
-(* In-memory rebuild over the same points, for --check. *)
-let reference_query s ~block_size points =
-  let stats = Emio.Io_stats.create () in
-  match s with
-  | "h2" ->
-      let t = Core.Halfspace2d.build ~stats ~block_size points in
-      fun ~slope ~icept -> Core.Halfspace2d.query t ~slope ~icept
-  | "rtree" ->
-      let t = Baselines.Rtree.build ~stats ~block_size points in
-      fun ~slope ~icept -> Baselines.Rtree.query_halfplane t ~slope ~icept
-  | "scan" ->
-      let t = Baselines.Linear_scan.build ~stats ~block_size points in
-      fun ~slope ~icept -> Baselines.Linear_scan.query_halfplane t ~slope ~icept
-  | other -> die "unknown structure %S in snapshot meta" other
+let sorted_rows l = List.sort compare (List.map Array.to_list l)
 
 let query_once path fraction queries cache_pages policy check =
   let info =
@@ -493,22 +373,39 @@ let query_once path fraction queries cache_pages policy check =
   in
   let n = int_field "n"
   and block_size = int_field "b"
-  and seed = int_field "seed" in
+  and seed = int_field "seed"
+  and dim = int_field "d" in
   let kind =
     match field "w" with
-    | "uniform" -> Uniform
-    | "clusters" -> Clusters
-    | "diagonal" -> Diagonal
+    | "uniform" -> Workloads.Uniform
+    | "clusters" -> Workloads.Clusters
+    | "diagonal" -> Workloads.Diagonal
     | w -> die "%s: unknown workload %S in snapshot meta" path w
   in
+  (* generic dispatch: the header's kind tag names the module *)
+  let (module M : Index.S) =
+    match Registry.find_by_snapshot_kind info.Diskstore.Snapshot.kind with
+    | Some m -> m
+    | None ->
+        die "%s: no registered structure owns snapshot kind %S" path
+          info.Diskstore.Snapshot.kind
+  in
+  let ops = Option.get M.snapshot in
   (* replay the builder's stream: points first, then queries *)
   let rng = Workload.rng seed in
-  let points = gen2 kind rng n in
+  let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
   let stats = Emio.Io_stats.create () in
-  let run_query = open_snapshot path ~stats ~policy ~cache_pages info in
+  let t =
+    match ops.Index.load ~stats ~policy ~cache_pages path with
+    | Ok (t, _) -> t
+    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  in
   let reference =
-    if check then Some (reference_query (field "s") ~block_size points)
-    else None
+    if not check then None
+    else begin
+      let rstats = Emio.Io_stats.create () in
+      Some (M.build ~params:(params_of ~block_size) ~stats:rstats ds)
+    end
   in
   Printf.printf "%s: %s  meta %s  %d pages of %d bytes\n" path
     info.Diskstore.Snapshot.kind meta info.Diskstore.Snapshot.total_pages
@@ -516,15 +413,12 @@ let query_once path fraction queries cache_pages policy check =
   Emio.Io_stats.reset stats (* drop the load-time verification sweep *);
   let total_t = ref 0 and mismatches = ref 0 in
   for _ = 1 to queries do
-    let slope, icept =
-      Workload.halfplane_with_selectivity rng points ~fraction
-    in
-    let result = run_query ~slope ~icept in
+    let q = Workloads.query rng ds ~fraction in
+    let result = M.query t q in
     total_t := !total_t + List.length result;
     match reference with
-    | Some ref_query ->
-        if sorted_pts (ref_query ~slope ~icept) <> sorted_pts result then
-          incr mismatches
+    | Some r ->
+        if sorted_rows (M.query r q) <> sorted_rows result then incr mismatches
     | None -> ()
   done;
   Printf.printf
@@ -619,7 +513,8 @@ let info_text () =
     \  d    O(n^{1-1/d+eps} + t)      O(n)           Core.Partition_tree (§5)\n\n\
      Also: Core.Knn (Theorem 4.3), Core.Lowest_planes (Theorem 4.2),\n\
      baselines (R-tree, quadtree, grid file, linear scan), and a full\n\
-     experiment harness (dune exec bench/main.exe).\n"
+     experiment harness (dune exec bench/main.exe).\n\
+     Run `lcsearch list` for the registry with per-structure bounds.\n"
 
 let info_cmd =
   Cmd.v
@@ -632,6 +527,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "lcsearch" ~version:"1.0.0" ~doc)
           [
+            list_cmd;
             run_cmd;
             sweep_cmd;
             build_cmd;

@@ -22,6 +22,48 @@ let query_count t ~slope ~icept =
 let space_blocks t = Emio.Run.block_count t.run
 let length t = t.length
 
+(* The d-dimensional variant: the same Θ(n)-I/O scan over coordinate
+   rows.  It is the conformance oracle for every structure the 2-D
+   point type cannot feed, and uses the same Partition.Cells predicate
+   as the partition trees so boundary tolerance is bit-identical. *)
+
+type d = {
+  drun : Partition.Cells.point Emio.Run.t;
+  ddim : int;
+  dlength : int;
+}
+
+let build_d ~stats ~block_size ?(cache_blocks = 0) ?backend ~dim points =
+  if dim < 2 then invalid_arg "Linear_scan.build_d: need dim >= 2";
+  Array.iter
+    (fun p ->
+      if Array.length p <> dim then
+        invalid_arg "Linear_scan.build_d: wrong point dimension")
+    points;
+  let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  {
+    drun = Emio.Run.of_array store points;
+    ddim = dim;
+    dlength = Array.length points;
+  }
+
+let query_halfspace_d t ~a0 ~a =
+  let c = Partition.Cells.constr_of_halfspace ~dim:t.ddim ~a0 ~a in
+  List.rev
+    (Emio.Run.fold
+       (fun acc p -> if Partition.Cells.satisfies c p then p :: acc else acc)
+       [] t.drun)
+
+let query_count_d t ~a0 ~a =
+  let c = Partition.Cells.constr_of_halfspace ~dim:t.ddim ~a0 ~a in
+  Emio.Run.fold
+    (fun acc p -> if Partition.Cells.satisfies c p then acc + 1 else acc)
+    0 t.drun
+
+let dim_d t = t.ddim
+let length_d t = t.dlength
+let space_blocks_d t = Emio.Run.block_count t.drun
+
 let snapshot_kind = "lcsearch.scan"
 
 let save_snapshot t ~path ?meta ?page_size () =

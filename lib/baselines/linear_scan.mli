@@ -17,6 +17,32 @@ val query_count : t -> slope:float -> icept:float -> int
 val space_blocks : t -> int
 val length : t -> int
 
+(** {1 The d-dimensional scan}
+
+    Same Θ(n) scan over coordinate rows (points are float arrays of
+    length [dim]).  It answers the paper's query form
+    [x_d <= a0 + Σ a_i x_i] with the exact {!Partition.Cells}
+    tolerance the partition trees use, which makes it the conformance
+    oracle for every dimension. *)
+
+type d
+
+val build_d :
+  stats:Emio.Io_stats.t -> block_size:int -> ?cache_blocks:int ->
+  ?backend:Emio.Store_intf.backend ->
+  dim:int -> Partition.Cells.point array -> d
+(** Raises [Invalid_argument] if [dim < 2] or any row has a different
+    length. *)
+
+val query_halfspace_d :
+  d -> a0:float -> a:float array -> Partition.Cells.point list
+
+val query_count_d : d -> a0:float -> a:float array -> int
+
+val dim_d : d -> int
+val length_d : d -> int
+val space_blocks_d : d -> int
+
 val snapshot_kind : string
 
 val save_snapshot :

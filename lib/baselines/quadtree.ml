@@ -31,6 +31,7 @@ let quadrants (r : Rect.t) =
 
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(max_depth = 40)
     points =
+  if max_depth < 1 then invalid_arg "Quadtree.build: need max_depth >= 1";
   let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let n = Array.length points in

@@ -78,7 +78,10 @@ let certificates ~cert_cap (items : item array) =
 
 let build ~stats ~block_size ?(cache_blocks = 0) ?cert_cap points =
   let cert_cap =
-    match cert_cap with Some c -> max 4 c | None -> 2 * block_size
+    match cert_cap with
+    | Some c when c < 0 -> invalid_arg "Cert_tree.build: need cert_cap >= 0"
+    | Some c -> max 4 c
+    | None -> 2 * block_size
   in
   let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in

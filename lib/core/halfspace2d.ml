@@ -199,6 +199,8 @@ let query_entries t ~slope ~icept =
   let i = ref 0 in
   t.last_clusters_visited <- 0;
   while (not !halted) && !i < Array.length t.layer_list do
+    if Emio.Cost_ctx.tracing () then
+      Emio.Cost_ctx.emit (Level { label = "h2"; index = !i });
     (match t.layer_list.(!i) with
     | Scan run ->
         Emio.Run.iter

@@ -153,6 +153,10 @@ let compute_beta ~block_size n_points =
 
 let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
     ?(clip = (-1000., -1000., 1000., 1000.)) ?(use_segtree = false) planes =
+  if copies < 1 then invalid_arg "Lowest_planes.build: need copies >= 1";
+  (let x0, y0, x1, y1 = clip in
+   if not (x0 < x1 && y0 < y1) then
+     invalid_arg "Lowest_planes.build: empty clip box");
   let n = Array.length planes in
   let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let all_planes =

@@ -91,25 +91,29 @@ let rec report_subtree t acc = function
 
 let query_with t ~classify_cell ~keep_point =
   t.visited <- 0;
-  let rec go acc = function
+  let rec go ~depth acc = function
     | Leaf id ->
         t.visited <- t.visited + 1;
+        if Emio.Cost_ctx.tracing () then
+          Emio.Cost_ctx.emit (Node { label = "ptree"; depth });
         Array.fold_left
           (fun acc it -> if keep_point it.coords then it.pid :: acc else acc)
           acc
           (Emio.Store.read t.leaves id)
     | Node id ->
         t.visited <- t.visited + 1;
+        if Emio.Cost_ctx.tracing () then
+          Emio.Cost_ctx.emit (Node { label = "ptree"; depth });
         Array.fold_left
           (fun acc child ->
             match classify_cell child.cell with
             | Cells.R_inside -> report_subtree t acc child.sub
             | Cells.R_disjoint -> acc
-            | Cells.R_crossing -> go acc child.sub)
+            | Cells.R_crossing -> go ~depth:(depth + 1) acc child.sub)
           acc
           (Emio.Store.read t.internals id)
   in
-  match t.root with None -> [] | Some root -> go [] root
+  match t.root with None -> [] | Some root -> go ~depth:0 [] root
 
 let query_simplex t constrs =
   query_with t

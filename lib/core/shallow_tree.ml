@@ -31,6 +31,8 @@ let space_blocks t =
 
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend
     ?(shallow_factor = 2.0) ~dim points =
+  if not (shallow_factor > 0.) then
+    invalid_arg "Shallow_tree.build: need shallow_factor > 0";
   Array.iter
     (fun p ->
       if Array.length p <> dim then

@@ -43,6 +43,7 @@ let coords_of_point3 p = [| Point3.x p; Point3.y p; Point3.z p |]
 let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(a = 1.5) ?clip
     ?(copies = 3) points =
   if a <= 1. then invalid_arg "Tradeoff3d.build: need a > 1";
+  if copies < 1 then invalid_arg "Tradeoff3d.build: need copies >= 1";
   let leaf_capacity =
     max (4 * block_size)
       (int_of_float (Float.pow (float_of_int block_size) a))

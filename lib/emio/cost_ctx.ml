@@ -1,0 +1,89 @@
+(* Scoped I/O accounting.  A Cost_ctx mirrors every Io_stats record
+   made while it is installed, so a caller can attribute I/O to one
+   query without resetting (or even knowing about) the ambient
+   counters hanging off each store.  Contexts nest: all installed
+   contexts are charged, so a batch context sees the sum of its
+   queries' contexts. *)
+
+type event =
+  | Block_read of { id : int; hit : bool }
+  | Block_write of { id : int; hit : bool }
+  | Node of { label : string; depth : int }
+  | Level of { label : string; index : int }
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+  mutable evictions : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  trace : (event -> unit) option;
+}
+
+let create ?trace () =
+  {
+    reads = 0;
+    writes = 0;
+    hits = 0;
+    evictions = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    trace;
+  }
+
+let reads t = t.reads
+let writes t = t.writes
+let total t = t.reads + t.writes
+let hits t = t.hits
+let evictions t = t.evictions
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+
+(* The installed-context stack.  Single-domain by construction (the
+   whole simulator is); a Domain-aware version would make this a DLS
+   key. *)
+let stack : t list ref = ref []
+
+let with_ctx ctx f =
+  stack := ctx :: !stack;
+  Fun.protect ~finally:(fun () ->
+      match !stack with
+      | top :: rest when top == ctx -> stack := rest
+      | _ -> stack := List.filter (fun c -> c != ctx) !stack)
+    f
+
+let active () = match !stack with [] -> false | _ :: _ -> true
+
+let tracing () = List.exists (fun c -> c.trace <> None) !stack
+
+let note_read () =
+  List.iter (fun c -> c.reads <- c.reads + 1) !stack
+
+let note_write () =
+  List.iter (fun c -> c.writes <- c.writes + 1) !stack
+
+let note_hit () = List.iter (fun c -> c.hits <- c.hits + 1) !stack
+
+let note_eviction () =
+  List.iter (fun c -> c.evictions <- c.evictions + 1) !stack
+
+let note_bytes_read n =
+  List.iter (fun c -> c.bytes_read <- c.bytes_read + n) !stack
+
+let note_bytes_written n =
+  List.iter (fun c -> c.bytes_written <- c.bytes_written + n) !stack
+
+let emit ev =
+  List.iter
+    (fun c -> match c.trace with None -> () | Some sink -> sink ev)
+    !stack
+
+let pp_event ppf = function
+  | Block_read { id; hit } ->
+      Format.fprintf ppf "read block %d%s" id (if hit then " (hit)" else "")
+  | Block_write { id; hit } ->
+      Format.fprintf ppf "write block %d%s" id (if hit then " (hit)" else "")
+  | Node { label; depth } -> Format.fprintf ppf "node %s depth %d" label depth
+  | Level { label; index } ->
+      Format.fprintf ppf "level %s index %d" label index

@@ -1,0 +1,69 @@
+(** Scoped, per-query I/O accounting.
+
+    The simulator's ambient counters ({!Io_stats}) are one mutable sink
+    per store, shared by everything that touches the store — fine for a
+    whole experiment, fragile for attributing I/O to a single query
+    (the historical pattern was [Io_stats.reset] between queries, which
+    silently misattributes I/O whenever two measurements interleave).
+
+    A [Cost_ctx.t] fixes that: while installed with {!with_ctx}, every
+    {!Io_stats} record — from any store, B-tree, or file backend — is
+    mirrored into the context, giving exact scoped counts without
+    touching the ambient counters (which therefore stay bit-identical
+    to the pre-context behaviour).  Contexts nest; all installed
+    contexts are charged, so an outer batch context accumulates the
+    totals of the per-query contexts inside it.
+
+    A context may also carry a {e trace sink}: structures and stores
+    emit {!event}s (block touches, per-node visits, per-layer/level
+    progress) that the sink receives in execution order — the basis for
+    query plans, flamegraph-style breakdowns, and regression traces. *)
+
+type event =
+  | Block_read of { id : int; hit : bool }
+      (** A store block access ([hit] = served by the LRU for free). *)
+  | Block_write of { id : int; hit : bool }
+  | Node of { label : string; depth : int }
+      (** A structure visited an internal node (e.g. ["ptree"]). *)
+  | Level of { label : string; index : int }
+      (** A structure advanced to layer/level [index] (e.g. ["h2"]). *)
+
+type t
+
+val create : ?trace:(event -> unit) -> unit -> t
+(** A fresh context with zeroed counters.  [trace], if given, receives
+    every event emitted while the context is installed. *)
+
+val with_ctx : t -> (unit -> 'r) -> 'r
+(** Install [ctx] for the duration of the callback (exception-safe).
+    Nested installs stack. *)
+
+val reads : t -> int
+val writes : t -> int
+val total : t -> int
+val hits : t -> int
+val evictions : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+
+val active : unit -> bool
+(** Is any context installed?  (Cheap; lets hot paths skip work.) *)
+
+val tracing : unit -> bool
+(** Is any installed context tracing?  Guard event construction with
+    this to keep untraced queries allocation-free. *)
+
+val emit : event -> unit
+(** Deliver an event to every installed tracing context. *)
+
+(** Mirroring hooks — called by {!Io_stats.record_read} etc.; not for
+    general use. *)
+
+val note_read : unit -> unit
+val note_write : unit -> unit
+val note_hit : unit -> unit
+val note_eviction : unit -> unit
+val note_bytes_read : int -> unit
+val note_bytes_written : int -> unit
+
+val pp_event : Format.formatter -> event -> unit

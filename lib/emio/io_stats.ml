@@ -25,12 +25,33 @@ let evictions t = t.evictions
 let bytes_read t = t.bytes_read
 let bytes_written t = t.bytes_written
 
-let record_read t = t.reads <- t.reads + 1
-let record_write t = t.writes <- t.writes + 1
-let record_hit t = t.hits <- t.hits + 1
-let record_eviction t = t.evictions <- t.evictions + 1
-let record_bytes_read t n = t.bytes_read <- t.bytes_read + n
-let record_bytes_written t n = t.bytes_written <- t.bytes_written + n
+(* Every record is mirrored into the installed Cost_ctx stack (if
+   any), so per-query scoped accounting never needs to reset these
+   ambient counters. *)
+
+let record_read t =
+  t.reads <- t.reads + 1;
+  Cost_ctx.note_read ()
+
+let record_write t =
+  t.writes <- t.writes + 1;
+  Cost_ctx.note_write ()
+
+let record_hit t =
+  t.hits <- t.hits + 1;
+  Cost_ctx.note_hit ()
+
+let record_eviction t =
+  t.evictions <- t.evictions + 1;
+  Cost_ctx.note_eviction ()
+
+let record_bytes_read t n =
+  t.bytes_read <- t.bytes_read + n;
+  Cost_ctx.note_bytes_read n
+
+let record_bytes_written t n =
+  t.bytes_written <- t.bytes_written + n;
+  Cost_ctx.note_bytes_written n
 
 let reset t =
   t.reads <- 0;

@@ -39,6 +39,10 @@ val bytes_read : t -> int
 val bytes_written : t -> int
 (** Physical bytes written to disk (always [0] for the simulator). *)
 
+(** The [record_*] functions also mirror each count into any installed
+    {!Cost_ctx} (see {!Cost_ctx.with_ctx}), leaving these ambient
+    counters themselves untouched by the scoping machinery. *)
+
 val record_read : t -> unit
 val record_write : t -> unit
 val record_hit : t -> unit

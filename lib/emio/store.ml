@@ -55,22 +55,28 @@ let alloc t data =
       let id = m.used in
       m.blocks.(id) <- data;
       m.used <- m.used + 1;
-      if Lru.touch t.cache id then Io_stats.record_hit t.stats
+      let hit = Lru.touch t.cache id in
+      if hit then Io_stats.record_hit t.stats
       else Io_stats.record_write t.stats;
+      if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit });
       id
   | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
       let id = B.alloc b (Marshal.to_bytes data marshal_flags) in
       e.allocated <- e.allocated + 1;
+      if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit = false });
       id
 
 let read (t : 'a t) id : 'a array =
   match t.state with
   | Mem m ->
       if id < 0 || id >= m.used then invalid_arg "Store.read: bad block id";
-      if Lru.touch t.cache id then Io_stats.record_hit t.stats
+      let hit = Lru.touch t.cache id in
+      if hit then Io_stats.record_hit t.stats
       else Io_stats.record_read t.stats;
+      if Cost_ctx.tracing () then Cost_ctx.emit (Block_read { id; hit });
       m.blocks.(id)
   | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
+      if Cost_ctx.tracing () then Cost_ctx.emit (Block_read { id; hit = false });
       (Marshal.from_bytes (B.read b id) 0 : 'a array)
 
 let write t id data =
@@ -79,9 +85,12 @@ let write t id data =
   | Mem m ->
       if id < 0 || id >= m.used then invalid_arg "Store.write: bad block id";
       m.blocks.(id) <- data;
-      if Lru.touch t.cache id then Io_stats.record_hit t.stats
-      else Io_stats.record_write t.stats
+      let hit = Lru.touch t.cache id in
+      if hit then Io_stats.record_hit t.stats
+      else Io_stats.record_write t.stats;
+      if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit })
   | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
+      if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit = false });
       B.write b id (Marshal.to_bytes data marshal_flags)
 
 let drop_cache t =

@@ -1,0 +1,642 @@
+(* One Index.S adapter per structure in the repo.  These are the only
+   places that know native build/query signatures; everything above
+   (registry, benches, CLI, conformance tests) is structure-agnostic.
+
+   Conventions shared by every adapter:
+   - malformed build parameters raise [Invalid_argument] with a
+     "name.build: reason" message (the Index signature's contract);
+   - [query]/[query_count] accept the unified {a0; a} form and check
+     its dimension;
+   - id-returning natives keep the build-time coordinate rows so
+     [query] can report points, while [query_count] stays on the
+     native counting path (same I/O pattern as the native API). *)
+
+open Geom
+
+let clip3 = (-10., -10., 10., 10.)
+(* Coefficient clip box shared by every 3-D structure build: the bench
+   query generators clamp (a, b) to ±9.9, safely inside. *)
+
+let pt2_row p = [| Point2.x p; Point2.y p |]
+let pt3_row p = [| Point3.x p; Point3.y p; Point3.z p |]
+
+let rows_of_dataset = function
+  | Index.Pts2 pts -> Array.map pt2_row pts
+  | Index.Pts3 pts -> Array.map pt3_row pts
+  | Index.PtsD pts -> pts
+
+let check_dims ~name ~dims ds =
+  let d = Index.dataset_dim ds in
+  if not (List.mem d dims) then
+    invalid_arg
+      (Printf.sprintf "%s.build: unsupported dimension %d (supports %s)" name d
+         (String.concat ", " (List.map string_of_int dims)));
+  d
+
+let as_pts2 ~name ds =
+  match ds with
+  | Index.Pts2 pts -> pts
+  | Index.PtsD pts when Index.dataset_dim ds = 2 ->
+      Array.map (fun r -> Point2.make r.(0) r.(1)) pts
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "%s.build: unsupported dimension %d (supports 2)" name
+           (Index.dataset_dim ds))
+
+let as_pts3 ~name ds =
+  match ds with
+  | Index.Pts3 pts -> pts
+  | Index.PtsD pts when Index.dataset_dim ds = 3 ->
+      Array.map (fun r -> Point3.make r.(0) r.(1) r.(2)) pts
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "%s.build: unsupported dimension %d (supports 3)" name
+           (Index.dataset_dim ds))
+
+let q2 ~name (q : Index.query) =
+  if Index.query_dim q <> 2 then
+    invalid_arg (name ^ ".query: expected a 2-d halfplane");
+  (q.a.(0), q.a0)
+
+let q3 ~name (q : Index.query) =
+  if Index.query_dim q <> 3 then
+    invalid_arg (name ^ ".query: expected a 3-d halfspace");
+  (q.a.(0), q.a.(1), q.a0)
+
+let qd ~name ~dim (q : Index.query) =
+  if Index.query_dim q <> dim then
+    invalid_arg
+      (Printf.sprintf "%s.query: expected a %d-d halfspace" name dim);
+  (q.a0, q.a)
+
+(* Positive-int extra parameter, validated. *)
+let extra_int ~name ~key lookup =
+  match lookup key with
+  | None -> None
+  | Some v ->
+      let i = int_of_float v in
+      if float_of_int i <> v || i < 1 then
+        invalid_arg
+          (Printf.sprintf "%s.build: %s must be a positive integer" name key)
+      else Some i
+
+let blocks_of ~n ~bs = max 1 ((n + bs - 1) / bs)
+
+(* log_B n for the Table-1 estimates; clamped away from the degenerate
+   bases/arguments so the hint is always finite and >= 1. *)
+let logb ~bs n =
+  let b = float_of_int (max 2 bs) and x = float_of_int (max 2 n) in
+  Stdlib.max 1. (log x /. log b)
+
+let eps = 0.1
+(* The ε of the n^{..+ε} Table-1 bounds, as the estimates realize it. *)
+
+module H2 = struct
+  type t = { s : Core.Halfspace2d.t; n : int; bs : int }
+
+  let name = "h2"
+  let description = "§3 layered 2-d halfspace structure (Theorem 3.5)"
+  let dims = [ 2 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n)"
+  let query_bound = "O(log_B n + t)"
+  let preferred ~dim:_ = `Pts2
+
+  let build ~(params : Index.build_params) ~stats ds =
+    ignore (Index.extra_lookup ~name ~allowed:[] params : string -> float option);
+    let pts = as_pts2 ~name ds in
+    let s =
+      Core.Halfspace2d.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ~seed:params.seed pts
+    in
+    { s; n = Array.length pts; bs = params.block_size }
+
+  let query t q =
+    let slope, icept = q2 ~name q in
+    List.map pt2_row (Core.Halfspace2d.query t.s ~slope ~icept)
+
+  let query_count t q =
+    let slope, icept = q2 ~name q in
+    Core.Halfspace2d.query_count t.s ~slope ~icept
+
+  let estimate t _q = logb ~bs:t.bs (blocks_of ~n:t.n ~bs:t.bs)
+  let space_blocks t = Core.Halfspace2d.space_blocks t.s
+
+  let counters t =
+    [
+      ("layers", Core.Halfspace2d.layers t.s);
+      ("last_clusters_visited", Core.Halfspace2d.last_clusters_visited t.s);
+      ("last_layers_visited", Core.Halfspace2d.last_layers_visited t.s);
+    ]
+
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Core.Halfspace2d.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Core.Halfspace2d.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Core.Halfspace2d.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      n = Core.Halfspace2d.length s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
+end
+
+module H3 = struct
+  type t = { s : Core.Halfspace3d.t; n : int; bs : int }
+
+  let name = "h3"
+  let description = "§4.2 3-d halfspace structure over k-lowest-planes"
+  let dims = [ 3 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n log2 n)"
+  let query_bound = "O(log_B n + t) expected"
+  let preferred ~dim:_ = `Pts3
+
+  let build ~(params : Index.build_params) ~stats ds =
+    let lookup = Index.extra_lookup ~name ~allowed:[ "copies" ] params in
+    let copies = extra_int ~name ~key:"copies" lookup in
+    let pts = as_pts3 ~name ds in
+    let s =
+      Core.Halfspace3d.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ~seed:params.seed ?copies ~clip:clip3
+        pts
+    in
+    { s; n = Array.length pts; bs = params.block_size }
+
+  let query t q =
+    let a, b, c = q3 ~name q in
+    List.map pt3_row (Core.Halfspace3d.query t.s ~a ~b ~c)
+
+  let query_count t q =
+    let a, b, c = q3 ~name q in
+    Core.Halfspace3d.query_count t.s ~a ~b ~c
+
+  let estimate t _q = logb ~bs:t.bs (blocks_of ~n:t.n ~bs:t.bs)
+  let space_blocks t = Core.Halfspace3d.space_blocks t.s
+  let counters t = [ ("fallbacks", Core.Halfspace3d.fallbacks t.s) ]
+  let snapshot = None
+end
+
+module Ptree = struct
+  type t = {
+    s : Core.Partition_tree.t;
+    pts : Partition.Cells.point array;
+    bs : int;
+  }
+
+  let name = "ptree"
+  let description = "§5 linear-size d-dimensional partition tree"
+  let dims = [ 2; 3; 4 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n)"
+  let query_bound = "O(n^{1-1/d+e} + t)"
+  let preferred ~dim:_ = `PtsD
+
+  let build ~(params : Index.build_params) ~stats ds =
+    ignore (Index.extra_lookup ~name ~allowed:[] params : string -> float option);
+    let dim = check_dims ~name ~dims ds in
+    let pts = rows_of_dataset ds in
+    let s =
+      Core.Partition_tree.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ~dim pts
+    in
+    { s; pts; bs = params.block_size }
+
+  let ids t q =
+    let a0, a = qd ~name ~dim:(Core.Partition_tree.dim t.s) q in
+    Core.Partition_tree.query_halfspace t.s ~a0 ~a
+
+  let query t q = List.map (fun i -> t.pts.(i)) (ids t q)
+  let query_count t q = List.length (ids t q)
+
+  let estimate t _q =
+    let d = float_of_int (Core.Partition_tree.dim t.s) in
+    let n = blocks_of ~n:(Array.length t.pts) ~bs:t.bs in
+    float_of_int n ** (1. -. (1. /. d) +. eps)
+
+  let space_blocks t = Core.Partition_tree.space_blocks t.s
+
+  let counters t =
+    [ ("last_visited_nodes", Core.Partition_tree.last_visited_nodes t.s) ]
+
+  let snapshot = None
+end
+
+module Shallow = struct
+  type t = {
+    s : Core.Shallow_tree.t;
+    pts : Partition.Cells.point array;
+    bs : int;
+  }
+
+  let name = "shallow"
+  let description = "§6 shallow partition tree (Theorem 6.3)"
+  let dims = [ 2; 3; 4 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n log_B n)"
+  let query_bound = "O(n^{1-1/⌊d/2⌋+e} + t)"
+  let preferred ~dim:_ = `PtsD
+
+  let build ~(params : Index.build_params) ~stats ds =
+    let lookup = Index.extra_lookup ~name ~allowed:[ "shallow_factor" ] params in
+    let shallow_factor =
+      match lookup "shallow_factor" with
+      | None -> None
+      | Some f when f > 0. -> Some f
+      | Some _ -> invalid_arg (name ^ ".build: shallow_factor must be > 0")
+    in
+    let dim = check_dims ~name ~dims ds in
+    let pts = rows_of_dataset ds in
+    let s =
+      Core.Shallow_tree.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ?shallow_factor ~dim pts
+    in
+    { s; pts; bs = params.block_size }
+
+  let ids t q =
+    let a0, a = qd ~name ~dim:(Core.Shallow_tree.dim t.s) q in
+    Core.Shallow_tree.query_halfspace t.s ~a0 ~a
+
+  let query t q = List.map (fun i -> t.pts.(i)) (ids t q)
+  let query_count t q = List.length (ids t q)
+
+  let estimate t _q =
+    let d = Core.Shallow_tree.dim t.s in
+    let n = blocks_of ~n:(Array.length t.pts) ~bs:t.bs in
+    let expo = 1. -. (1. /. float_of_int (max 1 (d / 2))) +. eps in
+    float_of_int n ** Stdlib.max eps expo
+
+  let space_blocks t = Core.Shallow_tree.space_blocks t.s
+
+  let counters t =
+    [ ("last_secondary_uses", Core.Shallow_tree.last_secondary_uses t.s) ]
+
+  let snapshot = None
+end
+
+module Tradeoff = struct
+  type t = {
+    s : Core.Tradeoff3d.t;
+    pts : Point3.t array;
+    bs : int;
+    a : float;
+  }
+
+  let name = "tradeoff"
+  let description = "§6 space/query tradeoff (Theorem 6.1), B^a leaves"
+  let dims = [ 3 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n log2 B)"
+  let query_bound = "O((n/B^{a-1})^{2/3+e} + t) expected"
+  let preferred ~dim:_ = `Pts3
+
+  let build ~(params : Index.build_params) ~stats ds =
+    let lookup = Index.extra_lookup ~name ~allowed:[ "a" ] params in
+    let a = match lookup "a" with None -> 1.5 | Some a -> a in
+    if a <= 1. then invalid_arg (name ^ ".build: exponent a must be > 1");
+    let pts = as_pts3 ~name ds in
+    let s =
+      Core.Tradeoff3d.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ~seed:params.seed ~a ~clip:clip3 pts
+    in
+    { s; pts; bs = params.block_size; a }
+
+  let query t q =
+    let a, b, c = q3 ~name q in
+    List.map
+      (fun i -> pt3_row t.pts.(i))
+      (Core.Tradeoff3d.query_ids t.s ~a ~b ~c)
+
+  let query_count t q =
+    let a, b, c = q3 ~name q in
+    Core.Tradeoff3d.query_count t.s ~a ~b ~c
+
+  let estimate t _q =
+    let n = float_of_int (blocks_of ~n:(Array.length t.pts) ~bs:t.bs) in
+    let b = float_of_int (max 2 t.bs) in
+    Stdlib.max 1. ((n /. (b ** (t.a -. 1.))) ** ((2. /. 3.) +. eps))
+
+  let space_blocks t = Core.Tradeoff3d.space_blocks t.s
+
+  let counters t =
+    [
+      ("leaf_capacity", Core.Tradeoff3d.leaf_capacity t.s);
+      ("last_secondary_queries", Core.Tradeoff3d.last_secondary_queries t.s);
+    ]
+
+  let snapshot = None
+end
+
+module Cert = struct
+  type t = { s : Core.Cert_tree.t; pts : Point3.t array; bs : int }
+
+  let name = "cert"
+  let description = "certificate-enhanced 3-d partition tree (DESIGN.md §7)"
+  let dims = [ 3 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n) + certificates"
+  let query_bound = "O((T+1) · depth) node visits"
+  let preferred ~dim:_ = `Pts3
+
+  let build ~(params : Index.build_params) ~stats ds =
+    let lookup = Index.extra_lookup ~name ~allowed:[ "cert_cap" ] params in
+    let cert_cap = extra_int ~name ~key:"cert_cap" lookup in
+    let pts = as_pts3 ~name ds in
+    let s =
+      Core.Cert_tree.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ?cert_cap pts
+    in
+    { s; pts; bs = params.block_size }
+
+  let qc ~name (q : Index.query) =
+    if Index.query_dim q <> 3 then
+      invalid_arg (name ^ ".query: expected a 3-d halfspace");
+    (q.a0, q.a)
+
+  let query t q =
+    let a0, a = qc ~name q in
+    List.map (fun i -> pt3_row t.pts.(i)) (Core.Cert_tree.query_ids t.s ~a0 ~a)
+
+  let query_count t q =
+    let a0, a = qc ~name q in
+    Core.Cert_tree.query_count t.s ~a0 ~a
+
+  let estimate t _q = logb ~bs:t.bs (blocks_of ~n:(Array.length t.pts) ~bs:t.bs)
+  let space_blocks t = Core.Cert_tree.space_blocks t.s
+
+  let counters t =
+    [
+      ("last_visited_nodes", Core.Cert_tree.last_visited_nodes t.s);
+      ("certificate_items", Core.Cert_tree.certificate_items t.s);
+    ]
+
+  let snapshot = None
+end
+
+(* The two R-tree packings share everything but the name and the
+   [packing] flag — and only the STR one owns the snapshot kind, so the
+   kind → module mapping stays injective. *)
+module type RTREE_VARIANT = sig
+  val name : string
+  val description : string
+  val packing : Baselines.Rtree.packing
+  val with_snapshot : bool
+end
+
+module Make_rtree (V : RTREE_VARIANT) = struct
+  type t = { s : Baselines.Rtree.t; n : int; bs : int }
+
+  let name = V.name
+  let description = V.description
+  let dims = [ 2 ]
+  let kinds = [ Index.Halfspace; Index.Window ]
+  let space_bound = "O(n)"
+  let query_bound = "O(√n + t) typical, Θ(n) adversarial (§1.2)"
+  let preferred ~dim:_ = `Pts2
+
+  let build ~(params : Index.build_params) ~stats ds =
+    ignore (Index.extra_lookup ~name ~allowed:[] params : string -> float option);
+    let pts = as_pts2 ~name ds in
+    let s =
+      Baselines.Rtree.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ~packing:V.packing pts
+    in
+    { s; n = Array.length pts; bs = params.block_size }
+
+  let query t q =
+    let slope, icept = q2 ~name q in
+    List.map pt2_row (Baselines.Rtree.query_halfplane t.s ~slope ~icept)
+
+  let query_count t q =
+    let slope, icept = q2 ~name q in
+    Baselines.Rtree.query_count t.s ~slope ~icept
+
+  let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
+  let space_blocks t = Baselines.Rtree.space_blocks t.s
+  let counters t = [ ("height", Baselines.Rtree.height t.s) ]
+
+  let snapshot =
+    if not V.with_snapshot then None
+    else
+      Some
+        {
+          Index.snapshot_kind = Baselines.Rtree.snapshot_kind;
+          save =
+            (fun t ~path ~meta ~page_size ->
+              Baselines.Rtree.save_snapshot t.s ~path ~meta ?page_size ());
+          load =
+            (fun ~stats ~policy ~cache_pages path ->
+              match
+                Baselines.Rtree.of_snapshot ~stats ~policy ~cache_pages path
+              with
+              | Error _ as e -> e
+              | Ok (s, info) ->
+                  Ok
+                    ( {
+                        s;
+                        n = Baselines.Rtree.length s;
+                        bs = info.Diskstore.Snapshot.block_size;
+                      },
+                      info ));
+        }
+end
+
+module Rtree = Make_rtree (struct
+  let name = "rtree"
+  let description = "STR-packed R-tree baseline (§1.2 refs 29, 9)"
+  let packing = Baselines.Rtree.Str
+  let with_snapshot = true
+end)
+
+module Rtree_hilbert = Make_rtree (struct
+  let name = "rtree-hilbert"
+  let description = "Hilbert-packed R-tree baseline (§1.2 ref 33)"
+  let packing = Baselines.Rtree.Hilbert
+  let with_snapshot = false
+end)
+
+module Quadtree = struct
+  type t = { s : Baselines.Quadtree.t; n : int; bs : int }
+
+  let name = "quadtree"
+  let description = "bucket PR quadtree baseline (§1.2 refs 46, 47)"
+  let dims = [ 2 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n) typical"
+  let query_bound = "O(√n + t) uniform, Θ(n) adversarial (§1.2)"
+  let preferred ~dim:_ = `Pts2
+
+  let build ~(params : Index.build_params) ~stats ds =
+    let lookup = Index.extra_lookup ~name ~allowed:[ "max_depth" ] params in
+    let max_depth = extra_int ~name ~key:"max_depth" lookup in
+    let pts = as_pts2 ~name ds in
+    let s =
+      Baselines.Quadtree.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks ?max_depth pts
+    in
+    { s; n = Array.length pts; bs = params.block_size }
+
+  let query t q =
+    let slope, icept = q2 ~name q in
+    List.map pt2_row (Baselines.Quadtree.query_halfplane t.s ~slope ~icept)
+
+  let query_count t q =
+    let slope, icept = q2 ~name q in
+    Baselines.Quadtree.query_count t.s ~slope ~icept
+
+  let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
+  let space_blocks t = Baselines.Quadtree.space_blocks t.s
+  let counters t = [ ("depth", Baselines.Quadtree.depth t.s) ]
+  let snapshot = None
+end
+
+module Gridfile = struct
+  type t = { s : Baselines.Grid_file.t; n : int; bs : int }
+
+  let name = "gridfile"
+  let description = "grid file baseline (§1.2 ref 41)"
+  let dims = [ 2 ]
+  let kinds = [ Index.Halfspace; Index.Window ]
+  let space_bound = "O(n) typical"
+  let query_bound = "O(√n + t) uniform, Θ(n) adversarial (§1.2)"
+  let preferred ~dim:_ = `Pts2
+
+  let build ~(params : Index.build_params) ~stats ds =
+    ignore (Index.extra_lookup ~name ~allowed:[] params : string -> float option);
+    let pts = as_pts2 ~name ds in
+    let s =
+      Baselines.Grid_file.build ~stats ~block_size:params.block_size
+        ~cache_blocks:params.cache_blocks pts
+    in
+    { s; n = Array.length pts; bs = params.block_size }
+
+  let query t q =
+    let slope, icept = q2 ~name q in
+    List.map pt2_row (Baselines.Grid_file.query_halfplane t.s ~slope ~icept)
+
+  let query_count t q =
+    let slope, icept = q2 ~name q in
+    Baselines.Grid_file.query_count t.s ~slope ~icept
+
+  let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
+  let space_blocks t = Baselines.Grid_file.space_blocks t.s
+  let counters t = [ ("side", Baselines.Grid_file.side t.s) ]
+  let snapshot = None
+end
+
+module Scan = struct
+  type which = S2 of Baselines.Linear_scan.t | Sd of Baselines.Linear_scan.d
+  type t = { s : which; n : int; bs : int }
+
+  let name = "scan"
+  let description = "linear scan oracle: Θ(n) I/Os, always exact"
+  let dims = [ 2; 3; 4 ]
+  let kinds = [ Index.Halfspace ]
+  let space_bound = "O(n)"
+  let query_bound = "Θ(n)"
+  let preferred ~dim = if dim = 2 then `Pts2 else `PtsD
+
+  let build ~(params : Index.build_params) ~stats ds =
+    ignore (Index.extra_lookup ~name ~allowed:[] params : string -> float option);
+    let dim = check_dims ~name ~dims ds in
+    let s =
+      match ds with
+      | Index.Pts2 pts ->
+          S2
+            (Baselines.Linear_scan.build ~stats ~block_size:params.block_size
+               ~cache_blocks:params.cache_blocks pts)
+      | _ ->
+          Sd
+            (Baselines.Linear_scan.build_d ~stats
+               ~block_size:params.block_size
+               ~cache_blocks:params.cache_blocks ~dim (rows_of_dataset ds))
+    in
+    { s; n = Index.dataset_length ds; bs = params.block_size }
+
+  let query t q =
+    match t.s with
+    | S2 s ->
+        let slope, icept = q2 ~name q in
+        List.map pt2_row (Baselines.Linear_scan.query_halfplane s ~slope ~icept)
+    | Sd s ->
+        let a0, a = qd ~name ~dim:(Baselines.Linear_scan.dim_d s) q in
+        Baselines.Linear_scan.query_halfspace_d s ~a0 ~a
+
+  let query_count t q =
+    match t.s with
+    | S2 s ->
+        let slope, icept = q2 ~name q in
+        Baselines.Linear_scan.query_count s ~slope ~icept
+    | Sd s ->
+        let a0, a = qd ~name ~dim:(Baselines.Linear_scan.dim_d s) q in
+        Baselines.Linear_scan.query_count_d s ~a0 ~a
+
+  let estimate t _q = float_of_int (blocks_of ~n:t.n ~bs:t.bs)
+
+  let space_blocks t =
+    match t.s with
+    | S2 s -> Baselines.Linear_scan.space_blocks s
+    | Sd s -> Baselines.Linear_scan.space_blocks_d s
+
+  let counters _t = []
+
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Baselines.Linear_scan.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            match t.s with
+            | S2 s ->
+                Baselines.Linear_scan.save_snapshot s ~path ~meta ?page_size ()
+            | Sd _ ->
+                invalid_arg
+                  "scan.save_snapshot: d-dimensional scans have no snapshot \
+                   format");
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Baselines.Linear_scan.of_snapshot ~stats ~policy ~cache_pages
+                path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s = S2 s;
+                      n = Baselines.Linear_scan.length s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
+end
+
+(* The registry seeds itself from this list (a static reference, so no
+   -linkall tricks are needed to keep the adapters linked).  Order is
+   the Table-1 presentation order: paper structures, then baselines. *)
+let all : (module Index.S) list =
+  [
+    (module H2);
+    (module H3);
+    (module Shallow);
+    (module Tradeoff);
+    (module Ptree);
+    (module Cert);
+    (module Rtree);
+    (module Rtree_hilbert);
+    (module Quadtree);
+    (module Gridfile);
+    (module Scan);
+  ]

@@ -1,0 +1,140 @@
+(* The structure-agnostic query layer: one first-class-module
+   signature that every Table-1 structure and every baseline
+   implements, so benches, the CLI, and the tests can treat "an index"
+   as a value.  See DESIGN.md "The Index signature". *)
+
+type dataset =
+  | Pts2 of Geom.Point2.t array
+  | Pts3 of Geom.Point3.t array
+  | PtsD of Partition.Cells.point array
+      (** d-dimensional points; the dimension is the row length. *)
+
+let dataset_dim = function
+  | Pts2 _ -> 2
+  | Pts3 _ -> 3
+  | PtsD [||] -> invalid_arg "Index.dataset_dim: empty d-dimensional dataset"
+  | PtsD pts -> Array.length pts.(0)
+
+let dataset_length = function
+  | Pts2 pts -> Array.length pts
+  | Pts3 pts -> Array.length pts
+  | PtsD pts -> Array.length pts
+
+(* Every structure in the repo answers the paper's query form
+   x_d <= a0 + sum_i a_i x_i  (a has d-1 coefficients): a halfplane
+   below a line (d=2), a halfspace below a plane (d=3), and so on. *)
+type query = { a0 : float; a : float array }
+
+let query_dim q = Array.length q.a + 1
+
+type query_kind = Halfspace | Window
+
+let query_kind_name = function Halfspace -> "halfspace" | Window -> "window"
+
+(* Structure-independent build parameters.  Structure-specific knobs
+   (the tradeoff exponent a, the quadtree depth cap, ...) travel in
+   [extra]; adapters validate their keys and raise Invalid_argument on
+   unknown ones. *)
+type build_params = {
+  block_size : int;
+  cache_blocks : int;
+  seed : int;
+  extra : (string * float) list;
+}
+
+let default_params = { block_size = 64; cache_blocks = 0; seed = 0; extra = [] }
+
+(* Validate [params.extra] against the adapter's [allowed] keys and
+   return a lookup function. *)
+let extra_lookup ~name ~allowed params =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        invalid_arg
+          (Printf.sprintf "%s.build: unknown parameter %S (allowed: %s)" name k
+             (if allowed = [] then "none" else String.concat ", " allowed)))
+    params.extra;
+  fun key -> List.assoc_opt key params.extra
+
+type 'a snapshot_ops = {
+  snapshot_kind : string;
+  save : 'a -> path:string -> meta:string -> page_size:int option -> unit;
+  load :
+    stats:Emio.Io_stats.t ->
+    policy:Diskstore.Buffer_pool.policy ->
+    cache_pages:int ->
+    string ->
+    ('a * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Registry key, e.g. ["h2"]. *)
+
+  val description : string
+  (** One line: which paper section / reference the structure realizes. *)
+
+  val dims : int list
+  (** Dimensions the structure accepts. *)
+
+  val kinds : query_kind list
+  (** Query kinds the native structure supports.  The generic [query]
+      entry point always drives [Halfspace]. *)
+
+  val space_bound : string
+  (** Table-1 space bound, e.g. ["O(n)"]. *)
+
+  val query_bound : string
+  (** Table-1 query bound, e.g. ["O(log_B n + t)"]. *)
+
+  val preferred : dim:int -> [ `Pts2 | `Pts3 | `PtsD ]
+  (** Which dataset variant the benches should generate for this
+      structure at dimension [dim]. *)
+
+  val build : params:build_params -> stats:Emio.Io_stats.t -> dataset -> t
+  (** Error convention (uniform across every registered structure):
+      malformed build parameters — unsupported dimension, unknown or
+      out-of-range [extra] key, non-positive sizes — raise
+      [Invalid_argument] with a ["Structure.build: reason"] message,
+      never [Failure].  [Failure] is reserved for I/O-level damage
+      (e.g. a corrupt backend read). *)
+
+  val query : t -> query -> float array list
+  (** Reported points as coordinate rows (length = dim).  Raises
+      [Invalid_argument] if [query_dim] does not match the build
+      dimension. *)
+
+  val query_count : t -> query -> int
+  (** [List.length (query t q)] without materializing coordinates. *)
+
+  val estimate : t -> query -> float
+  (** Rough predicted query cost in I/Os from the structure's Table-1
+      bound (the non-output term, with epsilon ~ 0.1): a planning hint,
+      not a promise. *)
+
+  val space_blocks : t -> int
+
+  val counters : t -> (string * int) list
+  (** Structure-specific diagnostic gauges (fallbacks, last-query node
+      visits, ...) for the benches to print generically. *)
+
+  val snapshot : t snapshot_ops option
+  (** Persistence capability; [None] if the structure has no snapshot
+      format. *)
+end
+
+(* A built structure packed with its module: the registry's currency. *)
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let build (module M : S) ~params ~stats ds =
+  Instance ((module M), M.build ~params ~stats ds)
+
+let structure (Instance ((module M), _)) = (module M : S)
+let name (Instance ((module M), _)) = M.name
+let query (Instance ((module M), t)) q = M.query t q
+let query_count (Instance ((module M), t)) q = M.query_count t q
+let estimate (Instance ((module M), t)) q = M.estimate t q
+let space_blocks (Instance ((module M), t)) = M.space_blocks t
+let counters (Instance ((module M), t)) = M.counters t

@@ -1,0 +1,46 @@
+(* Generic query execution with per-query cost records.  Each query
+   runs inside its own Emio.Cost_ctx, so the I/O charge is scoped to
+   the query without resetting the structure's ambient Io_stats — the
+   reset-free replacement for the benches' old
+   "reset stats; query; read stats" dance. *)
+
+type cost = {
+  reads : int;
+  writes : int;
+  hits : int;
+  result : int;  (** points reported *)
+  events : Emio.Cost_ctx.event list;  (** trace, oldest first; [] untraced *)
+}
+
+let run_query ?(trace = false) inst q =
+  let events = ref [] in
+  let ctx =
+    if trace then
+      Emio.Cost_ctx.create ~trace:(fun ev -> events := ev :: !events) ()
+    else Emio.Cost_ctx.create ()
+  in
+  let result =
+    Emio.Cost_ctx.with_ctx ctx (fun () -> Index.query_count inst q)
+  in
+  {
+    reads = Emio.Cost_ctx.reads ctx;
+    writes = Emio.Cost_ctx.writes ctx;
+    hits = Emio.Cost_ctx.hits ctx;
+    result;
+    events = List.rev !events;
+  }
+
+let run_batch ?trace inst qs = List.map (run_query ?trace inst) qs
+
+(* Nearest-rank percentile of an int sample, p in [0, 1]. *)
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Query_engine.percentile: empty sample"
+  | _ ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank =
+        let r = int_of_float (ceil (p *. float_of_int n)) in
+        Stdlib.min n (Stdlib.max 1 r)
+      in
+      List.nth sorted (rank - 1)

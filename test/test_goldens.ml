@@ -1,0 +1,74 @@
+(* Golden I/O counts, captured on the pre-refactor simulator with the
+   Table-1 measurement protocol (block_size 64, no cache, 25 queries at
+   2% selectivity, rng seed 100+n).  The refactor moved dispatch into
+   the registry and threaded Cost_ctx through the store; these numbers
+   assert that the simulator charges exactly the same I/Os as before —
+   any drift here means the refactor changed measured behaviour, not
+   just plumbing. *)
+
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Bench_kit = Lcsearch_index.Bench_kit
+
+type golden = {
+  g_name : string;
+  g_dim : int;
+  g_n : int;
+  g_build : int;
+  g_space : int;
+  g_qreads : int;
+  g_qresults : int;
+}
+
+let goldens =
+  [
+    { g_name = "h2"; g_dim = 2; g_n = 4096; g_build = 104; g_space = 104;
+      g_qreads = 403; g_qresults = 2050 };
+    { g_name = "rtree"; g_dim = 2; g_n = 4096; g_build = 65; g_space = 65;
+      g_qreads = 109; g_qresults = 2050 };
+    { g_name = "rtree-hilbert"; g_dim = 2; g_n = 4096; g_build = 65;
+      g_space = 65; g_qreads = 125; g_qresults = 2050 };
+    { g_name = "quadtree"; g_dim = 2; g_n = 4096; g_build = 225;
+      g_space = 225; g_qreads = 284; g_qresults = 2050 };
+    { g_name = "gridfile"; g_dim = 2; g_n = 4096; g_build = 65; g_space = 65;
+      g_qreads = 255; g_qresults = 2050 };
+    { g_name = "scan"; g_dim = 2; g_n = 4096; g_build = 64; g_space = 64;
+      g_qreads = 1600; g_qresults = 2050 };
+    { g_name = "ptree"; g_dim = 2; g_n = 4096; g_build = 65; g_space = 65;
+      g_qreads = 111; g_qresults = 2050 };
+    { g_name = "ptree"; g_dim = 3; g_n = 4096; g_build = 65; g_space = 65;
+      g_qreads = 194; g_qresults = 2050 };
+    { g_name = "shallow"; g_dim = 3; g_n = 4096; g_build = 130; g_space = 130;
+      g_qreads = 207; g_qresults = 2050 };
+    { g_name = "h3"; g_dim = 3; g_n = 2048; g_build = 2239; g_space = 2239;
+      g_qreads = 979; g_qresults = 1025 };
+    { g_name = "tradeoff"; g_dim = 3; g_n = 2048; g_build = 1088;
+      g_space = 1088; g_qreads = 1015; g_qresults = 1025 };
+    { g_name = "cert"; g_dim = 3; g_n = 2048; g_build = 129; g_space = 129;
+      g_qreads = 425; g_qresults = 1025 };
+  ]
+
+let check_golden g () =
+  let m = Registry.find_exn g.g_name in
+  let r = Bench_kit.measure m ~dim:g.g_dim ~n:g.g_n in
+  let check what = Alcotest.(check int)
+      (Printf.sprintf "%s d=%d n=%d: %s" g.g_name g.g_dim g.g_n what)
+  in
+  check "build I/Os" g.g_build r.Bench_kit.build_ios;
+  check "space blocks" g.g_space r.Bench_kit.space;
+  check "query reads (25 queries)" g.g_qreads r.Bench_kit.q_reads_total;
+  check "reported points" g.g_qresults r.Bench_kit.q_results_total;
+  check "per-query reads sum to the total" r.Bench_kit.q_reads_total
+    (List.fold_left ( + ) 0 r.Bench_kit.q_reads)
+
+let () =
+  Alcotest.run "goldens"
+    [
+      ( "table1",
+        List.map
+          (fun g ->
+            Alcotest.test_case
+              (Printf.sprintf "%s d=%d n=%d" g.g_name g.g_dim g.g_n)
+              `Quick (check_golden g))
+          goldens );
+    ]
