@@ -53,6 +53,155 @@ let run () =
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
 
+(* Batch-throughput experiment: wall-clock queries/sec and GC words
+   allocated per query, per registered structure, through the
+   Query_engine batch path.  Emits machine-readable BENCH_TIME.json so
+   the perf trajectory is tracked across PRs (EXPERIMENTS.md documents
+   the schema).  Environment knobs:
+     LCSEARCH_BENCH_N        points per structure   (default 8192)
+     LCSEARCH_BENCH_QUERIES  batch size             (default 256)
+     LCSEARCH_BENCH_DOMAINS  parallel fan-out       (default 4)
+     LCSEARCH_BENCH_OUT      output path            (default BENCH_TIME.json) *)
+
+module Query_engine = Lcsearch_index.Query_engine
+
+type batch_row = {
+  br_name : string;
+  br_dim : int;
+  br_n : int;
+  br_queries : int;
+  br_domains : int;
+  br_seq_qps : float;
+  br_par_qps : float; (* 0. when the parallel path is unavailable *)
+  br_words_per_query : float;
+  br_results_total : int;
+  br_par_matches : bool; (* parallel costs bit-equal to sequential *)
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+
+(* Run batches until [min_elapsed] seconds have been spent, returning
+   queries/sec.  At least two batches run, so one-off warm-up noise
+   (first-touch paging, lazy thunks) never dominates a row. *)
+let time_batches ~min_elapsed ~run ~queries =
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < min_elapsed || !reps < 2 do
+    ignore (run () : Query_engine.cost array);
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int (!reps * queries) /. !elapsed
+
+let measure_batch ~n ~queries ~domains (module M : Index.S) =
+  let dim = List.hd M.dims in
+  let rng = Workload.rng 7001 in
+  let ds = Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n (module M : Index.S) in
+  let qs = Array.of_list (Workloads.queries rng ds ~fraction:0.01 ~count:queries) in
+  let stats = Emio.Io_stats.create () in
+  let inst =
+    Index.build (module M : Index.S) ~params:Index.default_params ~stats ds
+  in
+  let run_seq () = Query_engine.run_batch_array inst qs in
+  let seq_costs = run_seq () (* warm-up + reference costs *) in
+  let results_total =
+    Array.fold_left (fun acc c -> acc + c.Query_engine.result) 0 seq_costs
+  in
+  (* Allocation: one sequential batch bracketed by Gc.allocated_bytes
+     (exact for the single-domain path; words = bytes / word size). *)
+  let a0 = Gc.allocated_bytes () in
+  let _ = run_seq () in
+  let a1 = Gc.allocated_bytes () in
+  let words_per_query =
+    (a1 -. a0) /. float_of_int (Sys.word_size / 8) /. float_of_int queries
+  in
+  let seq_qps = time_batches ~min_elapsed:0.2 ~run:run_seq ~queries in
+  let par_qps, par_matches =
+    if domains <= 1 then (0., true)
+    else begin
+      let run_par () = Query_engine.run_batch_array ~domains inst qs in
+      let par_costs = run_par () in
+      let matches =
+        Array.length par_costs = Array.length seq_costs
+        && Array.for_all2
+             (fun (a : Query_engine.cost) (b : Query_engine.cost) ->
+               a.Query_engine.reads = b.Query_engine.reads
+               && a.Query_engine.writes = b.Query_engine.writes
+               && a.Query_engine.hits = b.Query_engine.hits
+               && a.Query_engine.result = b.Query_engine.result)
+             par_costs seq_costs
+      in
+      (time_batches ~min_elapsed:0.2 ~run:run_par ~queries, matches)
+    end
+  in
+  {
+    br_name = M.name;
+    br_dim = dim;
+    br_n = n;
+    br_queries = queries;
+    br_domains = domains;
+    br_seq_qps = seq_qps;
+    br_par_qps = par_qps;
+    br_words_per_query = words_per_query;
+    br_results_total = results_total;
+    br_par_matches = par_matches;
+  }
+
+let json_of_batch_row r =
+  String.concat ""
+    [
+      "{";
+      Printf.sprintf "\"structure\": \"%s\", " r.br_name;
+      Printf.sprintf "\"dim\": %d, " r.br_dim;
+      Printf.sprintf "\"n_points\": %d, " r.br_n;
+      Printf.sprintf "\"queries\": %d, " r.br_queries;
+      Printf.sprintf "\"domains\": %d, " r.br_domains;
+      Printf.sprintf "\"seq_queries_per_sec\": %.1f, " r.br_seq_qps;
+      Printf.sprintf "\"par_queries_per_sec\": %.1f, " r.br_par_qps;
+      Printf.sprintf "\"parallel_speedup\": %.3f, "
+        (if r.br_seq_qps > 0. then r.br_par_qps /. r.br_seq_qps else 0.);
+      Printf.sprintf "\"words_per_query\": %.1f, " r.br_words_per_query;
+      Printf.sprintf "\"results_total\": %d, " r.br_results_total;
+      Printf.sprintf "\"parallel_costs_match\": %b" r.br_par_matches;
+      "}";
+    ]
+
+let run_batch_throughput () =
+  let n = env_int "LCSEARCH_BENCH_N" 8192 in
+  let queries = env_int "LCSEARCH_BENCH_QUERIES" 256 in
+  let domains = env_int "LCSEARCH_BENCH_DOMAINS" 4 in
+  let out =
+    match Sys.getenv_opt "LCSEARCH_BENCH_OUT" with
+    | None | Some "" -> "BENCH_TIME.json"
+    | Some p -> p
+  in
+  Util.section "BATCH"
+    (Printf.sprintf
+       "batch throughput: N=%d, %d queries/batch, %d domains -> %s" n queries
+       domains out);
+  let rows =
+    List.map
+      (fun (module M : Index.S) ->
+        let r = measure_batch ~n ~queries ~domains (module M : Index.S) in
+        Printf.printf
+          "%-14s d=%d  seq %9.0f q/s  par %9.0f q/s  %8.0f words/query%s\n%!"
+          r.br_name r.br_dim r.br_seq_qps r.br_par_qps r.br_words_per_query
+          (if r.br_par_matches then "" else "  PARALLEL COST MISMATCH");
+        r)
+      (Registry.all ())
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        ("[\n  " ^ String.concat ",\n  " (List.map json_of_batch_row rows)
+       ^ "\n]\n"))
+
 (* Persistence experiment, generically over every snapshot-capable
    registered structure: the same instance queried in memory (simulated
    model I/Os) and reopened from a snapshot file (real page faults

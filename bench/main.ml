@@ -29,6 +29,7 @@ let experiments =
     ("EXT3", "extension: disk reporting", Exp_extra.ext_disks);
     ("EXT4", "extension: certificate tree", Exp_extra.ext_cert_tree);
     ("TIME", "bechamel wall-clock per row", Bench_time.run);
+    ("BATCH", "batch throughput + BENCH_TIME.json", Bench_time.run_batch_throughput);
     ("PERSIST", "file-backed snapshot vs in-memory", Bench_time.run_persistence);
   ]
 

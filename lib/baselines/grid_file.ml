@@ -80,32 +80,47 @@ let cell_rect t c =
     y1 = t.bbox.Rect.y0 +. (float_of_int (cy + 1) *. h);
   }
 
-let read_bucket t c f acc =
+let read_bucket t c f =
   let start, len =
     (Emio.Run.read_block t.directory (c / t.dir_block)).(c mod t.dir_block)
   in
-  if len = 0 then acc
-  else
-    Array.fold_left f acc (Emio.Run.read_range t.buckets ~pos:start ~len)
+  if len > 0 then
+    Array.iter f (Emio.Run.read_range t.buckets ~pos:start ~len)
 
-let query_fold t ~classify ~keep =
-  let acc = ref [] in
+(* The shared traversal: list and counting callers run the identical
+   (I/O-identical) directory-and-bucket scan through this visitor. *)
+let query_visit t ~classify ~keep f =
   for c = 0 to (t.side * t.side) - 1 do
     match classify (cell_rect t c) with
     | Rect.Outside -> ()
-    | Rect.Inside -> acc := read_bucket t c (fun acc p -> p :: acc) !acc
-    | Rect.Crossing ->
-        acc :=
-          read_bucket t c (fun acc p -> if keep p then p :: acc else acc) !acc
-  done;
+    | Rect.Inside -> read_bucket t c f
+    | Rect.Crossing -> read_bucket t c (fun p -> if keep p then f p)
+  done
+
+let query_fold t ~classify ~keep =
+  let acc = ref [] in
+  query_visit t ~classify ~keep (fun p -> acc := p :: !acc);
   !acc
+
+let halfplane_classify ~slope ~icept r = Rect.classify r ~slope ~icept
+
+let halfplane_keep ~slope ~icept p =
+  p.Point2.y <= (slope *. p.Point2.x) +. icept +. Eps.eps
+
+let query_iter t ~slope ~icept f =
+  query_visit t
+    ~classify:(halfplane_classify ~slope ~icept)
+    ~keep:(halfplane_keep ~slope ~icept) f
 
 let query_halfplane t ~slope ~icept =
   query_fold t
-    ~classify:(fun r -> Rect.classify r ~slope ~icept)
-    ~keep:(fun p -> Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps)
+    ~classify:(halfplane_classify ~slope ~icept)
+    ~keep:(halfplane_keep ~slope ~icept)
 
-let query_count t ~slope ~icept = List.length (query_halfplane t ~slope ~icept)
+let query_count t ~slope ~icept =
+  let n = ref 0 in
+  query_iter t ~slope ~icept (fun _ -> incr n);
+  !n
 
 let query_window t w =
   query_fold t

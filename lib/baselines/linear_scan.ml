@@ -6,8 +6,14 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend points =
   let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   { run = Emio.Run.of_array store points; length = Array.length points }
 
-let below ~slope ~icept p =
-  Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps
+(* Direct field access, not the Point2.x/y accessors: under dune's dev
+   profile (-opaque) the accessor calls are not inlined and box their
+   float result — two allocations per scanned point. *)
+let below ~slope ~icept (p : Point2.t) =
+  p.Point2.y <= (slope *. p.Point2.x) +. icept +. Eps.eps
+
+let query_iter t ~slope ~icept f =
+  Emio.Run.iter (fun p -> if below ~slope ~icept p then f p) t.run
 
 let query_halfplane t ~slope ~icept =
   Emio.Run.fold
@@ -46,6 +52,10 @@ let build_d ~stats ~block_size ?(cache_blocks = 0) ?backend ~dim points =
     ddim = dim;
     dlength = Array.length points;
   }
+
+let query_iter_d t ~a0 ~a f =
+  let c = Partition.Cells.constr_of_halfspace ~dim:t.ddim ~a0 ~a in
+  Emio.Run.iter (fun p -> if Partition.Cells.satisfies c p then f p) t.drun
 
 let query_halfspace_d t ~a0 ~a =
   let c = Partition.Cells.constr_of_halfspace ~dim:t.ddim ~a0 ~a in

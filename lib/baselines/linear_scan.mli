@@ -14,6 +14,10 @@ val query_halfplane : t -> slope:float -> icept:float -> Geom.Point2.t list
 
 val query_count : t -> slope:float -> icept:float -> int
 
+val query_iter :
+  t -> slope:float -> icept:float -> (Geom.Point2.t -> unit) -> unit
+(** Visitor form of {!query_halfplane}: same scan, no list. *)
+
 val space_blocks : t -> int
 val length : t -> int
 
@@ -38,6 +42,10 @@ val query_halfspace_d :
   d -> a0:float -> a:float array -> Partition.Cells.point list
 
 val query_count_d : d -> a0:float -> a:float array -> int
+
+val query_iter_d :
+  d -> a0:float -> a:float array -> (Partition.Cells.point -> unit) -> unit
+(** Visitor form of {!query_halfspace_d}: same scan, no list. *)
 
 val dim_d : d -> int
 val length_d : d -> int

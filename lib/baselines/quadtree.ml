@@ -74,43 +74,48 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(max_depth = 40)
   let root = build_node points bbox 0 in
   { t with root }
 
-let rec report_all t acc = function
-  | Leaf id ->
-      Array.fold_left (fun acc p -> p :: acc) acc (Emio.Store.read t.leaves id)
+let rec report_all t f = function
+  | Leaf id -> Array.iter f (Emio.Store.read t.leaves id)
   | Node id ->
-      Array.fold_left
-        (fun acc ch ->
-          match ch.sub with None -> acc | Some s -> report_all t acc s)
-        acc
+      Array.iter
+        (fun ch -> match ch.sub with None -> () | Some s -> report_all t f s)
         (Emio.Store.read t.internals id)
 
-let query_halfplane t ~slope ~icept =
-  let keep p = Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps in
-  let rec go acc = function
+(* The shared traversal: list and counting callers run the identical
+   (I/O-identical) walk through this visitor. *)
+let query_iter t ~slope ~icept f =
+  let keep (p : Point2.t) =
+    p.Point2.y <= (slope *. p.Point2.x) +. icept +. Eps.eps
+  in
+  let rec go = function
     | Leaf id ->
-        Array.fold_left
-          (fun acc p -> if keep p then p :: acc else acc)
-          acc
-          (Emio.Store.read t.leaves id)
+        Array.iter (fun p -> if keep p then f p) (Emio.Store.read t.leaves id)
     | Node id ->
-        Array.fold_left
-          (fun acc ch ->
+        Array.iter
+          (fun ch ->
             match ch.sub with
-            | None -> acc
+            | None -> ()
             | Some s -> (
                 match Rect.classify ch.quadrant ~slope ~icept with
-                | Rect.Inside -> report_all t acc s
-                | Rect.Outside -> acc
-                | Rect.Crossing -> go acc s))
-          acc
+                | Rect.Inside -> report_all t f s
+                | Rect.Outside -> ()
+                | Rect.Crossing -> go s))
           (Emio.Store.read t.internals id)
   in
   match t.root with
-  | None -> []
+  | None -> ()
   | Some root -> (
       match Rect.classify t.bbox ~slope ~icept with
-      | Rect.Inside -> report_all t [] root
-      | Rect.Outside -> []
-      | Rect.Crossing -> go [] root)
+      | Rect.Inside -> report_all t f root
+      | Rect.Outside -> ()
+      | Rect.Crossing -> go root)
 
-let query_count t ~slope ~icept = List.length (query_halfplane t ~slope ~icept)
+let query_halfplane t ~slope ~icept =
+  let acc = ref [] in
+  query_iter t ~slope ~icept (fun p -> acc := p :: !acc);
+  !acc
+
+let query_count t ~slope ~icept =
+  let n = ref 0 in
+  query_iter t ~slope ~icept (fun _ -> incr n);
+  !n

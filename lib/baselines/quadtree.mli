@@ -16,6 +16,11 @@ val build :
 val query_halfplane : t -> slope:float -> icept:float -> Geom.Point2.t list
 val query_count : t -> slope:float -> icept:float -> int
 
+val query_iter :
+  t -> slope:float -> icept:float -> (Geom.Point2.t -> unit) -> unit
+(** Visitor form of {!query_halfplane}: same traversal (I/O-identical),
+    one callback per answering point, no list. *)
+
 val space_blocks : t -> int
 val length : t -> int
 val depth : t -> int

@@ -169,47 +169,112 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(packing = Str)
     }
   end
 
-let rec report_all t acc = function
-  | Leaf id ->
-      Array.fold_left (fun acc p -> p :: acc) acc (Emio.Store.read t.leaves id)
+let rec report_all t f = function
+  | Leaf id -> Array.iter f (Emio.Store.read t.leaves id)
   | Node id ->
-      Array.fold_left
-        (fun acc e -> report_all t acc e.sub)
-        acc
+      Array.iter
+        (fun e -> report_all t f e.sub)
         (Emio.Store.read t.internals id)
 
-let query_fold t ~classify ~keep acc0 =
-  let rec go acc = function
+(* The shared traversal: list, visitor and counting callers all run
+   the identical (I/O-identical) walk. *)
+let query_visit t ~classify ~keep f =
+  let rec go = function
     | Leaf id ->
-        Array.fold_left
-          (fun acc p -> if keep p then p :: acc else acc)
-          acc
-          (Emio.Store.read t.leaves id)
+        Array.iter (fun p -> if keep p then f p) (Emio.Store.read t.leaves id)
     | Node id ->
-        Array.fold_left
-          (fun acc e ->
+        Array.iter
+          (fun e ->
             match classify e.mbr with
-            | Rect.Inside -> report_all t acc e.sub
-            | Rect.Outside -> acc
-            | Rect.Crossing -> go acc e.sub)
-          acc
+            | Rect.Inside -> report_all t f e.sub
+            | Rect.Outside -> ()
+            | Rect.Crossing -> go e.sub)
           (Emio.Store.read t.internals id)
   in
   match t.root with
-  | None -> acc0
+  | None -> ()
   | Some root -> (
       match classify t.root_mbr with
-      | Rect.Outside -> acc0
-      | Rect.Inside -> report_all t acc0 root
-      | Rect.Crossing -> go acc0 root)
+      | Rect.Outside -> ()
+      | Rect.Inside -> report_all t f root
+      | Rect.Crossing -> go root)
+
+let query_fold t ~classify ~keep acc0 =
+  let acc = ref acc0 in
+  query_visit t ~classify ~keep (fun p -> acc := p :: !acc);
+  !acc
+
+let halfplane_classify ~slope ~icept r = Rect.classify r ~slope ~icept
+
+let halfplane_keep ~slope ~icept (p : Point2.t) =
+  p.Point2.y <= (slope *. p.Point2.x) +. icept +. Eps.eps
+
+let query_iter t ~slope ~icept f =
+  query_visit t
+    ~classify:(halfplane_classify ~slope ~icept)
+    ~keep:(halfplane_keep ~slope ~icept) f
 
 let query_halfplane t ~slope ~icept =
   query_fold t
-    ~classify:(fun r -> Rect.classify r ~slope ~icept)
-    ~keep:(fun p -> Point2.y p <= (slope *. Point2.x p) +. icept +. Eps.eps)
-    []
+    ~classify:(halfplane_classify ~slope ~icept)
+    ~keep:(halfplane_keep ~slope ~icept) []
 
-let query_count t ~slope ~icept = List.length (query_halfplane t ~slope ~icept)
+(* Counting fast path: the same traversal (identical Store.read
+   sequence) as [query_visit] with the classify/keep closures unrolled
+   into direct float comparisons, [Inside] subtrees counted by leaf
+   lengths instead of per-point visits, and no per-entry closure
+   calls.  Keep the classification arithmetic in sync with
+   [Rect.classify] and [halfplane_keep]. *)
+let query_count t ~slope ~icept =
+  let open Rect in
+  let rec count_all nr =
+    match nr with
+    | Leaf id -> Array.length (Emio.Store.read t.leaves id)
+    | Node id ->
+        let es = Emio.Store.read t.internals id in
+        let n = ref 0 in
+        for i = 0 to Array.length es - 1 do
+          n := !n + count_all es.(i).sub
+        done;
+        !n
+  in
+  let rec go nr =
+    match nr with
+    | Leaf id ->
+        let pts = Emio.Store.read t.leaves id in
+        let n = ref 0 in
+        for i = 0 to Array.length pts - 1 do
+          let p = pts.(i) in
+          if p.Point2.y <= (slope *. p.Point2.x) +. icept +. Eps.eps then
+            incr n
+        done;
+        !n
+    | Node id ->
+        let es = Emio.Store.read t.internals id in
+        let n = ref 0 in
+        for i = 0 to Array.length es - 1 do
+          let e = es.(i) in
+          let r = e.mbr in
+          let fmax =
+            r.y1 -. (slope *. if slope >= 0. then r.x0 else r.x1) -. icept
+          in
+          if fmax <= Eps.eps then n := !n + count_all e.sub
+          else begin
+            let fmin =
+              r.y0 -. (slope *. if slope >= 0. then r.x1 else r.x0) -. icept
+            in
+            if fmin <= Eps.eps then n := !n + go e.sub
+          end
+        done;
+        !n
+  in
+  match t.root with
+  | None -> 0
+  | Some root -> (
+      match Rect.classify t.root_mbr ~slope ~icept with
+      | Rect.Outside -> 0
+      | Rect.Inside -> count_all root
+      | Rect.Crossing -> go root)
 
 let query_window t w =
   query_fold t

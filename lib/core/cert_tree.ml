@@ -139,17 +139,17 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?cert_cap points =
     visited = 0;
   }
 
-let rec report_subtree t acc = function
+let rec report_subtree t ~report = function
   | Leaf id ->
-      Array.fold_left (fun acc it -> it.pid :: acc) acc
-        (Emio.Store.read t.leaves id)
+      Array.iter (fun it -> report it.pid) (Emio.Store.read t.leaves id)
   | Node id ->
-      Array.fold_left
-        (fun acc child -> report_subtree t acc child.sub)
-        acc
+      Array.iter
+        (fun child -> report_subtree t ~report child.sub)
         (Emio.Store.read t.internals id)
 
-let query_ids t ~a0 ~a =
+(* The shared traversal: each reported pid goes through [report], so
+   list, reporter-sink and counting callers run identical I/Os. *)
+let query_iter t ~a0 ~a report =
   if Array.length a <> 2 then
     invalid_arg "Cert_tree.query_ids: need 2 slope coefficients";
   let constr = Cells.constr_of_halfspace ~dim:3 ~a0 ~a in
@@ -169,41 +169,48 @@ let query_ids t ~a0 ~a =
     Option.get !best
   in
   t.visited <- 0;
-  let rec go acc = function
+  let rec go = function
     | Leaf id ->
         t.visited <- t.visited + 1;
-        Array.fold_left
-          (fun acc it ->
-            if gap (point3_of it) <= Eps.eps then it.pid :: acc else acc)
-          acc
+        Array.iter
+          (fun it -> if gap (point3_of it) <= Eps.eps then report it.pid)
           (Emio.Store.read t.leaves id)
     | Node id ->
         t.visited <- t.visited + 1;
-        Array.fold_left
-          (fun acc child ->
+        Array.iter
+          (fun child ->
             match Cells.classify child.cell constr with
-            | Cells.Inside -> report_subtree t acc child.sub
-            | Cells.Outside -> acc
+            | Cells.Inside -> report_subtree t ~report child.sub
+            | Cells.Outside -> ()
             | Cells.Crossing ->
-                if child.lo_len = 0 then go acc child.sub
+                if child.lo_len = 0 then go child.sub
                 else begin
                   (* exact point-set classification via the hulls *)
                   let min_gap =
                     range_extreme ( < ) ~start:child.lo_start ~len:child.lo_len
                   in
-                  if min_gap > Eps.eps then acc (* no point below *)
+                  if min_gap > Eps.eps then () (* no point below *)
                   else begin
                     let max_gap =
                       range_extreme ( > ) ~start:child.up_start
                         ~len:child.up_len
                     in
-                    if max_gap <= Eps.eps then report_subtree t acc child.sub
-                    else go acc child.sub
+                    if max_gap <= Eps.eps then report_subtree t ~report child.sub
+                    else go child.sub
                   end
                 end)
-          acc
           (Emio.Store.read t.internals id)
   in
-  match t.root with None -> [] | Some root -> go [] root
+  match t.root with None -> () | Some root -> go root
 
-let query_count t ~a0 ~a = List.length (query_ids t ~a0 ~a)
+let query_ids t ~a0 ~a =
+  let acc = ref [] in
+  query_iter t ~a0 ~a (fun pid -> acc := pid :: !acc);
+  !acc
+
+let query_ids_into t ~a0 ~a r = query_iter t ~a0 ~a (Emio.Reporter.add r)
+
+let query_count t ~a0 ~a =
+  let n = ref 0 in
+  query_iter t ~a0 ~a (fun _ -> incr n);
+  !n

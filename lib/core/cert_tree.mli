@@ -40,6 +40,10 @@ val query_ids : t -> a0:float -> a:float array -> int list
 (** Indices of the points with [z <= a0 + a.(0) x + a.(1) y]. *)
 
 val query_count : t -> a0:float -> a:float array -> int
+(** Same traversal as {!query_ids}, counting only (allocation-free). *)
+
+val query_ids_into : t -> a0:float -> a:float array -> Emio.Reporter.t -> unit
+(** Same traversal, appending ids to a reusable {!Emio.Reporter}. *)
 
 val length : t -> int
 val space_blocks : t -> int

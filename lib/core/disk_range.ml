@@ -27,27 +27,49 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
 
 (* Same doubling protocol as §4.2: fetch the k lowest lifted planes
    along the vertical line at the center until one of them exceeds the
-   lifted threshold r^2 - |c|^2. *)
-let query_ids t ~center ~radius =
+   lifted threshold r^2 - |c|^2.  Failed attempts roll back to the
+   reporter mark, so retries build no intermediate lists. *)
+let query_ids_into t ~center ~radius r =
   let n = Array.length t.points in
-  if n = 0 then []
+  if n = 0 then ()
   else begin
     let x = Point2.x center and y = Point2.y center in
-    let threshold = (radius *. radius) -. (x *. x) -. (y *. y) in
+    let threshold = (radius *. radius) -. (x *. x) -. (y *. y) +. Eps.eps in
     let rec go k =
       let k = min k n in
-      let lowest = Lowest_planes.k_lowest t.lp ~x ~y ~k in
-      let inside =
-        List.filter (fun (_, h) -> h <= threshold +. Eps.eps) lowest
+      let m = Emio.Reporter.mark r in
+      let pushed, retrieved =
+        Lowest_planes.k_lowest_into t.lp ~x ~y ~k ~threshold r
       in
-      if List.length inside < List.length lowest || k >= n then
-        List.map fst inside
-      else go (2 * k)
+      if pushed < retrieved || k >= n then ()
+      else begin
+        Emio.Reporter.truncate r m;
+        go (2 * k)
+      end
     in
     go t.beta
   end
 
+let query_ids t ~center ~radius =
+  let r = Emio.Reporter.create () in
+  query_ids_into t ~center ~radius r;
+  Emio.Reporter.to_list r
+
 let query t ~center ~radius =
   List.map (fun id -> t.points.(id)) (query_ids t ~center ~radius)
 
-let query_count t ~center ~radius = List.length (query_ids t ~center ~radius)
+let query_count t ~center ~radius =
+  let n = Array.length t.points in
+  if n = 0 then 0
+  else begin
+    let x = Point2.x center and y = Point2.y center in
+    let threshold = (radius *. radius) -. (x *. x) -. (y *. y) +. Eps.eps in
+    let rec go k =
+      let k = min k n in
+      let arr = Lowest_planes.k_lowest_arr t.lp ~x ~y ~k in
+      let inside = ref 0 in
+      Array.iter (fun (_, h) -> if h <= threshold then incr inside) arr;
+      if !inside < Array.length arr || k >= n then !inside else go (2 * k)
+    in
+    go t.beta
+  end

@@ -23,6 +23,13 @@ val query : t -> center:Geom.Point2.t -> radius:float -> Geom.Point2.t list
 (** All input points within (closed) distance [radius] of [center]. *)
 
 val query_count : t -> center:Geom.Point2.t -> radius:float -> int
+(** Same doubling protocol, counting only (no result materialized). *)
+
+val query_ids_into :
+  t -> center:Geom.Point2.t -> radius:float -> Emio.Reporter.t -> unit
+(** Appends the ids (indices into the build-time array) of the points
+    inside the disk to a reusable {!Emio.Reporter}; failed doubling
+    attempts roll back via {!Emio.Reporter.mark}/{!Emio.Reporter.truncate}. *)
 
 val length : t -> int
 val space_blocks : t -> int

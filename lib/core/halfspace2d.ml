@@ -1,8 +1,11 @@
 open Geom
 
 (* One dual line with the data points it represents (duplicates of the
-   same point share an entry). *)
-type entry = { slope : float; icept : float; points : Point2.t array }
+   same point share an entry).  [id] is the line's index in the initial
+   deduplicated arrangement — dense in [0, distinct), stable across
+   layers — so query-time dedup is an array stamp instead of hashing
+   the (slope, icept) key. *)
+type entry = { id : int; slope : float; icept : float; points : Point2.t array }
 
 type layer =
   | Clustered of {
@@ -23,6 +26,14 @@ type t = {
   beta : int;
   mutable last_clusters_visited : int;
   mutable last_layers_visited : int;
+  (* query-time scratch, one slot per distinct dual line: a line is
+     "marked" when its slot holds the current epoch, so resetting a
+     mark set is one counter bump, and the hot loops never hash or
+     allocate.  Single-owner state, like a Reporter: never share one
+     [t] across concurrently running queries. *)
+  reported_at : int array;
+  above_at : int array;
+  mutable epoch : int;
 }
 
 let length t = t.length
@@ -67,6 +78,7 @@ let dedupe points =
       | [] -> acc
       | first :: _ ->
           {
+            id = 0;
             slope = Line2.slope (Dual2.line_of_point first);
             icept = Line2.icept (Dual2.line_of_point first);
             points = Array.of_list ps;
@@ -74,12 +86,15 @@ let dedupe points =
           :: acc)
     tbl []
   |> Array.of_list
+  |> Array.mapi (fun id e -> { e with id })
 
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(seed = 0) points =
   let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
   let beta = compute_beta ~block_size (Array.length points) in
   let rng = Random.State.make [| seed; 0x2d; Array.length points |] in
-  let remaining = ref (dedupe points) in
+  let deduped = dedupe points in
+  let distinct = Array.length deduped in
+  let remaining = ref deduped in
   let built = ref [] in
   let finished = ref false in
   while not !finished do
@@ -134,29 +149,33 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(seed = 0) points =
     beta;
     last_clusters_visited = 0;
     last_layers_visited = 0;
+    reported_at = Array.make (max 1 distinct) 0;
+    above_at = Array.make (max 1 distinct) 0;
+    epoch = 0;
   }
-
-let entry_key e = (e.slope, e.icept)
 
 (* Is the dual line below (or through) the dual query point (px,py)? *)
 let below_query ~px ~py e = (e.slope *. px) +. e.icept <= py +. Eps.eps
 
-(* Query one clustered layer.  Returns the entries of L_i below the
-   query point, whether the overall query may halt here (Lemma 3.1),
-   and the number of clusters visited (the r - l + 1 of Lemma 3.4). *)
-let query_clustered ~px ~py ~lambda ~clusters ~btree =
+(* Query one clustered layer, passing each distinct entry of L_i below
+   the query point to [report].  Returns whether the overall query may
+   halt here (Lemma 3.1) and the number of clusters visited (the
+   r - l + 1 of Lemma 3.4).  Dedup stays (the same line appears in
+   several overlapping clusters) but runs on the epoch-stamped scratch
+   arrays in [t] — the former per-layer hash tables keyed by boxed
+   (slope, icept) tuples dominated the query's CPU profile. *)
+let query_clustered t ~px ~py ~lambda ~clusters ~btree ~report =
   let u = Array.length clusters in
   let relevant =
     match Xbtree.Btree.predecessor btree px with
     | Some (_, idx) -> idx + 1
     | None -> 0
   in
-  let reported = Hashtbl.create 64 in
-  let out = ref [] in
+  let reported_at = t.reported_at and qe = t.epoch in
   let report e =
-    if not (Hashtbl.mem reported (entry_key e)) then begin
-      Hashtbl.add reported (entry_key e) ();
-      out := e :: !out
+    if reported_at.(e.id) <> qe then begin
+      reported_at.(e.id) <- qe;
+      report e
     end
   in
   (* scan the relevant cluster, counting lines below the query point *)
@@ -168,13 +187,15 @@ let query_clustered ~px ~py ~lambda ~clusters ~btree =
         report e
       end)
     clusters.(relevant);
-  if !below_relevant < lambda then (!out, true, 1)
+  if !below_relevant < lambda then (true, 1)
   else begin
     (* walk right, then left, per Lemma 3.4: stop once more than
        lambda distinct lines of the walked union lie above the query *)
     let visited = ref 1 in
     let walk step =
-      let above = Hashtbl.create 64 in
+      t.epoch <- t.epoch + 1;
+      let above_at = t.above_at and we = t.epoch in
+      let above = ref 0 in
       let k = ref (relevant + step) in
       let stop = ref false in
       while (not !stop) && !k >= 0 && !k < u do
@@ -182,21 +203,27 @@ let query_clustered ~px ~py ~lambda ~clusters ~btree =
         Emio.Run.iter
           (fun e ->
             if below_query ~px ~py e then report e
-            else Hashtbl.replace above (entry_key e) ())
+            else if above_at.(e.id) <> we then begin
+              above_at.(e.id) <- we;
+              incr above
+            end)
           clusters.(!k);
-        if Hashtbl.length above > lambda then stop := true else k := !k + step
+        if !above > lambda then stop := true else k := !k + step
       done
     in
     walk 1;
     walk (-1);
-    (!out, false, !visited)
+    (false, !visited)
   end
 
-let query_entries t ~slope ~icept =
+(* The shared traversal: every distinct answering entry goes through
+   [report], so list, point-visitor and counting callers run the
+   identical (I/O-identical) layer walk. *)
+let iter_entries t ~slope ~icept report =
   let px = slope and py = icept in
-  let acc = ref [] in
   let halted = ref false in
   let i = ref 0 in
+  t.epoch <- t.epoch + 1;
   t.last_clusters_visited <- 0;
   while (not !halted) && !i < Array.length t.layer_list do
     if Emio.Cost_ctx.tracing () then
@@ -204,31 +231,32 @@ let query_entries t ~slope ~icept =
     (match t.layer_list.(!i) with
     | Scan run ->
         Emio.Run.iter
-          (fun e -> if below_query ~px ~py e then acc := e :: !acc)
+          (fun e -> if below_query ~px ~py e then report e)
           run;
         halted := true
     | Clustered { lambda; clusters; btree } ->
-        let found, stop, visited =
-          query_clustered ~px ~py ~lambda ~clusters ~btree
+        let stop, visited =
+          query_clustered t ~px ~py ~lambda ~clusters ~btree ~report
         in
         t.last_clusters_visited <- t.last_clusters_visited + visited;
-        acc := List.rev_append found !acc;
         if stop then halted := true);
     incr i
   done;
-  t.last_layers_visited <- !i;
-  !acc
+  t.last_layers_visited <- !i
+
+let query_iter t ~slope ~icept f =
+  iter_entries t ~slope ~icept (fun e -> Array.iter f e.points)
 
 let query t ~slope ~icept =
-  List.concat_map
-    (fun e -> Array.to_list e.points)
-    (query_entries t ~slope ~icept)
+  let acc = ref [] in
+  iter_entries t ~slope ~icept (fun e ->
+      Array.iter (fun p -> acc := p :: !acc) e.points);
+  !acc
 
 let query_count t ~slope ~icept =
-  List.fold_left
-    (fun acc e -> acc + Array.length e.points)
-    0
-    (query_entries t ~slope ~icept)
+  let n = ref 0 in
+  iter_entries t ~slope ~icept (fun e -> n := !n + Array.length e.points);
+  !n
 
 (* Persistence: the entry store is the snapshot payload; layer lists
    and the per-layer boundary B-trees ride in the skeleton. *)

@@ -37,6 +37,13 @@ val query : t -> slope:float -> icept:float -> Geom.Point2.t list
 val query_count : t -> slope:float -> icept:float -> int
 (** [List.length (query ...)], without materializing the list. *)
 
+val query_iter :
+  t -> slope:float -> icept:float -> (Geom.Point2.t -> unit) -> unit
+(** Visitor form: calls the callback once per answering point (with
+    multiplicity), running the identical layer walk as {!query} without
+    materializing results — the structure reports points, not ids, so
+    the zero-allocation sink here is a point callback. *)
+
 val length : t -> int
 (** Number of points stored. *)
 

@@ -28,25 +28,48 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
 
 (* §4.2: probe k = beta, 2 beta, 4 beta, ... until one of the k lowest
    dual planes along the vertical line through the dual query point
-   lies strictly above it. *)
-let query_ids t ~a ~b ~c =
+   lies strictly above it.  The reporter sink absorbs the speculative
+   retries: each attempt reports straight into [r] and a failed attempt
+   rolls back to the mark, so no intermediate lists are built. *)
+let query_ids_into t ~a ~b ~c r =
   let n = Array.length t.points in
-  if n = 0 then []
+  if n = 0 then ()
   else begin
+    let threshold = c +. Eps.eps in
     let rec go k =
       let k = min k n in
-      let lowest = Lowest_planes.k_lowest t.lp ~x:a ~y:b ~k in
-      let below =
-        List.filter (fun (_, h) -> h <= c +. Eps.eps) lowest
+      let m = Emio.Reporter.mark r in
+      let pushed, retrieved =
+        Lowest_planes.k_lowest_into t.lp ~x:a ~y:b ~k ~threshold r
       in
-      if List.length below < List.length lowest || k >= n then
-        List.map fst below
-      else go (2 * k)
+      if pushed < retrieved || k >= n then ()
+      else begin
+        Emio.Reporter.truncate r m;
+        go (2 * k)
+      end
     in
     go t.beta
   end
 
+let query_ids t ~a ~b ~c =
+  let r = Emio.Reporter.create () in
+  query_ids_into t ~a ~b ~c r;
+  Emio.Reporter.to_list r
+
 let query t ~a ~b ~c =
   List.map (fun id -> t.points.(id)) (query_ids t ~a ~b ~c)
 
-let query_count t ~a ~b ~c = List.length (query_ids t ~a ~b ~c)
+let query_count t ~a ~b ~c =
+  let n = Array.length t.points in
+  if n = 0 then 0
+  else begin
+    let threshold = c +. Eps.eps in
+    let rec go k =
+      let k = min k n in
+      let arr = Lowest_planes.k_lowest_arr t.lp ~x:a ~y:b ~k in
+      let below = ref 0 in
+      Array.iter (fun (_, h) -> if h <= threshold then incr below) arr;
+      if !below < Array.length arr || k >= n then !below else go (2 * k)
+    in
+    go t.beta
+  end

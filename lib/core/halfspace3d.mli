@@ -32,6 +32,12 @@ val query_ids : t -> a:float -> b:float -> c:float -> int list
 (** Indices into the build-time point array ({!Tradeoff3d} composes on
     these). *)
 
+val query_ids_into : t -> a:float -> b:float -> c:float -> Emio.Reporter.t -> unit
+(** Same protocol as {!query_ids}, appending ids to a reusable
+    {!Emio.Reporter}; failed doubling attempts roll back via
+    {!Emio.Reporter.mark}/{!Emio.Reporter.truncate}, so queries build
+    no intermediate lists. *)
+
 val length : t -> int
 val space_blocks : t -> int
 

@@ -193,11 +193,11 @@ let full_scan t ~x ~y ~k =
   let items = Emio.Run.to_array t.all_planes in
   let withh = Array.map (fun it -> (it.kid, height it x y)) items in
   Array.sort (fun (_, a) (_, b) -> Float.compare a b) withh;
-  Array.to_list (Array.sub withh 0 (min k (Array.length withh)))
+  Array.sub withh 0 (min k (Array.length withh))
 
 (* One invocation of TryLowestPlanes (§4.1) against a specific layer. *)
 type try_result =
-  | Success of (int * float) list
+  | Success of (int * float) array
   | Fail_threshold  (** |K| exceeded k/δ² — a smaller δ may help *)
   | Fail_below  (** fewer than k planes of K below the envelope: only a
                     smaller sample (shallower envelope) can help *)
@@ -228,7 +228,7 @@ let try_lowest layer ~x ~y ~k ~delta =
         else begin
           let withh = Array.map (fun it -> (it.kid, height it x y)) items in
           Array.sort (fun (_, a) (_, b) -> Float.compare a b) withh;
-          Success (Array.to_list (Array.sub withh 0 k))
+          Success (Array.sub withh 0 k)
         end
       end
 
@@ -236,8 +236,8 @@ let inside_clip t x y =
   let xmin, ymin, xmax, ymax = t.clip in
   x > xmin && x < xmax && y > ymin && y < ymax
 
-let k_lowest t ~x ~y ~k =
-  if k <= 0 then []
+let k_lowest_arr t ~x ~y ~k =
+  if k <= 0 then [||]
   else begin
     let k = min k t.n in
     (* §4.1's layers are tuned for k >= beta; a smaller request is
@@ -280,9 +280,7 @@ let k_lowest t ~x ~y ~k =
             t.copies;
           match !result with
           | Some r ->
-              if k < k_eff then
-                List.filteri (fun i _ -> i < k) r
-              else r
+              if k < k_eff then Array.sub r 0 (min k (Array.length r)) else r
           | None ->
               (* at the smallest sample, "fewer than k of K below the
                  envelope" cannot improve with smaller delta: scan *)
@@ -293,3 +291,23 @@ let k_lowest t ~x ~y ~k =
       attempt 1
     end
   end
+
+let k_lowest t ~x ~y ~k = Array.to_list (k_lowest_arr t ~x ~y ~k)
+
+(* Reporting sink for the §4.2 doubling protocol: push the ids whose
+   height is at most [threshold] (the caller folds its epsilon in) and
+   tell the caller how many were pushed out of how many retrieved, so
+   it can decide whether the answer is complete without rebuilding
+   lists.  Heights come back sorted, so the pushed ids are always a
+   prefix of the retrieved batch. *)
+let k_lowest_into t ~x ~y ~k ~threshold r =
+  let arr = k_lowest_arr t ~x ~y ~k in
+  let pushed = ref 0 in
+  Array.iter
+    (fun (id, h) ->
+      if h <= threshold then begin
+        Emio.Reporter.add r id;
+        incr pushed
+      end)
+    arr;
+  (!pushed, Array.length arr)

@@ -35,6 +35,27 @@ val k_lowest : t -> x:float -> y:float -> k:int -> (int * float) list
 (** The [min k N] lowest planes along the vertical line at (x, y), as
     (plane id, height at (x,y)) sorted by increasing height. *)
 
+val k_lowest_arr : t -> x:float -> y:float -> k:int -> (int * float) array
+(** Array form of {!k_lowest} (same protocol, same I/Os) — avoids the
+    per-element list cells on the hot reporting paths. *)
+
+val k_lowest_into :
+  t ->
+  x:float ->
+  y:float ->
+  k:int ->
+  threshold:float ->
+  Emio.Reporter.t ->
+  int * int
+(** [k_lowest_into t ~x ~y ~k ~threshold r] retrieves the [min k N]
+    lowest planes and appends to [r] the ids of those with height at
+    most [threshold] (callers fold their epsilon into [threshold]).
+    Returns [(pushed, retrieved)]: the §4.2 doubling protocol stops as
+    soon as [pushed < retrieved] (some retrieved plane lies above the
+    query), doubling [k] otherwise.  Combined with
+    {!Emio.Reporter.mark}/{!Emio.Reporter.truncate}, retries need no
+    intermediate lists. *)
+
 val length : t -> int
 (** Number of planes N. *)
 

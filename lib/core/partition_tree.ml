@@ -79,47 +79,79 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(partitioner = Kd)
   { leaves; internals; root; length = Array.length points; dim; visited = 0 }
 
 (* Report every point of a subtree: O(subtree blocks) I/Os. *)
-let rec report_subtree t acc = function
+let rec report_subtree t ~report = function
   | Leaf id ->
-      Array.fold_left (fun acc it -> it.pid :: acc) acc
-        (Emio.Store.read t.leaves id)
+      Array.iter (fun it -> report it.pid) (Emio.Store.read t.leaves id)
   | Node id ->
-      Array.fold_left
-        (fun acc child -> report_subtree t acc child.sub)
-        acc
+      Array.iter
+        (fun child -> report_subtree t ~report child.sub)
         (Emio.Store.read t.internals id)
 
-let query_with t ~classify_cell ~keep_point =
+(* The shared traversal: every reported pid goes through [report], so
+   the reporter-sink, list and pure-counting entry points all run the
+   same (I/O-identical) walk without materializing anything. *)
+let query_with t ~classify_cell ~keep_point ~report =
   t.visited <- 0;
-  let rec go ~depth acc = function
+  let rec go ~depth = function
     | Leaf id ->
         t.visited <- t.visited + 1;
         if Emio.Cost_ctx.tracing () then
           Emio.Cost_ctx.emit (Node { label = "ptree"; depth });
-        Array.fold_left
-          (fun acc it -> if keep_point it.coords then it.pid :: acc else acc)
-          acc
+        Array.iter
+          (fun it -> if keep_point it.coords then report it.pid)
           (Emio.Store.read t.leaves id)
     | Node id ->
         t.visited <- t.visited + 1;
         if Emio.Cost_ctx.tracing () then
           Emio.Cost_ctx.emit (Node { label = "ptree"; depth });
-        Array.fold_left
-          (fun acc child ->
+        Array.iter
+          (fun child ->
             match classify_cell child.cell with
-            | Cells.R_inside -> report_subtree t acc child.sub
-            | Cells.R_disjoint -> acc
-            | Cells.R_crossing -> go ~depth:(depth + 1) acc child.sub)
-          acc
+            | Cells.R_inside -> report_subtree t ~report child.sub
+            | Cells.R_disjoint -> ()
+            | Cells.R_crossing -> go ~depth:(depth + 1) child.sub)
           (Emio.Store.read t.internals id)
   in
-  match t.root with None -> [] | Some root -> go ~depth:0 [] root
+  match t.root with None -> () | Some root -> go ~depth:0 root
+
+let simplex_classify constrs cell = Cells.classify_region cell constrs
+
+let simplex_keep constrs p =
+  List.for_all (fun c -> Cells.satisfies c p) constrs
+
+let query_simplex_iter t constrs report =
+  query_with t ~classify_cell:(simplex_classify constrs)
+    ~keep_point:(simplex_keep constrs) ~report
+
+let query_simplex_into t constrs r =
+  query_with t ~classify_cell:(simplex_classify constrs)
+    ~keep_point:(simplex_keep constrs)
+    ~report:(Emio.Reporter.add r)
+
+let query_simplex_count t constrs =
+  let n = ref 0 in
+  query_with t ~classify_cell:(simplex_classify constrs)
+    ~keep_point:(simplex_keep constrs)
+    ~report:(fun _ -> incr n);
+  !n
 
 let query_simplex t constrs =
-  query_with t
-    ~classify_cell:(fun cell -> Cells.classify_region cell constrs)
-    ~keep_point:(fun p -> List.for_all (fun c -> Cells.satisfies c p) constrs)
+  let acc = ref [] in
+  query_with t ~classify_cell:(simplex_classify constrs)
+    ~keep_point:(simplex_keep constrs)
+    ~report:(fun pid -> acc := pid :: !acc);
+  !acc
 
-let query_halfspace t ~a0 ~a =
-  let c = Cells.constr_of_halfspace ~dim:t.dim ~a0 ~a in
-  query_simplex t [ c ]
+let halfspace_constr t ~a0 ~a =
+  Cells.constr_of_halfspace ~dim:t.dim ~a0 ~a
+
+let query_halfspace t ~a0 ~a = query_simplex t [ halfspace_constr t ~a0 ~a ]
+
+let query_halfspace_into t ~a0 ~a r =
+  query_simplex_into t [ halfspace_constr t ~a0 ~a ] r
+
+let query_halfspace_iter t ~a0 ~a report =
+  query_simplex_iter t [ halfspace_constr t ~a0 ~a ] report
+
+let query_halfspace_count t ~a0 ~a =
+  query_simplex_count t [ halfspace_constr t ~a0 ~a ]

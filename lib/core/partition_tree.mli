@@ -34,6 +34,27 @@ val query_simplex : t -> Partition.Cells.constr list -> int list
 (** Points satisfying every constraint (a simplex, or any convex
     polytope, as an intersection of halfspaces). *)
 
+(** {2 Zero-allocation reporting}
+
+    The [_into] variants append the answer ids to an {!Emio.Reporter}
+    instead of building a list, and the [_count] variants just count —
+    both run the identical traversal (same I/Os charged, same
+    [last_visited_nodes]) without materializing results. *)
+
+val query_halfspace_into :
+  t -> a0:float -> a:float array -> Emio.Reporter.t -> unit
+
+val query_halfspace_count : t -> a0:float -> a:float array -> int
+val query_simplex_into : t -> Partition.Cells.constr list -> Emio.Reporter.t -> unit
+val query_simplex_count : t -> Partition.Cells.constr list -> int
+
+val query_halfspace_iter : t -> a0:float -> a:float array -> (int -> unit) -> unit
+(** Visitor form: calls the callback once per reported id, in
+    traversal order — the primitive the [_into]/[_count] variants and
+    delegating structures ({!Shallow_tree}) are built on. *)
+
+val query_simplex_iter : t -> Partition.Cells.constr list -> (int -> unit) -> unit
+
 val length : t -> int
 val dim : t -> int
 val space_blocks : t -> int

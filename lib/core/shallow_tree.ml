@@ -90,25 +90,24 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend
     secondary_uses = 0;
   }
 
-let rec report_subtree t acc = function
+let rec report_subtree t ~report = function
   | Leaf id ->
-      Array.fold_left (fun acc it -> it.pid :: acc) acc
-        (Emio.Store.read t.leaves id)
+      Array.iter (fun it -> report it.pid) (Emio.Store.read t.leaves id)
   | Node id ->
-      Array.fold_left
-        (fun acc child -> report_subtree t acc child.sub)
-        acc
+      Array.iter
+        (fun child -> report_subtree t ~report child.sub)
         (Emio.Store.read t.internals id)
 
-let query_halfspace t ~a0 ~a =
+(* The shared traversal behind every query entry point: each reported
+   pid goes through [report], so reporter-sink, list and counting
+   callers run the identical (I/O-identical) walk. *)
+let query_halfspace_iter t ~a0 ~a report =
   let c = Cells.constr_of_halfspace ~dim:t.dim ~a0 ~a in
   t.secondary_uses <- 0;
-  let rec go acc = function
+  let rec go = function
     | Leaf id ->
-        Array.fold_left
-          (fun acc it ->
-            if Cells.satisfies c it.coords then it.pid :: acc else acc)
-          acc
+        Array.iter
+          (fun it -> if Cells.satisfies c it.coords then report it.pid)
           (Emio.Store.read t.leaves id)
     | Node id ->
         let children = Emio.Store.read t.internals id in
@@ -128,16 +127,29 @@ let query_halfspace t ~a0 ~a =
              structure (its output term dominates, §6) *)
           t.secondary_uses <- t.secondary_uses + 1;
           let secondary, pids = Hashtbl.find t.secondaries id in
-          let local = Partition_tree.query_halfspace secondary ~a0 ~a in
-          List.fold_left (fun acc i -> pids.(i) :: acc) acc local
+          Partition_tree.query_halfspace_iter secondary ~a0 ~a (fun i ->
+              report pids.(i))
         end
         else
-          Array.fold_left
-            (fun acc child ->
+          Array.iter
+            (fun child ->
               match Cells.classify child.cell c with
-              | Cells.Inside -> report_subtree t acc child.sub
-              | Cells.Outside -> acc
-              | Cells.Crossing -> go acc child.sub)
-            acc children
+              | Cells.Inside -> report_subtree t ~report child.sub
+              | Cells.Outside -> ()
+              | Cells.Crossing -> go child.sub)
+            children
   in
-  match t.root with None -> [] | Some root -> go [] root
+  match t.root with None -> () | Some root -> go root
+
+let query_halfspace t ~a0 ~a =
+  let acc = ref [] in
+  query_halfspace_iter t ~a0 ~a (fun pid -> acc := pid :: !acc);
+  !acc
+
+let query_halfspace_into t ~a0 ~a r =
+  query_halfspace_iter t ~a0 ~a (Emio.Reporter.add r)
+
+let query_halfspace_count t ~a0 ~a =
+  let n = ref 0 in
+  query_halfspace_iter t ~a0 ~a (fun _ -> incr n);
+  !n

@@ -28,6 +28,18 @@ val build :
 val query_halfspace : t -> a0:float -> a:float array -> int list
 (** Points satisfying [x_d <= a0 + Σ a_i x_i]. *)
 
+val query_halfspace_into :
+  t -> a0:float -> a:float array -> Emio.Reporter.t -> unit
+(** Same traversal (I/O-identical), appending ids to a reusable
+    {!Emio.Reporter} instead of building a list. *)
+
+val query_halfspace_count : t -> a0:float -> a:float array -> int
+(** Same traversal, counting only — allocation-free reporting. *)
+
+val query_halfspace_iter :
+  t -> a0:float -> a:float array -> (int -> unit) -> unit
+(** Visitor form underlying the variants above. *)
+
 val length : t -> int
 val dim : t -> int
 val space_blocks : t -> int

@@ -95,39 +95,66 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(a = 1.5) ?clip
     secondary_queries = 0;
   }
 
-let rec report_subtree t acc = function
+let rec report_subtree t ~report = function
   | Leaf li ->
       let l = Vec.get t.leaves li in
-      Emio.Run.fold (fun acc pid -> pid :: acc) acc l.run
+      Emio.Run.iter (fun pid -> report pid) l.run
   | Node id ->
-      Array.fold_left
-        (fun acc child -> report_subtree t acc child.sub)
-        acc
+      Array.iter
+        (fun child -> report_subtree t ~report child.sub)
         (Emio.Store.read t.internals id)
 
-let query_ids t ~a ~b ~c =
+(* The shared traversal: leaves delegate to the §4 structure through
+   the reporter (its doubling retries need mark/truncate rollback, so
+   a plain callback will not do), then the local ids are remapped to
+   global pids in place. *)
+let query_ids_into t ~a ~b ~c r =
   t.secondary_queries <- 0;
-  let constr =
-    Cells.constr_of_halfspace ~dim:3 ~a0:c ~a:[| a; b |]
-  in
-  let rec go acc = function
+  let constr = Cells.constr_of_halfspace ~dim:3 ~a0:c ~a:[| a; b |] in
+  let report pid = Emio.Reporter.add r pid in
+  let rec go = function
     | Leaf li ->
         t.secondary_queries <- t.secondary_queries + 1;
         let l = Vec.get t.leaves li in
-        let local = Halfspace3d.query_ids l.hs ~a ~b ~c in
-        List.fold_left (fun acc i -> l.pids.(i) :: acc) acc local
+        let m = Emio.Reporter.mark r in
+        Halfspace3d.query_ids_into l.hs ~a ~b ~c r;
+        Emio.Reporter.rewrite_from r m (fun i -> l.pids.(i))
     | Node id ->
-        Array.fold_left
-          (fun acc child ->
+        Array.iter
+          (fun child ->
             match Cells.classify child.cell constr with
-            | Cells.Inside -> report_subtree t acc child.sub
-            | Cells.Outside -> acc
-            | Cells.Crossing -> go acc child.sub)
-          acc
+            | Cells.Inside -> report_subtree t ~report child.sub
+            | Cells.Outside -> ()
+            | Cells.Crossing -> go child.sub)
           (Emio.Store.read t.internals id)
   in
-  match t.root with None -> [] | Some root -> go [] root
+  match t.root with None -> () | Some root -> go root
+
+let query_ids t ~a ~b ~c =
+  let r = Emio.Reporter.create () in
+  query_ids_into t ~a ~b ~c r;
+  Emio.Reporter.to_list r
 
 let query t ~a ~b ~c = query_ids t ~a ~b ~c
 
-let query_count t ~a ~b ~c = List.length (query_ids t ~a ~b ~c)
+let query_count t ~a ~b ~c =
+  t.secondary_queries <- 0;
+  let constr = Cells.constr_of_halfspace ~dim:3 ~a0:c ~a:[| a; b |] in
+  let n = ref 0 in
+  let report _pid = incr n in
+  let rec go = function
+    | Leaf li ->
+        t.secondary_queries <- t.secondary_queries + 1;
+        let l = Vec.get t.leaves li in
+        n := !n + Halfspace3d.query_count l.hs ~a ~b ~c
+    | Node id ->
+        Array.iter
+          (fun child ->
+            match Cells.classify child.cell constr with
+            | Cells.Inside -> report_subtree t ~report child.sub
+            | Cells.Outside -> ()
+            | Cells.Crossing -> go child.sub)
+          (Emio.Store.read t.internals id)
+  in
+  (match t.root with None -> () | Some root -> go root);
+  !n

@@ -26,6 +26,14 @@ val query : t -> a:float -> b:float -> c:float -> int list
 (** Alias of {!query_ids}. *)
 
 val query_count : t -> a:float -> b:float -> c:float -> int
+(** Same traversal, counting only — no result list is materialized
+    (the §4 leaf structures are asked to count too). *)
+
+val query_ids_into :
+  t -> a:float -> b:float -> c:float -> Emio.Reporter.t -> unit
+(** Same traversal as {!query_ids}, appending the answer ids to a
+    reusable {!Emio.Reporter}; §4 leaf answers are remapped to global
+    ids in place via {!Emio.Reporter.rewrite_from}. *)
 
 val length : t -> int
 val leaf_capacity : t -> int

@@ -40,44 +40,95 @@ let evictions t = t.evictions
 let bytes_read t = t.bytes_read
 let bytes_written t = t.bytes_written
 
-(* The installed-context stack.  Single-domain by construction (the
-   whole simulator is); a Domain-aware version would make this a DLS
-   key. *)
-let stack : t list ref = ref []
+(* The installed-context stack lives in thread-local storage (a
+   {!Tls} key: Domain.DLS on OCaml 5, a plain ref on 4.14), so each
+   domain of a parallel batch charges exactly the contexts its own
+   queries installed — no cross-domain bleed, no locking. *)
+let stack : t list Tls.key = Tls.new_key (fun () -> [])
+
+let uninstall ctx =
+  match Tls.get stack with
+  | top :: rest when top == ctx -> Tls.set stack rest
+  | l -> Tls.set stack (List.filter (fun c -> c != ctx) l)
 
 let with_ctx ctx f =
-  stack := ctx :: !stack;
-  Fun.protect ~finally:(fun () ->
-      match !stack with
-      | top :: rest when top == ctx -> stack := rest
-      | _ -> stack := List.filter (fun c -> c != ctx) !stack)
-    f
+  Tls.set stack (ctx :: Tls.get stack);
+  match f () with
+  | v ->
+      uninstall ctx;
+      v
+  | exception e ->
+      uninstall ctx;
+      raise e
 
-let active () = match !stack with [] -> false | _ :: _ -> true
+let active () = match Tls.get stack with [] -> false | _ :: _ -> true
 
-let tracing () = List.exists (fun c -> c.trace <> None) !stack
+let has_trace c = match c.trace with None -> false | Some _ -> true
+
+let tracing () =
+  (* hand-rolled List.exists: the hot callers test this on every block
+     access, and an untraced stack must answer without a generic
+     -compare call or closure *)
+  let rec any = function
+    | [] -> false
+    | c :: rest -> has_trace c || any rest
+  in
+  any (Tls.get stack)
 
 let note_read () =
-  List.iter (fun c -> c.reads <- c.reads + 1) !stack
+  List.iter (fun c -> c.reads <- c.reads + 1) (Tls.get stack)
 
 let note_write () =
-  List.iter (fun c -> c.writes <- c.writes + 1) !stack
+  List.iter (fun c -> c.writes <- c.writes + 1) (Tls.get stack)
 
-let note_hit () = List.iter (fun c -> c.hits <- c.hits + 1) !stack
+let note_hit () =
+  List.iter (fun c -> c.hits <- c.hits + 1) (Tls.get stack)
+
+(* Fused note-and-tracing-test variants for the Store block paths: one
+   thread-local fetch and one stack walk per block access, instead of a
+   note_* walk followed by a separate {!tracing} walk.  Return [true]
+   iff some installed context wants {!emit}ted events. *)
+
+let note_read_traced () =
+  let rec go traced = function
+    | [] -> traced
+    | c :: rest ->
+        c.reads <- c.reads + 1;
+        go (traced || has_trace c) rest
+  in
+  go false (Tls.get stack)
+
+let note_write_traced () =
+  let rec go traced = function
+    | [] -> traced
+    | c :: rest ->
+        c.writes <- c.writes + 1;
+        go (traced || has_trace c) rest
+  in
+  go false (Tls.get stack)
+
+let note_hit_traced () =
+  let rec go traced = function
+    | [] -> traced
+    | c :: rest ->
+        c.hits <- c.hits + 1;
+        go (traced || has_trace c) rest
+  in
+  go false (Tls.get stack)
 
 let note_eviction () =
-  List.iter (fun c -> c.evictions <- c.evictions + 1) !stack
+  List.iter (fun c -> c.evictions <- c.evictions + 1) (Tls.get stack)
 
 let note_bytes_read n =
-  List.iter (fun c -> c.bytes_read <- c.bytes_read + n) !stack
+  List.iter (fun c -> c.bytes_read <- c.bytes_read + n) (Tls.get stack)
 
 let note_bytes_written n =
-  List.iter (fun c -> c.bytes_written <- c.bytes_written + n) !stack
+  List.iter (fun c -> c.bytes_written <- c.bytes_written + n) (Tls.get stack)
 
 let emit ev =
   List.iter
     (fun c -> match c.trace with None -> () | Some sink -> sink ev)
-    !stack
+    (Tls.get stack)
 
 let pp_event ppf = function
   | Block_read { id; hit } ->

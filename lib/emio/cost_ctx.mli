@@ -66,4 +66,12 @@ val note_eviction : unit -> unit
 val note_bytes_read : int -> unit
 val note_bytes_written : int -> unit
 
+val note_read_traced : unit -> bool
+(** Like {!note_read} followed by {!tracing}, in a single stack walk —
+    for the per-block hot paths.  Returns [true] iff some installed
+    context is tracing (i.e. the caller should {!emit}). *)
+
+val note_write_traced : unit -> bool
+val note_hit_traced : unit -> bool
+
 val pp_event : Format.formatter -> event -> unit

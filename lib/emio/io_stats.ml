@@ -41,6 +41,21 @@ let record_hit t =
   t.hits <- t.hits + 1;
   Cost_ctx.note_hit ()
 
+(* Fused record-and-tracing-test variants for the Store block hot
+   paths (see Cost_ctx.note_read_traced). *)
+
+let record_read_traced t =
+  t.reads <- t.reads + 1;
+  Cost_ctx.note_read_traced ()
+
+let record_write_traced t =
+  t.writes <- t.writes + 1;
+  Cost_ctx.note_write_traced ()
+
+let record_hit_traced t =
+  t.hits <- t.hits + 1;
+  Cost_ctx.note_hit_traced ()
+
 let record_eviction t =
   t.evictions <- t.evictions + 1;
   Cost_ctx.note_eviction ()

@@ -50,6 +50,14 @@ val record_eviction : t -> unit
 val record_bytes_read : t -> int -> unit
 val record_bytes_written : t -> int -> unit
 
+val record_read_traced : t -> bool
+(** Like {!record_read} but additionally reports whether some
+    installed context is tracing, in one context-stack walk — for the
+    per-block hot paths (see {!Cost_ctx.note_read_traced}). *)
+
+val record_write_traced : t -> bool
+val record_hit_traced : t -> bool
+
 val reset : t -> unit
 (** Zero all counters (including byte and eviction counters).  Used
     between the build phase and the query phase of an experiment. *)

@@ -1,0 +1,51 @@
+type t = { mutable buf : int array; mutable len : int }
+
+let create ?(capacity = 256) () =
+  { buf = Array.make (max 16 capacity) 0; len = 0 }
+
+let clear r = r.len <- 0
+let length r = r.len
+
+let grow r =
+  let bigger = Array.make (2 * Array.length r.buf) 0 in
+  Array.blit r.buf 0 bigger 0 r.len;
+  r.buf <- bigger
+
+let add r x =
+  if r.len = Array.length r.buf then grow r;
+  r.buf.(r.len) <- x;
+  r.len <- r.len + 1
+
+let get r i =
+  if i < 0 || i >= r.len then invalid_arg "Reporter.get: out of bounds";
+  r.buf.(i)
+
+let mark r = r.len
+
+let truncate r m =
+  if m < 0 || m > r.len then invalid_arg "Reporter.truncate: bad mark";
+  r.len <- m
+
+let rewrite_from r m f =
+  if m < 0 || m > r.len then invalid_arg "Reporter.rewrite_from: bad mark";
+  for i = m to r.len - 1 do
+    r.buf.(i) <- f r.buf.(i)
+  done
+
+let iter f r =
+  for i = 0 to r.len - 1 do
+    f r.buf.(i)
+  done
+
+let fold f init r =
+  let acc = ref init in
+  for i = 0 to r.len - 1 do
+    acc := f !acc r.buf.(i)
+  done;
+  !acc
+
+let to_list r =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (r.buf.(i) :: acc) in
+  go (r.len - 1) []
+
+let to_array r = Array.sub r.buf 0 r.len

@@ -5,8 +5,22 @@
 let marshal_flags = [ Marshal.Closures ]
 
 type 'a mem = { mutable blocks : 'a array array; mutable used : int }
-type ext = { backend : Store_intf.backend; mutable allocated : int }
-type 'a state = Mem of 'a mem | Ext of ext
+
+(* External state keeps a decoded-payload cache: the backend serves
+   raw bytes (with its own physical-page accounting), and [decoded]
+   memoizes the unmarshalled ['a array]s for the ids currently resident
+   in the store's LRU, so hot blocks skip both the backend read and the
+   re-decode.  Capacity 0 (the default) disables it entirely. *)
+type 'a ext = {
+  backend : Store_intf.backend;
+  mutable allocated : int;
+  decoded : (int, 'a array) Hashtbl.t;
+}
+
+(* [Ejected] replaces the state while {!with_ejected} runs a snapshot
+   marshal: a plain counter is marshal-safe and cannot leak payloads
+   (or decoded-cache contents) into the skeleton. *)
+type 'a state = Mem of 'a mem | Ext of 'a ext | Ejected of { used : int }
 
 type 'a t = {
   mutable stats : Io_stats.t;
@@ -15,12 +29,14 @@ type 'a t = {
   cache : Lru.t;
 }
 
+let ejected_error op = failwith ("Store: " ^ op ^ " during with_ejected")
+
 let create ~stats ~block_size ?(cache_blocks = 0) ?backend () =
   if block_size <= 0 then invalid_arg "Store.create: block_size must be > 0";
   let state =
     match backend with
     | None -> Mem { blocks = Array.make 16 [||]; used = 0 }
-    | Some backend -> Ext { backend; allocated = 0 }
+    | Some backend -> Ext { backend; allocated = 0; decoded = Hashtbl.create 64 }
   in
   { stats; block_size; state; cache = Lru.create ~capacity:cache_blocks }
 
@@ -28,12 +44,16 @@ let block_size t = t.block_size
 let stats t = t.stats
 
 let blocks_used t =
-  match t.state with Mem m -> m.used | Ext e -> e.allocated
+  match t.state with
+  | Mem m -> m.used
+  | Ext e -> e.allocated
+  | Ejected { used } -> used
 
-let is_external t = match t.state with Mem _ -> false | Ext _ -> true
+let is_external t =
+  match t.state with Mem _ | Ejected _ -> false | Ext _ -> true
 
 let backend t =
-  match t.state with Mem _ -> None | Ext e -> Some e.backend
+  match t.state with Mem _ | Ejected _ -> None | Ext e -> Some e.backend
 
 let grow m =
   let capacity = Array.length m.blocks in
@@ -56,28 +76,54 @@ let alloc t data =
       m.blocks.(id) <- data;
       m.used <- m.used + 1;
       let hit = Lru.touch t.cache id in
-      if hit then Io_stats.record_hit t.stats
-      else Io_stats.record_write t.stats;
-      if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit });
+      let traced =
+        if hit then Io_stats.record_hit_traced t.stats
+        else Io_stats.record_write_traced t.stats
+      in
+      if traced then Cost_ctx.emit (Block_write { id; hit });
       id
   | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
       let id = B.alloc b (Marshal.to_bytes data marshal_flags) in
       e.allocated <- e.allocated + 1;
       if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit = false });
       id
+  | Ejected _ -> ejected_error "alloc"
 
 let read (t : 'a t) id : 'a array =
   match t.state with
   | Mem m ->
       if id < 0 || id >= m.used then invalid_arg "Store.read: bad block id";
       let hit = Lru.touch t.cache id in
-      if hit then Io_stats.record_hit t.stats
-      else Io_stats.record_read t.stats;
-      if Cost_ctx.tracing () then Cost_ctx.emit (Block_read { id; hit });
+      let traced =
+        if hit then Io_stats.record_hit_traced t.stats
+        else Io_stats.record_read_traced t.stats
+      in
+      if traced then Cost_ctx.emit (Block_read { id; hit });
       m.blocks.(id)
-  | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
-      if Cost_ctx.tracing () then Cost_ctx.emit (Block_read { id; hit = false });
-      (Marshal.from_bytes (B.read b id) 0 : 'a array)
+  | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
+      if Lru.capacity t.cache = 0 then begin
+        if Cost_ctx.tracing () then
+          Cost_ctx.emit (Block_read { id; hit = false });
+        (Marshal.from_bytes (B.read b id) 0 : 'a array)
+      end
+      else begin
+        let in_lru, evicted = Lru.touch_report t.cache id in
+        (match evicted with
+        | Some victim -> Hashtbl.remove e.decoded victim
+        | None -> ());
+        match (if in_lru then Hashtbl.find_opt e.decoded id else None) with
+        | Some data ->
+            if Cost_ctx.tracing () then
+              Cost_ctx.emit (Block_read { id; hit = true });
+            data
+        | None ->
+            if Cost_ctx.tracing () then
+              Cost_ctx.emit (Block_read { id; hit = false });
+            let data = (Marshal.from_bytes (B.read b id) 0 : 'a array) in
+            Hashtbl.replace e.decoded id data;
+            data
+      end
+  | Ejected _ -> ejected_error "read"
 
 let write t id data =
   check_block t data;
@@ -86,27 +132,35 @@ let write t id data =
       if id < 0 || id >= m.used then invalid_arg "Store.write: bad block id";
       m.blocks.(id) <- data;
       let hit = Lru.touch t.cache id in
-      if hit then Io_stats.record_hit t.stats
-      else Io_stats.record_write t.stats;
-      if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit })
-  | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
+      let traced =
+        if hit then Io_stats.record_hit_traced t.stats
+        else Io_stats.record_write_traced t.stats
+      in
+      if traced then Cost_ctx.emit (Block_write { id; hit })
+  | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
       if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit = false });
+      (* invalidate rather than update: caching the caller's array
+         would alias memory the caller may mutate after the write *)
+      Hashtbl.remove e.decoded id;
       B.write b id (Marshal.to_bytes data marshal_flags)
+  | Ejected _ -> ejected_error "write"
 
 let drop_cache t =
   Lru.clear t.cache;
   match t.state with
-  | Mem _ -> ()
-  | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.drop_cache b
+  | Mem _ | Ejected _ -> ()
+  | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
+      Hashtbl.reset e.decoded;
+      B.drop_cache b
 
 let flush t =
   match t.state with
-  | Mem _ -> ()
+  | Mem _ | Ejected _ -> ()
   | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.flush b
 
 let close t =
   match t.state with
-  | Mem _ -> ()
+  | Mem _ | Ejected _ -> ()
   | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.close b
 
 let export_bytes t =
@@ -115,6 +169,7 @@ let export_bytes t =
       Array.init m.used (fun i -> Marshal.to_bytes m.blocks.(i) marshal_flags)
   | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
       Array.init (B.blocks_used b) (fun i -> B.read b i)
+  | Ejected _ -> ejected_error "export_bytes"
 
 let attach t ~stats backend =
   let allocated =
@@ -122,12 +177,12 @@ let attach t ~stats backend =
     B.blocks_used b
   in
   t.stats <- stats;
-  t.state <- Ext { backend; allocated };
+  t.state <- Ext { backend; allocated; decoded = Hashtbl.create 64 };
   Lru.clear t.cache
 
 let set_stats t stats = t.stats <- stats
 
 let with_ejected t f =
   let saved = t.state in
-  t.state <- Mem { blocks = [||]; used = blocks_used t };
+  t.state <- Ejected { used = blocks_used t };
   Fun.protect ~finally:(fun () -> t.state <- saved) f

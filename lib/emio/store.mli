@@ -27,9 +27,15 @@ val create :
   ?backend:Store_intf.backend ->
   unit ->
   'a t
-(** [cache_blocks] defaults to [0] (cold cache: every access charged)
-    and only applies to the simulator backend.  [backend] defaults to
-    the in-memory simulator. *)
+(** [cache_blocks] defaults to [0] (cold cache: every access charged).
+    On the simulator backend it models main memory: resident blocks
+    cost nothing.  On an external backend it sizes a decoded-block
+    cache: the most recently read [cache_blocks] blocks keep their
+    unmarshalled payloads in memory, so re-reading them skips both the
+    backend page read and the decode (the backend's physical counters
+    simply see fewer reads — model-level accounting is still never
+    charged in external mode).  [backend] defaults to the in-memory
+    simulator. *)
 
 val block_size : 'a t -> int
 val stats : 'a t -> Io_stats.t
@@ -83,7 +89,9 @@ val with_ejected : 'a t -> (unit -> 'r) -> 'r
     placeholder (restored afterwards, also on exceptions).  This lets a
     snapshot marshal a structure's skeleton — layer lists, block ids,
     auxiliary btrees — without duplicating the payload blocks that are
-    written separately as pages. *)
+    written separately as pages.  While ejected, only [blocks_used] is
+    answerable; [read]/[write]/[alloc]/[export_bytes] raise [Failure
+    "Store: <op> during with_ejected"]. *)
 
 val marshal_flags : Marshal.extern_flags list
 (** Flags used for block payloads and snapshot skeletons

@@ -1,0 +1,15 @@
+(** Minimal thread-local storage, selected at build time: on OCaml 5
+    the implementation is [Domain.DLS] (each domain gets its own slot,
+    initialized on first use), on 4.14 it is a plain global ref (there
+    is only ever one domain).  {!Cost_ctx} keeps its installed-context
+    stack in a key so per-query accounting stays exact when queries
+    fan out across domains. *)
+
+type 'a key
+
+val new_key : (unit -> 'a) -> 'a key
+(** [new_key init] allocates a slot; [init] produces the initial value
+    the first time each domain touches the slot. *)
+
+val get : 'a key -> 'a
+val set : 'a key -> 'a -> unit

@@ -1,6 +1,11 @@
 (** Points in the plane. *)
 
-type t
+type t = { x : float; y : float }
+(** Concrete (and all-float, so arrays of points stay unboxed-flat per
+    element) on purpose: the baselines' per-point hot loops read
+    coordinates with direct field access, which never boxes — the
+    {!x}/{!y} accessor calls do box their result under [-opaque]
+    (dune's default dev profile disables cross-module inlining). *)
 
 val make : float -> float -> t
 val x : t -> float

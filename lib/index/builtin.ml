@@ -219,7 +219,10 @@ module Ptree = struct
     Core.Partition_tree.query_halfspace t.s ~a0 ~a
 
   let query t q = List.map (fun i -> t.pts.(i)) (ids t q)
-  let query_count t q = List.length (ids t q)
+
+  let query_count t q =
+    let a0, a = qd ~name ~dim:(Core.Partition_tree.dim t.s) q in
+    Core.Partition_tree.query_halfspace_count t.s ~a0 ~a
 
   let estimate t _q =
     let d = float_of_int (Core.Partition_tree.dim t.s) in
@@ -270,7 +273,10 @@ module Shallow = struct
     Core.Shallow_tree.query_halfspace t.s ~a0 ~a
 
   let query t q = List.map (fun i -> t.pts.(i)) (ids t q)
-  let query_count t q = List.length (ids t q)
+
+  let query_count t q =
+    let a0, a = qd ~name ~dim:(Core.Shallow_tree.dim t.s) q in
+    Core.Shallow_tree.query_halfspace_count t.s ~a0 ~a
 
   let estimate t _q =
     let d = Core.Shallow_tree.dim t.s in

@@ -1,0 +1,17 @@
+(** Build-time-selected parallel map: OCaml 5 runs it on [Domain]s
+    with a shared work index, 4.14 falls back to [Array.map].  The
+    {!Query_engine} batch runner is the only intended caller — queries
+    against the registered structures are read-only and keep their
+    per-query accounting in domain-local {!Emio.Cost_ctx}s, which is
+    what makes the fan-out safe. *)
+
+val available : bool
+(** [true] iff this build can actually run on multiple domains. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] applies [f] to every element, preserving
+    order.  Work is pulled from a shared index so uneven queries
+    balance across domains; at most [domains] domains run (the calling
+    domain is one of them).  The first exception any worker raises is
+    re-raised after all domains join.  With [domains <= 1], on empty
+    input, or when {!available} is [false], this is [Array.map f xs]. *)

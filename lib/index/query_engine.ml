@@ -30,17 +30,35 @@ let run_query ?(trace = false) inst q =
     events = List.rev !events;
   }
 
-let run_batch ?trace inst qs = List.map (run_query ?trace inst) qs
+(* Batch execution.  [domains > 1] fans the queries out over OCaml 5
+   domains (Par.map; a no-op request on 4.14 builds, where
+   Par.available is false).  Safe because queries are read-only, the
+   per-query Cost_ctx lives in domain-local storage, and the default
+   cold-cache stores never mutate shared LRU state; the ambient
+   Io_stats totals may interleave across domains but per-query costs
+   stay exact. *)
+let run_batch_array ?trace ?(domains = 1) inst qs =
+  if domains <= 1 || not Par.available then
+    Array.map (run_query ?trace inst) qs
+  else Par.map ~domains (run_query ?trace inst) qs
 
-(* Nearest-rank percentile of an int sample, p in [0, 1]. *)
+let run_batch ?trace ?domains inst qs =
+  Array.to_list (run_batch_array ?trace ?domains inst (Array.of_list qs))
+
+(* Nearest-rank percentile of an int sample, p in [0, 1]: sort once
+   into an array and index the rank directly (the old implementation
+   walked a sorted list with List.nth per call). *)
 let percentile p xs =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Query_engine.percentile: p must be in [0, 1]";
   match xs with
   | [] -> invalid_arg "Query_engine.percentile: empty sample"
   | _ ->
-      let sorted = List.sort compare xs in
-      let n = List.length sorted in
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
       let rank =
         let r = int_of_float (ceil (p *. float_of_int n)) in
         Stdlib.min n (Stdlib.max 1 r)
       in
-      List.nth sorted (rank - 1)
+      sorted.(rank - 1)

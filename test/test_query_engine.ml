@@ -1,0 +1,299 @@
+(* Satellites of the zero-allocation-reporting PR: Reporter semantics,
+   the decoded-block cache on external backends, the with_ejected
+   access guard, nearest-rank percentile edge cases, and sequential /
+   parallel batch equivalence across every registered structure. *)
+
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Workloads = Lcsearch_index.Workloads
+module Query_engine = Lcsearch_index.Query_engine
+module Par = Lcsearch_index.Par
+
+let check = Alcotest.(check int)
+
+(* ---- Reporter: the reusable reporting sink ---- *)
+
+let test_reporter_basics () =
+  let r = Emio.Reporter.create ~capacity:2 () in
+  check "fresh is empty" 0 (Emio.Reporter.length r);
+  (* push past the initial capacity to exercise growth *)
+  for i = 0 to 99 do
+    Emio.Reporter.add r i
+  done;
+  check "length" 100 (Emio.Reporter.length r);
+  check "get 0" 0 (Emio.Reporter.get r 0);
+  check "get 99" 99 (Emio.Reporter.get r 99);
+  Alcotest.(check (list int))
+    "to_list insertion order"
+    (List.init 100 Fun.id)
+    (Emio.Reporter.to_list r);
+  check "fold sums" (99 * 100 / 2) (Emio.Reporter.fold ( + ) 0 r);
+  Emio.Reporter.clear r;
+  check "clear empties" 0 (Emio.Reporter.length r);
+  (match Emio.Reporter.get r 0 with
+  | _ -> Alcotest.fail "get past length must raise"
+  | exception Invalid_argument _ -> ());
+  Emio.Reporter.add r 7;
+  Alcotest.(check (array int)) "reusable after clear" [| 7 |]
+    (Emio.Reporter.to_array r)
+
+(* mark / truncate / rewrite_from are the doubling-protocol and
+   id-translation primitives. *)
+let test_reporter_mark_truncate_rewrite () =
+  let r = Emio.Reporter.create () in
+  Emio.Reporter.add r 10;
+  let m = Emio.Reporter.mark r in
+  Emio.Reporter.add r 20;
+  Emio.Reporter.add r 30;
+  Emio.Reporter.truncate r m;
+  Alcotest.(check (list int)) "truncate rolls back to mark" [ 10 ]
+    (Emio.Reporter.to_list r);
+  (* a failed doubling round retries: report again after rollback *)
+  Emio.Reporter.add r 21;
+  Emio.Reporter.add r 31;
+  Emio.Reporter.rewrite_from r m (fun id -> id * 100);
+  Alcotest.(check (list int))
+    "rewrite_from maps only ids since the mark" [ 10; 2100; 3100 ]
+    (Emio.Reporter.to_list r);
+  (match Emio.Reporter.truncate r (Emio.Reporter.length r + 1) with
+  | () -> Alcotest.fail "truncate past length must raise"
+  | exception Invalid_argument _ -> ())
+
+(* ---- decoded-block cache over an external backend ---- *)
+
+(* A byte backend that stores payloads in memory and counts the
+   physical reads it serves, so tests can observe exactly when the
+   Store's decoded cache short-circuits the backend. *)
+module Counting_backend = struct
+  type t = {
+    blocks : (int, bytes) Hashtbl.t;
+    mutable next : int;
+    mutable phys_reads : int;
+  }
+
+  let name _ = "test:counting"
+
+  let alloc t payload =
+    let id = t.next in
+    t.next <- id + 1;
+    Hashtbl.replace t.blocks id (Bytes.copy payload);
+    id
+
+  let read t id =
+    t.phys_reads <- t.phys_reads + 1;
+    match Hashtbl.find_opt t.blocks id with
+    | Some b -> Bytes.copy b
+    | None -> failwith "Counting_backend: unknown block"
+
+  let write t id payload = Hashtbl.replace t.blocks id (Bytes.copy payload)
+  let blocks_used t = Hashtbl.length t.blocks
+  let drop_cache _ = ()
+  let flush _ = ()
+  let close _ = ()
+end
+
+let counting_store ~cache_blocks =
+  let b =
+    { Counting_backend.blocks = Hashtbl.create 16; next = 0; phys_reads = 0 }
+  in
+  let store =
+    Emio.Store.create
+      ~stats:(Emio.Io_stats.create ())
+      ~block_size:4 ~cache_blocks
+      ~backend:(Emio.Store_intf.Backend ((module Counting_backend), b))
+      ()
+  in
+  (store, b)
+
+let test_decoded_cache_hits () =
+  let store, b = counting_store ~cache_blocks:2 in
+  let id0 = Emio.Store.alloc store [| 1; 2 |] in
+  let id1 = Emio.Store.alloc store [| 3; 4 |] in
+  Alcotest.(check (array int)) "first read decodes" [| 1; 2 |]
+    (Emio.Store.read store id0);
+  let after_first = b.Counting_backend.phys_reads in
+  Alcotest.(check (array int)) "second read" [| 1; 2 |]
+    (Emio.Store.read store id0);
+  check "re-read served from decoded cache" after_first
+    b.Counting_backend.phys_reads;
+  (* reading a second block fits alongside (capacity 2) *)
+  ignore (Emio.Store.read store id1);
+  let before = b.Counting_backend.phys_reads in
+  ignore (Emio.Store.read store id0);
+  ignore (Emio.Store.read store id1);
+  check "both resident, no backend traffic" before
+    b.Counting_backend.phys_reads
+
+let test_decoded_cache_eviction () =
+  let store, b = counting_store ~cache_blocks:1 in
+  let id0 = Emio.Store.alloc store [| 1 |] in
+  let id1 = Emio.Store.alloc store [| 2 |] in
+  ignore (Emio.Store.read store id0);
+  ignore (Emio.Store.read store id1);
+  (* capacity 1: id1 evicted id0 *)
+  let before = b.Counting_backend.phys_reads in
+  Alcotest.(check (array int)) "evicted block decodes again" [| 1 |]
+    (Emio.Store.read store id0);
+  check "eviction forces a backend read" (before + 1)
+    b.Counting_backend.phys_reads
+
+let test_decoded_cache_write_invalidates () =
+  let store, b = counting_store ~cache_blocks:2 in
+  let id = Emio.Store.alloc store [| 1; 2 |] in
+  ignore (Emio.Store.read store id);
+  Emio.Store.write store id [| 9; 8 |];
+  let before = b.Counting_backend.phys_reads in
+  Alcotest.(check (array int)) "read after write sees new payload" [| 9; 8 |]
+    (Emio.Store.read store id);
+  check "write invalidated the decoded copy" (before + 1)
+    b.Counting_backend.phys_reads;
+  (* and the caller's array was not aliased into the cache *)
+  let a = [| 5; 6 |] in
+  Emio.Store.write store id a;
+  a.(0) <- 42;
+  Alcotest.(check (array int)) "no aliasing of the written array" [| 5; 6 |]
+    (Emio.Store.read store id)
+
+let test_decoded_cache_drop () =
+  let store, b = counting_store ~cache_blocks:4 in
+  let id = Emio.Store.alloc store [| 1 |] in
+  ignore (Emio.Store.read store id);
+  ignore (Emio.Store.read store id);
+  Emio.Store.drop_cache store;
+  let before = b.Counting_backend.phys_reads in
+  ignore (Emio.Store.read store id);
+  check "drop_cache forgets decoded payloads" (before + 1)
+    b.Counting_backend.phys_reads
+
+let test_decoded_cache_disabled () =
+  (* cache_blocks = 0 (the golden-table configuration): every read
+     reaches the backend. *)
+  let store, b = counting_store ~cache_blocks:0 in
+  let id = Emio.Store.alloc store [| 1 |] in
+  ignore (Emio.Store.read store id);
+  ignore (Emio.Store.read store id);
+  ignore (Emio.Store.read store id);
+  check "cold cache: one backend read per Store.read" 3
+    b.Counting_backend.phys_reads
+
+(* ---- with_ejected: access guard and restoration ---- *)
+
+let test_with_ejected_guard () =
+  let stats = Emio.Io_stats.create () in
+  let store = Emio.Store.create ~stats ~block_size:4 () in
+  let id = Emio.Store.alloc store [| 1; 2 |] in
+  Emio.Store.with_ejected store (fun () ->
+      check "blocks_used still answerable" 1 (Emio.Store.blocks_used store);
+      (match Emio.Store.read store id with
+      | _ -> Alcotest.fail "read during with_ejected must raise"
+      | exception Failure msg ->
+          Alcotest.(check string)
+            "read error names the op" "Store: read during with_ejected" msg);
+      (match Emio.Store.write store id [| 9 |] with
+      | () -> Alcotest.fail "write during with_ejected must raise"
+      | exception Failure _ -> ());
+      match Emio.Store.alloc store [| 9 |] with
+      | _ -> Alcotest.fail "alloc during with_ejected must raise"
+      | exception Failure _ -> ());
+  Alcotest.(check (array int)) "contents restored" [| 1; 2 |]
+    (Emio.Store.read store id);
+  (* restored on the exception path too *)
+  (try Emio.Store.with_ejected store (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (array int)) "restored after exception" [| 1; 2 |]
+    (Emio.Store.read store id)
+
+(* ---- percentile: nearest-rank edge cases ---- *)
+
+let test_percentile () =
+  check "singleton p=0" 7 (Query_engine.percentile 0. [ 7 ]);
+  check "singleton p=1" 7 (Query_engine.percentile 1. [ 7 ]);
+  check "singleton p=0.5" 7 (Query_engine.percentile 0.5 [ 7 ]);
+  let xs = [ 5; 1; 4; 2; 3 ] in
+  check "p=0 is the minimum" 1 (Query_engine.percentile 0. xs);
+  check "p=1 is the maximum" 5 (Query_engine.percentile 1. xs);
+  check "median of five" 3 (Query_engine.percentile 0.5 xs);
+  (* nearest rank: ceil(0.9 * 5) = 5th of the sorted sample *)
+  check "p=0.9 of five" 5 (Query_engine.percentile 0.9 xs);
+  check "p=0.2 of five" 1 (Query_engine.percentile 0.2 xs);
+  (match Query_engine.percentile 0.5 [] with
+  | _ -> Alcotest.fail "empty sample must raise"
+  | exception Invalid_argument _ -> ());
+  (match Query_engine.percentile 1.5 [ 1 ] with
+  | _ -> Alcotest.fail "p > 1 must raise"
+  | exception Invalid_argument _ -> ());
+  match Query_engine.percentile (-0.1) [ 1 ] with
+  | _ -> Alcotest.fail "p < 0 must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---- batch execution: parallel runs must report the exact
+   sequential per-query costs (reads, writes, hits, result) ---- *)
+
+let batch_equivalence_case (module M : Index.S) () =
+  let dim = List.hd M.dims in
+  let rng = Workload.rng (300 + Hashtbl.hash M.name mod 89) in
+  let ds = Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n:512
+      (module M : Index.S)
+  in
+  let qs = Array.of_list
+      (Workloads.queries rng ds ~fraction:0.05 ~count:8)
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Index.build (module M) ~params:Index.default_params ~stats ds in
+  let seq = Query_engine.run_batch_array t qs in
+  check "one cost record per query" (Array.length qs) (Array.length seq);
+  if not Par.available then
+    (* 4.14 build: ~domains is a documented no-op; just make sure the
+       request is accepted. *)
+    Alcotest.(check bool)
+      "domains request accepted on a sequential build" true
+      (Query_engine.run_batch_array ~domains:4 t qs = seq)
+  else begin
+    let par = Query_engine.run_batch_array ~domains:4 t qs in
+    Array.iteri
+      (fun i (c : Query_engine.cost) ->
+        let p = par.(i) in
+        check (Printf.sprintf "%s query %d: reads" M.name i) c.reads p.reads;
+        check (Printf.sprintf "%s query %d: writes" M.name i) c.writes
+          p.writes;
+        check (Printf.sprintf "%s query %d: hits" M.name i) c.hits p.hits;
+        check (Printf.sprintf "%s query %d: result" M.name i) c.result
+          p.result)
+      seq
+  end
+
+let batch_equivalence_tests =
+  List.map
+    (fun (module M : Index.S) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: parallel costs = sequential" M.name)
+        `Quick
+        (batch_equivalence_case (module M : Index.S)))
+    (Registry.all ())
+
+let () =
+  Alcotest.run "query_engine"
+    [
+      ( "reporter",
+        [
+          Alcotest.test_case "basics" `Quick test_reporter_basics;
+          Alcotest.test_case "mark/truncate/rewrite" `Quick
+            test_reporter_mark_truncate_rewrite;
+        ] );
+      ( "decoded cache",
+        [
+          Alcotest.test_case "re-read hits" `Quick test_decoded_cache_hits;
+          Alcotest.test_case "eviction" `Quick test_decoded_cache_eviction;
+          Alcotest.test_case "write invalidates" `Quick
+            test_decoded_cache_write_invalidates;
+          Alcotest.test_case "drop_cache" `Quick test_decoded_cache_drop;
+          Alcotest.test_case "disabled at 0" `Quick
+            test_decoded_cache_disabled;
+        ] );
+      ( "ejection",
+        [ Alcotest.test_case "with_ejected guard" `Quick
+            test_with_ejected_guard ] );
+      ( "percentile",
+        [ Alcotest.test_case "nearest rank" `Quick test_percentile ] );
+      ("batch", batch_equivalence_tests);
+    ]
