@@ -59,7 +59,10 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend points =
         ps)
     cells;
   let store_dir = Emio.Store.create ~stats ~block_size ~cache_blocks () in
-  let store_b = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let store_b =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:Point2.codec
+      ?backend ()
+  in
   {
     directory = Emio.Run.of_array store_dir dir;
     buckets = Emio.Run.of_array store_b (Array.of_list (List.rev !flat));
@@ -131,3 +134,99 @@ let query_window t w =
       else if Rect.intersects r w then Rect.Crossing
       else Rect.Outside)
     ~keep:(fun p -> Rect.contains w p)
+
+(* -- persistence: the bucket store is the payload; the directory run
+   (O(n/B) cells, private store) is embedded in the skeleton --------- *)
+
+type portable = {
+  gp_directory : (int * int) Emio.Run.stored;
+  gp_buckets : int array * int;
+  gp_bbox : Rect.t;
+  gp_side : int;
+  gp_dir_block : int;
+  gp_length : int;
+  gp_block_size : int;
+  gp_cache_blocks : int;
+}
+
+let to_portable t =
+  let bstore = Emio.Run.store t.buckets in
+  {
+    gp_directory = Emio.Run.to_stored t.directory;
+    gp_buckets = Emio.Run.to_portable t.buckets;
+    gp_bbox = t.bbox;
+    gp_side = t.side;
+    gp_dir_block = t.dir_block;
+    gp_length = t.length;
+    gp_block_size = Emio.Store.block_size bstore;
+    gp_cache_blocks = Emio.Store.cache_blocks bstore;
+  }
+
+let of_portable ~stats ~backend p =
+  let bstore =
+    Emio.Store.of_backend ~stats ~block_size:p.gp_block_size
+      ~cache_blocks:p.gp_cache_blocks ~codec:Point2.codec backend
+  in
+  {
+    directory = Emio.Run.of_stored ~stats p.gp_directory;
+    buckets = Emio.Run.of_portable bstore p.gp_buckets;
+    bbox = p.gp_bbox;
+    side = p.gp_side;
+    dir_block = p.gp_dir_block;
+    length = p.gp_length;
+  }
+
+let portable_codec =
+  let open Emio.Codec in
+  map
+    ~decode:(fun ((dir, bkts, bbox), (side, db), (len, bs, cb)) ->
+      { gp_directory = dir; gp_buckets = bkts; gp_bbox = bbox;
+        gp_side = side; gp_dir_block = db; gp_length = len;
+        gp_block_size = bs; gp_cache_blocks = cb })
+    ~encode:(fun p ->
+      ( (p.gp_directory, p.gp_buckets, p.gp_bbox),
+        (p.gp_side, p.gp_dir_block),
+        (p.gp_length, p.gp_block_size, p.gp_cache_blocks) ))
+    (triple
+       (triple
+          (Emio.Run.stored_codec (pair int int))
+          Emio.Run.portable_codec Rect.codec)
+       (pair int int)
+       (triple int int int))
+
+let snapshot_kind = "lcsearch.gridfile"
+
+let skeleton_codec =
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+
+let save_snapshot t ~path ?meta ?page_size () =
+  let bstore = Emio.Run.store t.buckets in
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~block_size:(Emio.Store.block_size bstore)
+    ~payload:(Emio.Store.export_bytes bstore)
+    ~skeleton:(Emio.Codec.encode skeleton_codec (to_portable t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

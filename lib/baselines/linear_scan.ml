@@ -3,7 +3,10 @@ open Geom
 type t = { run : Point2.t Emio.Run.t; length : int }
 
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend points =
-  let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let store =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:Point2.codec
+      ?backend ()
+  in
   { run = Emio.Run.of_array store points; length = Array.length points }
 
 (* Direct field access, not the Point2.x/y accessors: under dune's dev
@@ -46,7 +49,10 @@ let build_d ~stats ~block_size ?(cache_blocks = 0) ?backend ~dim points =
       if Array.length p <> dim then
         invalid_arg "Linear_scan.build_d: wrong point dimension")
     points;
-  let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let store =
+    Emio.Store.create ~stats ~block_size ~cache_blocks
+      ~codec:Partition.Cells.point_codec ?backend ()
+  in
   {
     drun = Emio.Run.of_array store points;
     ddim = dim;
@@ -74,11 +80,87 @@ let dim_d t = t.ddim
 let length_d t = t.dlength
 let space_blocks_d t = Emio.Run.block_count t.drun
 
+(* -- persistence: one snapshot kind covers both the 2-D and the
+   d-dimensional scan; a skeleton tag picks the payload codec before
+   the store is rebuilt from the backend ----------------------------- *)
+
+type any = T2 of t | Td of d
+
+type portable =
+  | Scan2_p of { run : int array * int; len : int; bs : int; cb : int }
+  | Scand_p of {
+      run : int array * int;
+      dim : int;
+      len : int;
+      bs : int;
+      cb : int;
+    }
+
+let portable_codec =
+  let open Emio.Codec in
+  map
+    ~decode:(fun (tag, run, (dim, len, bs, cb)) ->
+      match tag with
+      | 0 -> Scan2_p { run; len; bs; cb }
+      | 1 -> Scand_p { run; dim; len; bs; cb }
+      | t -> raise (Decode (Printf.sprintf "bad scan tag %d" t)))
+    ~encode:(function
+      | Scan2_p { run; len; bs; cb } -> (0, run, (2, len, bs, cb))
+      | Scand_p { run; dim; len; bs; cb } -> (1, run, (dim, len, bs, cb)))
+    (triple u8 Emio.Run.portable_codec (quad int int int int))
+
 let snapshot_kind = "lcsearch.scan"
 
-let save_snapshot t ~path ?meta ?page_size () =
+let skeleton_codec =
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+
+let save_with ~path ?meta ?page_size ~store ~portable () =
   Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
-    ~store:(Emio.Run.store t.run) ~value:t ()
+    ~block_size:(Emio.Store.block_size store)
+    ~payload:(Emio.Store.export_bytes store)
+    ~skeleton:(Emio.Codec.encode skeleton_codec portable)
+    ()
+
+let save_snapshot t ~path ?meta ?page_size () =
+  let store = Emio.Run.store t.run in
+  save_with ~path ?meta ?page_size ~store
+    ~portable:
+      (Scan2_p
+         {
+           run = Emio.Run.to_portable t.run;
+           len = t.length;
+           bs = Emio.Store.block_size store;
+           cb = Emio.Store.cache_blocks store;
+         })
+    ()
+
+let save_snapshot_d t ~path ?meta ?page_size () =
+  let store = Emio.Run.store t.drun in
+  save_with ~path ?meta ?page_size ~store
+    ~portable:
+      (Scand_p
+         {
+           run = Emio.Run.to_portable t.drun;
+           dim = t.ddim;
+           len = t.dlength;
+           bs = Emio.Store.block_size store;
+           cb = Emio.Store.cache_blocks store;
+         })
+    ()
+
+let of_portable ~stats ~backend = function
+  | Scan2_p { run; len; bs; cb } ->
+      let store =
+        Emio.Store.of_backend ~stats ~block_size:bs ~cache_blocks:cb
+          ~codec:Point2.codec backend
+      in
+      T2 { run = Emio.Run.of_portable store run; length = len }
+  | Scand_p { run; dim; len; bs; cb } ->
+      let store =
+        Emio.Store.of_backend ~stats ~block_size:bs ~cache_blocks:cb
+          ~codec:Partition.Cells.point_codec backend
+      in
+      Td { drun = Emio.Run.of_portable store run; ddim = dim; dlength = len }
 
 let of_snapshot ~stats ?policy ?cache_pages path =
   match
@@ -87,7 +169,19 @@ let of_snapshot ~stats ?policy ?cache_pages path =
   with
   | Error _ as e -> e
   | Ok opened ->
-      let t : t = opened.Diskstore.Snapshot.value in
-      Emio.Store.attach (Emio.Run.store t.run) ~stats
-        opened.Diskstore.Snapshot.backend;
-      Ok (t, opened.Diskstore.Snapshot.info)
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

@@ -51,15 +51,26 @@ val dim_d : d -> int
 val length_d : d -> int
 val space_blocks_d : d -> int
 
+(** {1 Persistence}
+
+    One snapshot kind, ["lcsearch.scan"], covers both variants: the
+    skeleton records which one was saved and {!of_snapshot} returns the
+    corresponding arm of {!any}. *)
+
+type any = T2 of t | Td of d
+
 val snapshot_kind : string
 
 val save_snapshot :
   t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+
+val save_snapshot_d :
+  d -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
 
 val of_snapshot :
   stats:Emio.Io_stats.t ->
   ?policy:Diskstore.Buffer_pool.policy ->
   ?cache_pages:int ->
   string ->
-  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result
+  (any * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result
 (** See {!Core.Halfspace2d.of_snapshot}; same snapshot contract. *)

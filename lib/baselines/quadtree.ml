@@ -32,7 +32,10 @@ let quadrants (r : Rect.t) =
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(max_depth = 40)
     points =
   if max_depth < 1 then invalid_arg "Quadtree.build: need max_depth >= 1";
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let leaves =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:Point2.codec
+      ?backend ()
+  in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let n = Array.length points in
   let bbox =
@@ -119,3 +122,109 @@ let query_count t ~slope ~icept =
   let n = ref 0 in
   query_iter t ~slope ~icept (fun _ -> incr n);
   !n
+
+(* -- persistence: leaves are the payload; the quadrant blocks ride in
+   the skeleton ------------------------------------------------------ *)
+
+let node_ref_codec =
+  Emio.Codec.map
+    ~decode:(fun (tag, id) ->
+      match tag with
+      | 0 -> Leaf id
+      | 1 -> Node id
+      | t -> raise (Emio.Codec.Decode (Printf.sprintf "bad node_ref tag %d" t)))
+    ~encode:(function Leaf id -> (0, id) | Node id -> (1, id))
+    Emio.Codec.(pair u8 int)
+
+let child_codec =
+  Emio.Codec.map
+    ~decode:(fun (quadrant, sub) -> { quadrant; sub })
+    ~encode:(fun c -> (c.quadrant, c.sub))
+    Emio.Codec.(pair Rect.codec (option node_ref_codec))
+
+type portable = {
+  qp_internal_blocks : child array array;
+  qp_root : node_ref option;
+  qp_bbox : Rect.t;
+  qp_length : int;
+  qp_max_depth_seen : int;
+  qp_block_size : int;
+  qp_cache_blocks : int;
+}
+
+let to_portable t =
+  {
+    qp_internal_blocks = Emio.Store.to_blocks t.internals;
+    qp_root = t.root;
+    qp_bbox = t.bbox;
+    qp_length = t.length;
+    qp_max_depth_seen = t.max_depth_seen;
+    qp_block_size = Emio.Store.block_size t.leaves;
+    qp_cache_blocks = Emio.Store.cache_blocks t.leaves;
+  }
+
+let of_portable ~stats ~backend p =
+  let block_size = p.qp_block_size and cache_blocks = p.qp_cache_blocks in
+  {
+    leaves =
+      Emio.Store.of_backend ~stats ~block_size ~cache_blocks
+        ~codec:Point2.codec backend;
+    internals =
+      Emio.Store.of_blocks ~stats ~block_size ~cache_blocks
+        p.qp_internal_blocks;
+    root = p.qp_root;
+    bbox = p.qp_bbox;
+    length = p.qp_length;
+    max_depth_seen = p.qp_max_depth_seen;
+  }
+
+let portable_codec =
+  let open Emio.Codec in
+  map
+    ~decode:(fun ((ib, root, bbox), (len, d), (bs, cb)) ->
+      { qp_internal_blocks = ib; qp_root = root; qp_bbox = bbox;
+        qp_length = len; qp_max_depth_seen = d; qp_block_size = bs;
+        qp_cache_blocks = cb })
+    ~encode:(fun p ->
+      ( (p.qp_internal_blocks, p.qp_root, p.qp_bbox),
+        (p.qp_length, p.qp_max_depth_seen),
+        (p.qp_block_size, p.qp_cache_blocks) ))
+    (triple
+       (triple (array (array child_codec)) (option node_ref_codec) Rect.codec)
+       (pair int int) (pair int int))
+
+let snapshot_kind = "lcsearch.quadtree"
+
+let skeleton_codec =
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~block_size:(Emio.Store.block_size t.leaves)
+    ~payload:(Emio.Store.export_bytes t.leaves)
+    ~skeleton:(Emio.Codec.encode skeleton_codec (to_portable t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

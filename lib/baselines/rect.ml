@@ -50,3 +50,9 @@ let classify r ~slope ~icept =
 
 let intersects a b =
   a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+
+let codec =
+  Emio.Codec.map
+    ~decode:(fun (x0, y0, x1, y1) -> { x0; y0; x1; y1 })
+    ~encode:(fun r -> (r.x0, r.y0, r.x1, r.y1))
+    Emio.Codec.(quad float float float float)

@@ -20,3 +20,6 @@ val classify : t -> slope:float -> icept:float -> side
     consistent with the point predicate [y ≤ slope·x + icept + eps]. *)
 
 val intersects : t -> t -> bool
+
+val codec : t Emio.Codec.t
+(** Four IEEE-754 floats (x0, y0, x1, y1). *)

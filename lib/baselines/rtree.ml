@@ -98,7 +98,10 @@ let str_pack ~block_size points =
 
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(packing = Str)
     points =
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let leaves =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:Point2.codec
+      ?backend ()
+  in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   if Array.length points = 0 then
     {
@@ -289,22 +292,109 @@ let query_window t w =
 
 (* Persistence: the leaf store is the snapshot payload; the internal
    levels (O(n/B) entries) ride in the skeleton and stay in memory,
-   like a real system pinning index nodes. *)
+   like a real system pinning index nodes.  [kind] is a parameter so
+   the Hilbert-packed variant can stamp its own snapshot kind (the
+   registry requires kinds to be injective across structures). *)
+
+let node_ref_codec =
+  Emio.Codec.map
+    ~decode:(fun (tag, id) ->
+      match tag with
+      | 0 -> Leaf id
+      | 1 -> Node id
+      | t -> raise (Emio.Codec.Decode (Printf.sprintf "bad node_ref tag %d" t)))
+    ~encode:(function Leaf id -> (0, id) | Node id -> (1, id))
+    Emio.Codec.(pair u8 int)
+
+let entry_codec =
+  Emio.Codec.map
+    ~decode:(fun (mbr, sub) -> { mbr; sub })
+    ~encode:(fun e -> (e.mbr, e.sub))
+    Emio.Codec.(pair Rect.codec node_ref_codec)
+
+type portable = {
+  rp_internal_blocks : entry array array;
+  rp_root : node_ref option;
+  rp_root_mbr : Rect.t;
+  rp_length : int;
+  rp_height : int;
+  rp_block_size : int;
+  rp_cache_blocks : int;
+}
+
+let to_portable t =
+  {
+    rp_internal_blocks = Emio.Store.to_blocks t.internals;
+    rp_root = t.root;
+    rp_root_mbr = t.root_mbr;
+    rp_length = t.length;
+    rp_height = t.height;
+    rp_block_size = Emio.Store.block_size t.leaves;
+    rp_cache_blocks = Emio.Store.cache_blocks t.leaves;
+  }
+
+let of_portable ~stats ~backend p =
+  let block_size = p.rp_block_size and cache_blocks = p.rp_cache_blocks in
+  {
+    leaves =
+      Emio.Store.of_backend ~stats ~block_size ~cache_blocks
+        ~codec:Point2.codec backend;
+    internals =
+      Emio.Store.of_blocks ~stats ~block_size ~cache_blocks
+        p.rp_internal_blocks;
+    root = p.rp_root;
+    root_mbr = p.rp_root_mbr;
+    length = p.rp_length;
+    height = p.rp_height;
+  }
+
+let portable_codec =
+  let open Emio.Codec in
+  map
+    ~decode:(fun ((ib, root, mbr), (len, h), (bs, cb)) ->
+      { rp_internal_blocks = ib; rp_root = root; rp_root_mbr = mbr;
+        rp_length = len; rp_height = h; rp_block_size = bs;
+        rp_cache_blocks = cb })
+    ~encode:(fun p ->
+      ( (p.rp_internal_blocks, p.rp_root, p.rp_root_mbr),
+        (p.rp_length, p.rp_height),
+        (p.rp_block_size, p.rp_cache_blocks) ))
+    (triple
+       (triple (array (array entry_codec)) (option node_ref_codec) Rect.codec)
+       (pair int int) (pair int int))
 
 let snapshot_kind = "lcsearch.rtree"
 
-let save_snapshot t ~path ?meta ?page_size () =
-  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
-    ~store:t.leaves ~value:t ()
+let skeleton_codec ~kind =
+  Emio.Codec.versioned ~magic:kind ~version:1 portable_codec
 
-let of_snapshot ~stats ?policy ?cache_pages path =
+let save_snapshot t ~path ?(kind = snapshot_kind) ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind ?meta ?page_size
+    ~block_size:(Emio.Store.block_size t.leaves)
+    ~payload:(Emio.Store.export_bytes t.leaves)
+    ~skeleton:(Emio.Codec.encode (skeleton_codec ~kind) (to_portable t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages ?(kind = snapshot_kind) path =
   match
     Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
-      ~expect_kind:snapshot_kind ()
+      ~expect_kind:kind ()
   with
   | Error _ as e -> e
   | Ok opened ->
-      let t : t = opened.Diskstore.Snapshot.value in
-      Emio.Store.attach t.leaves ~stats opened.Diskstore.Snapshot.backend;
-      Emio.Store.set_stats t.internals stats;
-      Ok (t, opened.Diskstore.Snapshot.info)
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton (skeleton_codec ~kind)
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

@@ -36,16 +36,27 @@ val length : t -> int
 val height : t -> int
 
 val snapshot_kind : string
+(** ["lcsearch.rtree"], the default [kind] below. *)
 
 val save_snapshot :
-  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+  t ->
+  path:string ->
+  ?kind:string ->
+  ?meta:string ->
+  ?page_size:int ->
+  unit ->
+  unit
 (** Leaf blocks become payload pages; internal levels ride in the
-    skeleton (pinned in memory when reopened). *)
+    skeleton (pinned in memory when reopened).  [kind] lets packing
+    variants stamp their own snapshot kind (e.g.
+    ["lcsearch.rtree-hilbert"]). *)
 
 val of_snapshot :
   stats:Emio.Io_stats.t ->
   ?policy:Diskstore.Buffer_pool.policy ->
   ?cache_pages:int ->
+  ?kind:string ->
   string ->
   (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result
-(** See {!Core.Halfspace2d.of_snapshot}; same snapshot contract. *)
+(** See {!Core.Halfspace2d.of_snapshot}; same snapshot contract.
+    [kind] must match the kind the file was saved with. *)

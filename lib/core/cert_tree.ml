@@ -38,6 +38,33 @@ let space_blocks t =
 
 let point3_of it = Point3.make it.px it.py it.pz
 
+let item_codec =
+  Emio.Codec.map
+    ~decode:(fun ((px, py, pz), pid) -> { px; py; pz; pid })
+    ~encode:(fun it -> ((it.px, it.py, it.pz), it.pid))
+    Emio.Codec.(pair (triple float float float) int)
+
+let node_ref_codec =
+  Emio.Codec.map
+    ~decode:(fun (tag, id) ->
+      match tag with
+      | 0 -> Leaf id
+      | 1 -> Node id
+      | t -> raise (Emio.Codec.Decode (Printf.sprintf "bad node_ref tag %d" t)))
+    ~encode:(function Leaf id -> (0, id) | Node id -> (1, id))
+    Emio.Codec.(pair u8 int)
+
+let child_codec =
+  Emio.Codec.map
+    ~decode:(fun ((cell, sub), (lo_start, lo_len), (up_start, up_len)) ->
+      { cell; sub; lo_start; lo_len; up_start; up_len })
+    ~encode:(fun c ->
+      ((c.cell, c.sub), (c.lo_start, c.lo_len), (c.up_start, c.up_len)))
+    Emio.Codec.(
+      triple
+        (pair Cells.cell_codec node_ref_codec)
+        (pair int int) (pair int int))
+
 (* Lower and upper hull vertex sets of a point set, or the whole set
    when it is small, or None when the hulls exceed the cap. *)
 let certificates ~cert_cap (items : item array) =
@@ -83,7 +110,9 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?cert_cap points =
     | Some c -> max 4 c
     | None -> 2 * block_size
   in
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let leaves =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:item_codec ()
+  in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let cert_store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let cert_buffer : Point3.t list ref = ref [] in
@@ -214,3 +243,107 @@ let query_count t ~a0 ~a =
   let n = ref 0 in
   query_iter t ~a0 ~a (fun _ -> incr n);
   !n
+
+let points t =
+  let out = Array.make t.length (Point3.make 0. 0. 0.) in
+  for i = 0 to Emio.Store.blocks_used t.leaves - 1 do
+    Array.iter
+      (fun it -> out.(it.pid) <- point3_of it)
+      (Emio.Store.read t.leaves i)
+  done;
+  out
+
+(* -- persistence: leaves are the payload; internals and the
+   certificate run (fully embedded, its store is private) ride in the
+   skeleton ---------------------------------------------------------- *)
+
+type portable = {
+  cp_internal_blocks : child array array;
+  cp_certs : Point3.t Emio.Run.stored;
+  cp_root : node_ref option;
+  cp_length : int;
+  cp_cert_items : int;
+  cp_block_size : int;
+  cp_cache_blocks : int;
+}
+
+let to_portable t =
+  {
+    cp_internal_blocks = Emio.Store.to_blocks t.internals;
+    cp_certs = Emio.Run.to_stored t.certs;
+    cp_root = t.root;
+    cp_length = t.length;
+    cp_cert_items = t.cert_items;
+    cp_block_size = Emio.Store.block_size t.leaves;
+    cp_cache_blocks = Emio.Store.cache_blocks t.leaves;
+  }
+
+let of_portable ~stats ~backend p =
+  let block_size = p.cp_block_size and cache_blocks = p.cp_cache_blocks in
+  {
+    leaves =
+      Emio.Store.of_backend ~stats ~block_size ~cache_blocks ~codec:item_codec
+        backend;
+    internals =
+      Emio.Store.of_blocks ~stats ~block_size ~cache_blocks
+        p.cp_internal_blocks;
+    certs = Emio.Run.of_stored ~stats p.cp_certs;
+    root = p.cp_root;
+    length = p.cp_length;
+    cert_items = p.cp_cert_items;
+    visited = 0;
+  }
+
+let portable_codec =
+  let open Emio.Codec in
+  map
+    ~decode:(fun ((ib, certs), (root, len, ci), (bs, cb)) ->
+      { cp_internal_blocks = ib; cp_certs = certs; cp_root = root;
+        cp_length = len; cp_cert_items = ci; cp_block_size = bs;
+        cp_cache_blocks = cb })
+    ~encode:(fun p ->
+      ( (p.cp_internal_blocks, p.cp_certs),
+        (p.cp_root, p.cp_length, p.cp_cert_items),
+        (p.cp_block_size, p.cp_cache_blocks) ))
+    (triple
+       (pair
+          (array (array child_codec))
+          (Emio.Run.stored_codec Geom.Point3.codec))
+       (triple (option node_ref_codec) int int)
+       (pair int int))
+
+let snapshot_kind = "lcsearch.cert"
+
+let skeleton_codec =
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~block_size:(Emio.Store.block_size t.leaves)
+    ~payload:(Emio.Store.export_bytes t.leaves)
+    ~skeleton:(Emio.Codec.encode skeleton_codec (to_portable t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

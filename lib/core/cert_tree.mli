@@ -55,3 +55,21 @@ val last_visited_nodes : t -> int
 val certificate_items : t -> int
 (** Total certificate points stored (the space overhead beyond the
     plain §5 tree). *)
+
+val points : t -> Geom.Point3.t array
+(** The build-time points, re-read from the leaf blocks in pid order. *)
+
+(** {2 Persistence} *)
+
+val snapshot_kind : string
+(** ["lcsearch.cert"]. *)
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result

@@ -88,8 +88,17 @@ let dedupe points =
   |> Array.of_list
   |> Array.mapi (fun id e -> { e with id })
 
+let entry_codec =
+  Emio.Codec.map
+    ~decode:(fun ((id, slope, icept), points) -> { id; slope; icept; points })
+    ~encode:(fun e -> ((e.id, e.slope, e.icept), e.points))
+    Emio.Codec.(pair (triple int float float) (array Point2.codec))
+
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(seed = 0) points =
-  let store = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let store =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:entry_codec
+      ?backend ()
+  in
   let beta = compute_beta ~block_size (Array.length points) in
   let rng = Random.State.make [| seed; 0x2d; Array.length points |] in
   let deduped = dedupe points in
@@ -259,13 +268,122 @@ let query_count t ~slope ~icept =
   !n
 
 (* Persistence: the entry store is the snapshot payload; layer lists
-   and the per-layer boundary B-trees ride in the skeleton. *)
+   and the per-layer boundary B-trees ride in the skeleton as a
+   closure-free record (runs become block ids, B-trees their portable
+   form — the key comparator is [compare], reapplied at load). *)
 
 let snapshot_kind = "lcsearch.h2"
 
+type layer_p =
+  | Clustered_p of {
+      cp_lambda : int;
+      cp_clusters : (int array * int) array;
+      cp_btree : (float, int) Xbtree.Btree.portable;
+    }
+  | Scan_p of (int array * int)
+
+type skeleton = {
+  sk_layers : layer_p array;
+  sk_length : int;
+  sk_block_size : int;
+  sk_cache_blocks : int;
+  sk_beta : int;
+  sk_scratch : int;
+}
+
+let skeleton_codec =
+  let open Emio.Codec in
+  let layer_codec =
+    custom
+      ~write:(fun buf -> function
+        | Clustered_p { cp_lambda; cp_clusters; cp_btree } ->
+            write_u8 buf 0;
+            write int buf cp_lambda;
+            write (array Emio.Run.portable_codec) buf cp_clusters;
+            write (Xbtree.Btree.portable_codec float int) buf cp_btree
+        | Scan_p run ->
+            write_u8 buf 1;
+            write Emio.Run.portable_codec buf run)
+      ~read:(fun b pos ->
+        match read_u8 b pos with
+        | 0 ->
+            let cp_lambda = read int b pos in
+            let cp_clusters = read (array Emio.Run.portable_codec) b pos in
+            let cp_btree = read (Xbtree.Btree.portable_codec float int) b pos in
+            Clustered_p { cp_lambda; cp_clusters; cp_btree }
+        | 1 -> Scan_p (read Emio.Run.portable_codec b pos)
+        | t -> raise (Decode (Printf.sprintf "bad h2 layer tag %d" t)))
+  in
+  versioned ~magic:snapshot_kind ~version:1
+    (map
+       ~decode:(fun (sk_layers, (sk_length, sk_block_size, sk_cache_blocks),
+                     (sk_beta, sk_scratch)) ->
+         { sk_layers; sk_length; sk_block_size; sk_cache_blocks; sk_beta;
+           sk_scratch })
+       ~encode:(fun sk ->
+         ( sk.sk_layers,
+           (sk.sk_length, sk.sk_block_size, sk.sk_cache_blocks),
+           (sk.sk_beta, sk.sk_scratch) ))
+       (triple (array layer_codec) (triple int int int) (pair int int)))
+
+let to_skeleton t =
+  {
+    sk_layers =
+      Array.map
+        (function
+          | Clustered { lambda; clusters; btree } ->
+              Clustered_p
+                {
+                  cp_lambda = lambda;
+                  cp_clusters = Array.map Emio.Run.to_portable clusters;
+                  cp_btree = Xbtree.Btree.to_portable btree;
+                }
+          | Scan run -> Scan_p (Emio.Run.to_portable run))
+        t.layer_list;
+    sk_length = t.length;
+    sk_block_size = t.block_size;
+    sk_cache_blocks = Emio.Store.cache_blocks t.store;
+    sk_beta = t.beta;
+    sk_scratch = Array.length t.reported_at;
+  }
+
+let of_skeleton ~stats ~backend sk =
+  let store =
+    Emio.Store.of_backend ~stats ~block_size:sk.sk_block_size
+      ~cache_blocks:sk.sk_cache_blocks ~codec:entry_codec backend
+  in
+  {
+    store;
+    layer_list =
+      Array.map
+        (function
+          | Clustered_p { cp_lambda; cp_clusters; cp_btree } ->
+              Clustered
+                {
+                  lambda = cp_lambda;
+                  clusters =
+                    Array.map (Emio.Run.of_portable store) cp_clusters;
+                  btree =
+                    Xbtree.Btree.of_portable ~stats ~cmp:compare cp_btree;
+                }
+          | Scan_p run -> Scan (Emio.Run.of_portable store run))
+        sk.sk_layers;
+    length = sk.sk_length;
+    block_size = sk.sk_block_size;
+    beta = sk.sk_beta;
+    last_clusters_visited = 0;
+    last_layers_visited = 0;
+    reported_at = Array.make (max 1 sk.sk_scratch) 0;
+    above_at = Array.make (max 1 sk.sk_scratch) 0;
+    epoch = 0;
+  }
+
 let save_snapshot t ~path ?meta ?page_size () =
   Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
-    ~store:t.store ~value:t ()
+    ~block_size:t.block_size
+    ~payload:(Emio.Store.export_bytes t.store)
+    ~skeleton:(Emio.Codec.encode skeleton_codec (to_skeleton t))
+    ()
 
 let of_snapshot ~stats ?policy ?cache_pages path =
   match
@@ -274,11 +392,21 @@ let of_snapshot ~stats ?policy ?cache_pages path =
   with
   | Error _ as e -> e
   | Ok opened ->
-      let t : t = opened.Diskstore.Snapshot.value in
-      Emio.Store.attach t.store ~stats opened.Diskstore.Snapshot.backend;
-      Array.iter
-        (function
-          | Clustered { btree; _ } -> Xbtree.Btree.relink_stats btree stats
-          | Scan _ -> ())
-        t.layer_list;
-      Ok (t, opened.Diskstore.Snapshot.info)
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok sk ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                let t =
+                  of_skeleton ~stats ~backend:opened.Diskstore.Snapshot.backend
+                    sk
+                in
+                (t, opened.Diskstore.Snapshot.info))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

@@ -73,3 +73,71 @@ let query_count t ~a ~b ~c =
     in
     go t.beta
   end
+
+let points t = t.points
+
+(* -- persistence -------------------------------------------------- *)
+
+type portable = {
+  hp_lp : Lowest_planes.portable;
+  hp_points : Point3.t array;
+  hp_beta : int;
+}
+
+let to_portable ?(embed_payload = true) t =
+  {
+    hp_lp = Lowest_planes.to_portable ~embed_payload t.lp;
+    hp_points = t.points;
+    hp_beta = t.beta;
+  }
+
+let of_portable ~stats ?backend p =
+  {
+    lp = Lowest_planes.of_portable ~stats ?backend p.hp_lp;
+    points = p.hp_points;
+    beta = p.hp_beta;
+  }
+
+let portable_codec =
+  Emio.Codec.map
+    ~decode:(fun (hp_lp, hp_points, hp_beta) -> { hp_lp; hp_points; hp_beta })
+    ~encode:(fun p -> (p.hp_lp, p.hp_points, p.hp_beta))
+    Emio.Codec.(
+      triple Lowest_planes.portable_codec (array Point3.codec) int)
+
+let snapshot_kind = "lcsearch.h3"
+
+let skeleton_codec =
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~block_size:(Lowest_planes.payload_block_size t.lp)
+    ~payload:(Lowest_planes.export_payload t.lp)
+    ~skeleton:
+      (Emio.Codec.encode skeleton_codec (to_portable ~embed_payload:false t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

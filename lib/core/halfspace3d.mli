@@ -43,3 +43,36 @@ val space_blocks : t -> int
 
 val fallbacks : t -> int
 (** Queries that used the exact full-scan fallback. *)
+
+val points : t -> Geom.Point3.t array
+(** The build-time point array ([query_ids] indices point into it). *)
+
+(** {2 Persistence} *)
+
+type portable
+
+val to_portable : ?embed_payload:bool -> t -> portable
+(** Plain-data form; with [~embed_payload:false] (the snapshot case)
+    the all-planes payload must come back through [of_portable]'s
+    [backend]. *)
+
+val of_portable :
+  stats:Emio.Io_stats.t ->
+  ?backend:Emio.Store_intf.backend ->
+  portable ->
+  t
+
+val portable_codec : portable Emio.Codec.t
+
+val snapshot_kind : string
+(** ["lcsearch.h3"]. *)
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result

@@ -151,6 +151,19 @@ let compute_beta ~block_size n_points =
   let b = float_of_int block_size in
   max 1 (int_of_float (ceil (b *. max 1. (log_base b nb))))
 
+let kitem_codec =
+  Emio.Codec.map
+    ~decode:(fun (kid, ka, kb, kc) -> { kid; ka; kb; kc })
+    ~encode:(fun k -> (k.kid, k.ka, k.kb, k.kc))
+    Emio.Codec.(quad int float float float)
+
+let payload_codec =
+  Emio.Codec.map
+    ~decode:(fun ((plane_id, kstart, klen), (pa, pb, pc)) ->
+      { plane_id; pa; pb; pc; kstart; klen })
+    ~encode:(fun p -> ((p.plane_id, p.kstart, p.klen), (p.pa, p.pb, p.pc)))
+    Emio.Codec.(pair (triple int int int) (triple float float float))
+
 let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
     ?(clip = (-1000., -1000., 1000., 1000.)) ?(use_segtree = false) planes =
   if copies < 1 then invalid_arg "Lowest_planes.build: need copies >= 1";
@@ -158,7 +171,9 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
    if not (x0 < x1 && y0 < y1) then
      invalid_arg "Lowest_planes.build: empty clip box");
   let n = Array.length planes in
-  let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let store =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:kitem_codec ()
+  in
   let all_planes =
     Emio.Run.of_array store (Array.init n (kitem_of planes))
   in
@@ -311,3 +326,140 @@ let k_lowest_into t ~x ~y ~k ~threshold r =
       end)
     arr;
   (!pushed, Array.length arr)
+
+(* -- persistence -------------------------------------------------- *)
+
+(* The portable form of a layer embeds everything: the locator
+   portable and the conflicts run with its private store's blocks. *)
+type layer_p = {
+  lp_sample_size : int;
+  lp_locator : locator_p;
+  lp_conflicts : kitem Emio.Run.stored;
+}
+
+and locator_p =
+  | Grid_p of payload Pointloc.Grid.portable
+  | Seg_p of payload Pointloc.Seg_tree.portable
+
+type portable = {
+  pt_n : int;
+  pt_beta : int;
+  pt_clip : float * float * float * float;
+  pt_copies : layer_p option array array;
+  pt_all : int array * int;
+  (* Some: the all-planes store's blocks ride inside this portable
+     (the embedded case, e.g. a tradeoff leaf).  None: they are the
+     enclosing snapshot's payload, revived from its backend. *)
+  pt_all_blocks : kitem array array option;
+  pt_all_block_size : int;
+  pt_all_cache : int;
+}
+
+let to_portable ?(embed_payload = true) t =
+  let all_store = Emio.Run.store t.all_planes in
+  {
+    pt_n = t.n;
+    pt_beta = t.beta;
+    pt_clip = t.clip;
+    pt_copies =
+      Array.map
+        (fun c ->
+          Array.map
+            (Option.map (fun l ->
+                 {
+                   lp_sample_size = l.sample_size;
+                   lp_locator =
+                     (match l.locator with
+                     | Grid g -> Grid_p (Pointloc.Grid.to_portable g)
+                     | Segtree st -> Seg_p (Pointloc.Seg_tree.to_portable st));
+                   lp_conflicts = Emio.Run.to_stored l.conflicts;
+                 }))
+            c.layers)
+        t.copies;
+    pt_all = Emio.Run.to_portable t.all_planes;
+    pt_all_blocks =
+      (if embed_payload then Some (Emio.Store.to_blocks all_store) else None);
+    pt_all_block_size = Emio.Store.block_size all_store;
+    pt_all_cache = Emio.Store.cache_blocks all_store;
+  }
+
+let of_portable ~stats ?backend p =
+  let all_store =
+    match (p.pt_all_blocks, backend) with
+    | Some blocks, _ ->
+        Emio.Store.of_blocks ~stats ~block_size:p.pt_all_block_size
+          ~cache_blocks:p.pt_all_cache ~codec:kitem_codec blocks
+    | None, Some backend ->
+        Emio.Store.of_backend ~stats ~block_size:p.pt_all_block_size
+          ~cache_blocks:p.pt_all_cache ~codec:kitem_codec backend
+    | None, None ->
+        invalid_arg "Lowest_planes.of_portable: payload not embedded, need backend"
+  in
+  {
+    n = p.pt_n;
+    beta = p.pt_beta;
+    clip = p.pt_clip;
+    copies =
+      Array.map
+        (fun layers ->
+          {
+            layers =
+              Array.map
+                (Option.map (fun l ->
+                     {
+                       sample_size = l.lp_sample_size;
+                       locator =
+                         (match l.lp_locator with
+                         | Grid_p g -> Grid (Pointloc.Grid.of_portable ~stats g)
+                         | Seg_p st ->
+                             Segtree (Pointloc.Seg_tree.of_portable ~stats st));
+                       conflicts = Emio.Run.of_stored ~stats l.lp_conflicts;
+                     }))
+                layers;
+          })
+        p.pt_copies;
+    all_planes = Emio.Run.of_portable all_store p.pt_all;
+    fallback_count = 0;
+  }
+
+let portable_codec =
+  let open Emio.Codec in
+  let locator_codec =
+    custom
+      ~write:(fun buf -> function
+        | Grid_p g ->
+            write_u8 buf 0;
+            write (Pointloc.Grid.portable_codec payload_codec) buf g
+        | Seg_p st ->
+            write_u8 buf 1;
+            write (Pointloc.Seg_tree.portable_codec payload_codec) buf st)
+      ~read:(fun b pos ->
+        match read_u8 b pos with
+        | 0 -> Grid_p (read (Pointloc.Grid.portable_codec payload_codec) b pos)
+        | 1 ->
+            Seg_p (read (Pointloc.Seg_tree.portable_codec payload_codec) b pos)
+        | t -> raise (Decode (Printf.sprintf "bad locator tag %d" t)))
+  in
+  let layer_codec =
+    map
+      ~decode:(fun (lp_sample_size, lp_locator, lp_conflicts) ->
+        { lp_sample_size; lp_locator; lp_conflicts })
+      ~encode:(fun l -> (l.lp_sample_size, l.lp_locator, l.lp_conflicts))
+      (triple int locator_codec (Emio.Run.stored_codec kitem_codec))
+  in
+  map
+    ~decode:(fun ((pt_n, pt_beta, pt_clip), (pt_copies, pt_all),
+                  (pt_all_blocks, pt_all_block_size, pt_all_cache)) ->
+      { pt_n; pt_beta; pt_clip; pt_copies; pt_all; pt_all_blocks;
+        pt_all_block_size; pt_all_cache })
+    ~encode:(fun p ->
+      ( (p.pt_n, p.pt_beta, p.pt_clip),
+        (p.pt_copies, p.pt_all),
+        (p.pt_all_blocks, p.pt_all_block_size, p.pt_all_cache) ))
+    (triple
+       (triple int int (quad float float float float))
+       (pair (array (array (option layer_codec))) Emio.Run.portable_codec)
+       (triple (option (array (array kitem_codec))) int int))
+
+let export_payload t = Emio.Store.export_bytes (Emio.Run.store t.all_planes)
+let payload_block_size t = Emio.Store.block_size (Emio.Run.store t.all_planes)

@@ -68,3 +68,33 @@ val fallbacks : t -> int
 (** How many queries have resorted to the full-scan fallback — the
     benches report this to show the retry protocol almost never
     degenerates. *)
+
+(** {2 Persistence}
+
+    A [portable] is the whole structure as plain data: every layer's
+    locator, conflict lists, and (optionally) the all-planes run's
+    blocks.  When this structure is itself the snapshot's root (the h3
+    index), the all-planes store becomes the snapshot payload instead:
+    pass [~embed_payload:false] and write {!export_payload} as the
+    payload section, then revive with [?backend]. *)
+
+type portable
+
+val to_portable : ?embed_payload:bool -> t -> portable
+(** [embed_payload] defaults to [true] (fully self-contained). *)
+
+val of_portable :
+  stats:Emio.Io_stats.t ->
+  ?backend:Emio.Store_intf.backend ->
+  portable ->
+  t
+(** @raise Invalid_argument if the payload was not embedded and no
+    [backend] is given. *)
+
+val portable_codec : portable Emio.Codec.t
+
+val export_payload : t -> bytes array
+(** The all-planes store's blocks, codec-encoded — a snapshot payload
+    section. *)
+
+val payload_block_size : t -> int

@@ -29,6 +29,28 @@ let partition_of = function
   | Simplicial -> Partitioner.simplicial
   | Shallow -> Partitioner.shallow
 
+let item_codec =
+  Emio.Codec.map
+    ~decode:(fun (coords, pid) -> { coords; pid })
+    ~encode:(fun it -> (it.coords, it.pid))
+    Emio.Codec.(pair Cells.point_codec int)
+
+let node_ref_codec =
+  Emio.Codec.map
+    ~decode:(fun (tag, id) ->
+      match tag with
+      | 0 -> Leaf id
+      | 1 -> Node id
+      | t -> raise (Emio.Codec.Decode (Printf.sprintf "bad node_ref tag %d" t)))
+    ~encode:(function Leaf id -> (0, id) | Node id -> (1, id))
+    Emio.Codec.(pair u8 int)
+
+let child_codec =
+  Emio.Codec.map
+    ~decode:(fun (cell, sub) -> { cell; sub })
+    ~encode:(fun c -> (c.cell, c.sub))
+    Emio.Codec.(pair Cells.cell_codec node_ref_codec)
+
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(partitioner = Kd)
     ~dim points =
   Array.iter
@@ -36,7 +58,10 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(partitioner = Kd)
       if Array.length p <> dim then
         invalid_arg "Partition_tree.build: wrong point dimension")
     points;
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let leaves =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:item_codec
+      ?backend ()
+  in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let partition = partition_of partitioner in
   let rec build_node (items : item array) =
@@ -155,3 +180,113 @@ let query_halfspace_iter t ~a0 ~a report =
 
 let query_halfspace_count t ~a0 ~a =
   query_simplex_count t [ halfspace_constr t ~a0 ~a ]
+
+let points t =
+  let out = Array.make t.length [||] in
+  for i = 0 to Emio.Store.blocks_used t.leaves - 1 do
+    Array.iter (fun it -> out.(it.pid) <- it.coords) (Emio.Store.read t.leaves i)
+  done;
+  out
+
+(* -- persistence: leaves are the payload, internals ride in the
+   skeleton (or everything is embedded, for secondary trees) --------- *)
+
+type portable = {
+  tp_internal_blocks : child array array;
+  tp_root : node_ref option;
+  tp_length : int;
+  tp_dim : int;
+  tp_block_size : int;
+  tp_cache_blocks : int;
+  tp_leaf_blocks : item array array option;
+}
+
+let to_portable ?(embed_payload = true) t =
+  {
+    tp_internal_blocks = Emio.Store.to_blocks t.internals;
+    tp_root = t.root;
+    tp_length = t.length;
+    tp_dim = t.dim;
+    tp_block_size = Emio.Store.block_size t.leaves;
+    tp_cache_blocks = Emio.Store.cache_blocks t.leaves;
+    tp_leaf_blocks =
+      (if embed_payload then Some (Emio.Store.to_blocks t.leaves) else None);
+  }
+
+let of_portable ~stats ?backend p =
+  let block_size = p.tp_block_size and cache_blocks = p.tp_cache_blocks in
+  let leaves =
+    match (p.tp_leaf_blocks, backend) with
+    | Some blocks, _ ->
+        Emio.Store.of_blocks ~stats ~block_size ~cache_blocks
+          ~codec:item_codec blocks
+    | None, Some backend ->
+        Emio.Store.of_backend ~stats ~block_size ~cache_blocks
+          ~codec:item_codec backend
+    | None, None ->
+        invalid_arg
+          "Partition_tree.of_portable: payload not embedded, need backend"
+  in
+  {
+    leaves;
+    internals =
+      Emio.Store.of_blocks ~stats ~block_size ~cache_blocks
+        p.tp_internal_blocks;
+    root = p.tp_root;
+    length = p.tp_length;
+    dim = p.tp_dim;
+    visited = 0;
+  }
+
+let portable_codec =
+  let open Emio.Codec in
+  map
+    ~decode:(fun ((ib, root), (len, dim, bs), (cb, lb)) ->
+      { tp_internal_blocks = ib; tp_root = root; tp_length = len;
+        tp_dim = dim; tp_block_size = bs; tp_cache_blocks = cb;
+        tp_leaf_blocks = lb })
+    ~encode:(fun p ->
+      ( (p.tp_internal_blocks, p.tp_root),
+        (p.tp_length, p.tp_dim, p.tp_block_size),
+        (p.tp_cache_blocks, p.tp_leaf_blocks) ))
+    (triple
+       (pair (array (array child_codec)) (option node_ref_codec))
+       (triple int int int)
+       (pair int (option (array (array item_codec)))))
+
+let snapshot_kind = "lcsearch.ptree"
+
+let skeleton_codec =
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~block_size:(Emio.Store.block_size t.leaves)
+    ~payload:(Emio.Store.export_bytes t.leaves)
+    ~skeleton:
+      (Emio.Codec.encode skeleton_codec (to_portable ~embed_payload:false t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

@@ -63,3 +63,38 @@ val last_visited_nodes : t -> int
 (** Number of tree nodes the most recent query recursed into (the μ of
     the Theorem 5.2 analysis) — benches use it to verify the
     O(n^{1-1/d}) recursion bound independently of I/O counts. *)
+
+val points : t -> Partition.Cells.point array
+(** The build-time points, re-read from the leaf blocks in pid order —
+    O(n/B) I/Os (used when reviving dependent state from a snapshot). *)
+
+(** {2 Persistence} *)
+
+type portable
+
+val to_portable : ?embed_payload:bool -> t -> portable
+(** Plain-data form.  [embed_payload] (default [true]) also embeds the
+    leaf blocks — needed when the tree is a component of another
+    structure; the standalone snapshot keeps leaves as the payload
+    section instead. *)
+
+val of_portable :
+  stats:Emio.Io_stats.t ->
+  ?backend:Emio.Store_intf.backend ->
+  portable ->
+  t
+
+val portable_codec : portable Emio.Codec.t
+
+val snapshot_kind : string
+(** ["lcsearch.ptree"]. *)
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result

@@ -29,6 +29,28 @@ let space_blocks t =
       (fun _ (pt, _) acc -> acc + Partition_tree.space_blocks pt)
       t.secondaries 0
 
+let item_codec =
+  Emio.Codec.map
+    ~decode:(fun (coords, pid) -> { coords; pid })
+    ~encode:(fun it -> (it.coords, it.pid))
+    Emio.Codec.(pair Cells.point_codec int)
+
+let node_ref_codec =
+  Emio.Codec.map
+    ~decode:(fun (tag, id) ->
+      match tag with
+      | 0 -> Leaf id
+      | 1 -> Node id
+      | t -> raise (Emio.Codec.Decode (Printf.sprintf "bad node_ref tag %d" t)))
+    ~encode:(function Leaf id -> (0, id) | Node id -> (1, id))
+    Emio.Codec.(pair u8 int)
+
+let child_codec =
+  Emio.Codec.map
+    ~decode:(fun (cell, sub) -> { cell; sub })
+    ~encode:(fun c -> (c.cell, c.sub))
+    Emio.Codec.(pair Cells.cell_codec node_ref_codec)
+
 let build ~stats ~block_size ?(cache_blocks = 0) ?backend
     ?(shallow_factor = 2.0) ~dim points =
   if not (shallow_factor > 0.) then
@@ -38,7 +60,10 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend
       if Array.length p <> dim then
         invalid_arg "Shallow_tree.build: wrong point dimension")
     points;
-  let leaves = Emio.Store.create ~stats ~block_size ~cache_blocks ?backend () in
+  let leaves =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:item_codec
+      ?backend ()
+  in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
   let secondaries = Hashtbl.create 64 in
   let rec build_node (items : item array) =
@@ -153,3 +178,116 @@ let query_halfspace_count t ~a0 ~a =
   let n = ref 0 in
   query_halfspace_iter t ~a0 ~a (fun _ -> incr n);
   !n
+
+let points t =
+  let out = Array.make t.length [||] in
+  for i = 0 to Emio.Store.blocks_used t.leaves - 1 do
+    Array.iter (fun it -> out.(it.pid) <- it.coords) (Emio.Store.read t.leaves i)
+  done;
+  out
+
+(* -- persistence: leaves are the payload; internals and the per-node
+   secondary §5 trees (fully embedded) ride in the skeleton ---------- *)
+
+type portable = {
+  sp_internal_blocks : child array array;
+  sp_secondaries : (int * (Partition_tree.portable * int array)) array;
+  sp_root : node_ref option;
+  sp_length : int;
+  sp_dim : int;
+  sp_shallow_factor : float;
+  sp_block_size : int;
+  sp_cache_blocks : int;
+}
+
+let to_portable t =
+  {
+    sp_internal_blocks = Emio.Store.to_blocks t.internals;
+    sp_secondaries =
+      Hashtbl.fold
+        (fun id (pt, pids) acc ->
+          (id, (Partition_tree.to_portable pt, pids)) :: acc)
+        t.secondaries []
+      |> List.sort compare |> Array.of_list;
+    sp_root = t.root;
+    sp_length = t.length;
+    sp_dim = t.dim;
+    sp_shallow_factor = t.shallow_factor;
+    sp_block_size = Emio.Store.block_size t.leaves;
+    sp_cache_blocks = Emio.Store.cache_blocks t.leaves;
+  }
+
+let of_portable ~stats ~backend p =
+  let block_size = p.sp_block_size and cache_blocks = p.sp_cache_blocks in
+  let secondaries = Hashtbl.create 64 in
+  Array.iter
+    (fun (id, (pt, pids)) ->
+      Hashtbl.add secondaries id (Partition_tree.of_portable ~stats pt, pids))
+    p.sp_secondaries;
+  {
+    leaves =
+      Emio.Store.of_backend ~stats ~block_size ~cache_blocks ~codec:item_codec
+        backend;
+    internals =
+      Emio.Store.of_blocks ~stats ~block_size ~cache_blocks
+        p.sp_internal_blocks;
+    secondaries;
+    root = p.sp_root;
+    length = p.sp_length;
+    dim = p.sp_dim;
+    shallow_factor = p.sp_shallow_factor;
+    secondary_uses = 0;
+  }
+
+let snapshot_kind = "lcsearch.shallow"
+
+let skeleton_codec =
+  let open Emio.Codec in
+  versioned ~magic:snapshot_kind ~version:1
+    (map
+       ~decode:(fun ((ib, secs), (root, len, dim), (sf, bs, cb)) ->
+         { sp_internal_blocks = ib; sp_secondaries = secs; sp_root = root;
+           sp_length = len; sp_dim = dim; sp_shallow_factor = sf;
+           sp_block_size = bs; sp_cache_blocks = cb })
+       ~encode:(fun p ->
+         ( (p.sp_internal_blocks, p.sp_secondaries),
+           (p.sp_root, p.sp_length, p.sp_dim),
+           (p.sp_shallow_factor, p.sp_block_size, p.sp_cache_blocks) ))
+       (triple
+          (pair
+             (array (array child_codec))
+             (array
+                (pair int (pair Partition_tree.portable_codec (array int)))))
+          (triple (option node_ref_codec) int int)
+          (triple float int int)))
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~block_size:(Emio.Store.block_size t.leaves)
+    ~payload:(Emio.Store.export_bytes t.leaves)
+    ~skeleton:(Emio.Codec.encode skeleton_codec (to_portable t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

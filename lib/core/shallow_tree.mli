@@ -48,3 +48,21 @@ val last_secondary_uses : t -> int
 (** How many nodes of the most recent query bailed out to their
     secondary structure — the benches report it to show shallow
     queries stay on the shallow path. *)
+
+val points : t -> Partition.Cells.point array
+(** The build-time points, re-read from the leaf blocks in pid order. *)
+
+(** {2 Persistence} *)
+
+val snapshot_kind : string
+(** ["lcsearch.shallow"]. *)
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result

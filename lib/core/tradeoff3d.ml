@@ -23,11 +23,13 @@ type t = {
   root : node_ref option;
   length : int;
   leaf_capacity : int;
+  exponent : float;
   mutable secondary_queries : int;
 }
 
 let length t = t.length
 let leaf_capacity t = t.leaf_capacity
+let exponent t = t.exponent
 let last_secondary_queries t = t.secondary_queries
 
 let space_blocks t =
@@ -49,7 +51,9 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(a = 1.5) ?clip
       (int_of_float (Float.pow (float_of_int block_size) a))
   in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
-  let pid_store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let pid_store =
+    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:Emio.Codec.int ()
+  in
   let leaves : leaf Vec.t = Vec.create () in
   let make_leaf (items : (Point3.t * int) array) =
     let pts = Array.map fst items in
@@ -92,6 +96,7 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(a = 1.5) ?clip
     root;
     length = Array.length points;
     leaf_capacity;
+    exponent = a;
     secondary_queries = 0;
   }
 
@@ -158,3 +163,156 @@ let query_count t ~a ~b ~c =
   in
   (match t.root with None -> () | Some root -> go root);
   !n
+
+let points t =
+  let out = Array.make t.length (Point3.make 0. 0. 0.) in
+  Vec.iter
+    (fun l ->
+      Array.iteri
+        (fun i p -> out.(l.pids.(i)) <- p)
+        (Halfspace3d.points l.hs))
+    t.leaves;
+  out
+
+(* -- persistence: the shared pid store is the payload; internals,
+   the per-leaf §4 structures (fully embedded, since their payload
+   stores are private to each leaf) and the pid runs ride in the
+   skeleton ---------------------------------------------------------- *)
+
+let node_ref_codec =
+  Emio.Codec.map
+    ~decode:(fun (tag, id) ->
+      match tag with
+      | 0 -> Leaf id
+      | 1 -> Node id
+      | t -> raise (Emio.Codec.Decode (Printf.sprintf "bad node_ref tag %d" t)))
+    ~encode:(function Leaf id -> (0, id) | Node id -> (1, id))
+    Emio.Codec.(pair u8 int)
+
+let child_codec =
+  Emio.Codec.map
+    ~decode:(fun (cell, sub) -> { cell; sub })
+    ~encode:(fun c -> (c.cell, c.sub))
+    Emio.Codec.(pair Cells.cell_codec node_ref_codec)
+
+type leaf_p = {
+  lp_hs : Halfspace3d.portable;
+  lp_run : int array * int;
+  lp_pids : int array;
+}
+
+type portable = {
+  op_internal_blocks : child array array;
+  op_leaves : leaf_p array;
+  op_root : node_ref option;
+  op_length : int;
+  op_leaf_capacity : int;
+  op_exponent : float;
+  op_block_size : int;
+  op_cache_blocks : int;
+}
+
+let to_portable t =
+  {
+    op_internal_blocks = Emio.Store.to_blocks t.internals;
+    op_leaves =
+      Array.map
+        (fun l ->
+          { lp_hs = Halfspace3d.to_portable l.hs;
+            lp_run = Emio.Run.to_portable l.run;
+            lp_pids = l.pids })
+        (Vec.to_array t.leaves);
+    op_root = t.root;
+    op_length = t.length;
+    op_leaf_capacity = t.leaf_capacity;
+    op_exponent = t.exponent;
+    op_block_size = Emio.Store.block_size t.pid_store;
+    op_cache_blocks = Emio.Store.cache_blocks t.pid_store;
+  }
+
+let of_portable ~stats ~backend p =
+  let block_size = p.op_block_size and cache_blocks = p.op_cache_blocks in
+  let pid_store =
+    Emio.Store.of_backend ~stats ~block_size ~cache_blocks
+      ~codec:Emio.Codec.int backend
+  in
+  let leaves : leaf Vec.t = Vec.create () in
+  Array.iter
+    (fun lp ->
+      ignore
+        (Vec.push_idx leaves
+           { hs = Halfspace3d.of_portable ~stats lp.lp_hs;
+             run = Emio.Run.of_portable pid_store lp.lp_run;
+             pids = lp.lp_pids }))
+    p.op_leaves;
+  {
+    internals =
+      Emio.Store.of_blocks ~stats ~block_size ~cache_blocks
+        p.op_internal_blocks;
+    pid_store;
+    leaves;
+    root = p.op_root;
+    length = p.op_length;
+    leaf_capacity = p.op_leaf_capacity;
+    exponent = p.op_exponent;
+    secondary_queries = 0;
+  }
+
+let portable_codec =
+  let open Emio.Codec in
+  let leaf_p_codec =
+    map
+      ~decode:(fun (hs, run, pids) ->
+        { lp_hs = hs; lp_run = run; lp_pids = pids })
+      ~encode:(fun l -> (l.lp_hs, l.lp_run, l.lp_pids))
+      (triple Halfspace3d.portable_codec Emio.Run.portable_codec (array int))
+  in
+  map
+    ~decode:(fun ((ib, ls), (root, len, cap), (ex, bs, cb)) ->
+      { op_internal_blocks = ib; op_leaves = ls; op_root = root;
+        op_length = len; op_leaf_capacity = cap; op_exponent = ex;
+        op_block_size = bs; op_cache_blocks = cb })
+    ~encode:(fun p ->
+      ( (p.op_internal_blocks, p.op_leaves),
+        (p.op_root, p.op_length, p.op_leaf_capacity),
+        (p.op_exponent, p.op_block_size, p.op_cache_blocks) ))
+    (triple
+       (pair (array (array child_codec)) (array leaf_p_codec))
+       (triple (option node_ref_codec) int int)
+       (triple float int int))
+
+let snapshot_kind = "lcsearch.tradeoff"
+
+let skeleton_codec =
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+
+let save_snapshot t ~path ?meta ?page_size () =
+  Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size
+    ~block_size:(Emio.Store.block_size t.pid_store)
+    ~payload:(Emio.Store.export_bytes t.pid_store)
+    ~skeleton:(Emio.Codec.encode skeleton_codec (to_portable t))
+    ()
+
+let of_snapshot ~stats ?policy ?cache_pages path =
+  match
+    Diskstore.Snapshot.load ~path ~stats ?policy ?cache_pages
+      ~expect_kind:snapshot_kind ()
+  with
+  | Error _ as e -> e
+  | Ok opened ->
+      let result =
+        match
+          Diskstore.Snapshot.decode_skeleton skeleton_codec
+            opened.Diskstore.Snapshot.skeleton
+        with
+        | Error _ as e -> e
+        | Ok p ->
+            Diskstore.Snapshot.reconstruct (fun () ->
+                ( of_portable ~stats
+                    ~backend:opened.Diskstore.Snapshot.backend p,
+                  opened.Diskstore.Snapshot.info ))
+      in
+      (match result with
+      | Error _ -> Diskstore.Snapshot.close opened
+      | Ok _ -> ());
+      result

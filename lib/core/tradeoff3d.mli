@@ -41,3 +41,25 @@ val space_blocks : t -> int
 
 val last_secondary_queries : t -> int
 (** §4 leaf structures consulted by the most recent query. *)
+
+val points : t -> Geom.Point3.t array
+(** The build-time points, reassembled from the §4 leaf structures in
+    pid order. *)
+
+val exponent : t -> float
+(** The [a] the structure was built with (leaf capacity B^a). *)
+
+(** {2 Persistence} *)
+
+val snapshot_kind : string
+(** ["lcsearch.tradeoff"]. *)
+
+val save_snapshot :
+  t -> path:string -> ?meta:string -> ?page_size:int -> unit -> unit
+
+val of_snapshot :
+  stats:Emio.Io_stats.t ->
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (t * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result

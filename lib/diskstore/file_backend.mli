@@ -1,6 +1,6 @@
 (** The file-backed implementation of {!Emio.Store_intf.BACKEND}.
 
-    Each logical store block — already marshalled to bytes by
+    Each logical store block — already codec-encoded to bytes by
     {!Emio.Store} — occupies a span of consecutive checksummed pages in
     a {!Block_file}, read and written through a {!Buffer_pool}.  The
     block table (block id → first page, byte length) is kept in memory
@@ -24,7 +24,7 @@ val of_table : ?base_page:int -> table:(int * int) array -> Buffer_pool.t -> t
 
 val backend : t -> Emio.Store_intf.backend
 (** First-class module wrapper to pass to [Emio.Store.create ~backend]
-    or [Emio.Store.attach]. *)
+    or [Emio.Store.of_backend]. *)
 
 val alloc : t -> bytes -> int
 val read : t -> int -> bytes

@@ -1,25 +1,32 @@
-(* Snapshot file layout (all pages are Block_file pages, so every one
-   carries its own length + CRC-32):
+(* Snapshot file layout, format v2 (all pages are Block_file pages, so
+   every one carries its own length + CRC-32):
 
      page 0                      header
      pages 1 .. T                block table, 8 bytes per block
                                  (first payload page u32, byte len u32)
-     pages 1+T .. T+P            payload: each store block's marshalled
-                                 bytes over its span of pages
+     pages 1+T .. T+P            payload: each store block's
+                                 codec-encoded bytes over its span of
+                                 pages
      pages 1+T+P ..              skeleton: the structure minus its
-                                 payload blocks, marshalled with
-                                 Emio.Store.marshal_flags
+                                 payload blocks, as a closure-free
+                                 Emio.Codec section
 
    Header payload:
      magic "LCSNAP01" | version u32 | page_size u32 | block_size u32 |
      n_blocks u32 | table_pages u32 | payload_pages u32 | skel_len u32 |
+     table_crc u32 | payload_crc u32 | skel_crc u32 |
      kind_len u32 | kind | meta_len u32 | meta
 
-   The magic therefore sits at file offset 8 (after the page header),
-   at a fixed position independent of page size. *)
+   The magic sits at file offset 8 (after the page header) and the
+   version right after it — both at fixed positions independent of page
+   size, so a v1 file (same magic, version field 1) is rejected with
+   Unsupported_version rather than misparsed.  Beyond the per-page
+   CRCs, the header pins a CRC-32 over each whole section (table bytes,
+   concatenated payload block bytes in id order, skeleton bytes), so a
+   consistent-but-reshuffled file still fails verification. *)
 
 let magic = "LCSNAP01"
-let version = 1
+let version = 2
 let default_page_size = 4096
 
 type error =
@@ -28,6 +35,7 @@ type error =
   | Bad_header of string
   | Truncated of { expected_bytes : int; actual_bytes : int }
   | Bad_checksum of { page : int }
+  | Bad_section_crc of { section : string }
   | Bad_payload of string
   | Kind_mismatch of { expected : string; got : string }
 
@@ -40,6 +48,8 @@ let pp_error ppf = function
         actual_bytes expected_bytes
   | Bad_checksum { page } ->
       Format.fprintf ppf "corrupt snapshot: page %d failed CRC check" page
+  | Bad_section_crc { section } ->
+      Format.fprintf ppf "corrupt snapshot: %s section failed CRC check" section
   | Bad_payload msg -> Format.fprintf ppf "corrupt snapshot payload: %s" msg
   | Kind_mismatch { expected; got } ->
       Format.fprintf ppf "snapshot holds a %S index, expected %S" got expected
@@ -56,9 +66,9 @@ type info = {
   total_pages : int;
 }
 
-type 'v opened = {
+type opened = {
   info : info;
-  value : 'v;
+  skeleton : bytes;
   backend : Emio.Store_intf.backend;
   pool : Buffer_pool.t;
 }
@@ -75,6 +85,8 @@ let get_u32 b pos =
   lor (Char.code (Bytes.get b (pos + 2)) lsl 16)
   lor (Char.code (Bytes.get b (pos + 3)) lsl 24)
 
+let crc_bytes b = Crc32.update 0 b ~pos:0 ~len:(Bytes.length b)
+
 let cap_of ~page_size = page_size - Block_file.header_bytes
 let pages_for ~page_size len = max 1 ((len + cap_of ~page_size - 1) / cap_of ~page_size)
 
@@ -83,18 +95,13 @@ let chunked_writes file ~first data =
   let len = Bytes.length data in
   let np = pages_for ~page_size:(Block_file.page_size file) len in
   for j = 0 to np - 1 do
-    let lo = j * cap in
-    Block_file.write_page file (first + j) (Bytes.sub data lo (min cap (len - lo)))
+    Block_file.write_page file (first + j) (Bytes.sub data (j * cap) (min cap (len - j * cap)))
   done;
   np
 
-let save ~path ~kind ?(meta = "") ?(page_size = default_page_size) ~store
-    ~value () =
-  let blocks = Emio.Store.export_bytes store in
-  let skeleton =
-    Emio.Store.with_ejected store (fun () ->
-        Marshal.to_bytes value Emio.Store.marshal_flags)
-  in
+let save ~path ~kind ?(meta = "") ?(page_size = default_page_size) ~block_size
+    ~payload ~skeleton () =
+  let blocks = payload in
   let n_blocks = Array.length blocks in
   let cap = cap_of ~page_size in
   let table_bytes = 8 * n_blocks in
@@ -102,6 +109,7 @@ let save ~path ~kind ?(meta = "") ?(page_size = default_page_size) ~store
   (* assign payload spans *)
   let table = Buffer.create (table_bytes + 8) in
   let payload_pages = ref 0 in
+  let payload_crc = ref 0 in
   let spans =
     Array.map
       (fun block ->
@@ -109,19 +117,25 @@ let save ~path ~kind ?(meta = "") ?(page_size = default_page_size) ~store
         let len = Bytes.length block in
         put_u32 table first;
         put_u32 table len;
+        payload_crc :=
+          Crc32.update !payload_crc block ~pos:0 ~len:(Bytes.length block);
         payload_pages := first + pages_for ~page_size len;
         first)
       blocks
   in
+  let table = Buffer.to_bytes table in
   let header = Buffer.create 256 in
   Buffer.add_string header magic;
   put_u32 header version;
   put_u32 header page_size;
-  put_u32 header (Emio.Store.block_size store);
+  put_u32 header block_size;
   put_u32 header n_blocks;
   put_u32 header table_pages;
   put_u32 header !payload_pages;
   put_u32 header (Bytes.length skeleton);
+  put_u32 header (crc_bytes table);
+  put_u32 header !payload_crc;
+  put_u32 header (crc_bytes skeleton);
   put_u32 header (String.length kind);
   Buffer.add_string header kind;
   put_u32 header (String.length meta);
@@ -135,8 +149,7 @@ let save ~path ~kind ?(meta = "") ?(page_size = default_page_size) ~store
     ~finally:(fun () -> Block_file.close file)
     (fun () ->
       Block_file.write_page file 0 (Buffer.to_bytes header);
-      if table_pages > 0 then
-        ignore (chunked_writes file ~first:1 (Buffer.to_bytes table));
+      if table_pages > 0 then ignore (chunked_writes file ~first:1 table);
       let payload_base = 1 + table_pages in
       Array.iteri
         (fun i block ->
@@ -184,7 +197,7 @@ let parse_header path =
         if Bytes.sub_string prefix 8 8 <> magic then Error Bad_magic
         else begin
           let len = get_u32 prefix 0 in
-          if len < 40 || len > Bytes.length prefix - 8 then
+          if len < 56 || len > Bytes.length prefix - 8 then
             Error (Bad_header "implausible header length")
           else begin
             (* The page CRC covers the whole page including padding, so
@@ -225,16 +238,19 @@ let parse_header path =
                 let table_pages = get_u32 p 24 in
                 let payload_pages = get_u32 p 28 in
                 let skel_len = get_u32 p 32 in
-                let kind_len = get_u32 p 36 in
-                if page_size < Block_file.min_page_size || 40 + kind_len + 4 > len
+                let table_crc = get_u32 p 36 in
+                let payload_crc = get_u32 p 40 in
+                let skel_crc = get_u32 p 44 in
+                let kind_len = get_u32 p 48 in
+                if page_size < Block_file.min_page_size || 52 + kind_len + 4 > len
                 then Error (Bad_header "inconsistent field lengths")
                 else begin
-                  let kind = Bytes.sub_string p 40 kind_len in
-                  let meta_len = get_u32 p (40 + kind_len) in
-                  if 44 + kind_len + meta_len > len then
+                  let kind = Bytes.sub_string p 52 kind_len in
+                  let meta_len = get_u32 p (52 + kind_len) in
+                  if 56 + kind_len + meta_len > len then
                     Error (Bad_header "inconsistent field lengths")
                   else begin
-                    let meta = Bytes.sub_string p (44 + kind_len) meta_len in
+                    let meta = Bytes.sub_string p (56 + kind_len) meta_len in
                     let skel_pages = pages_for ~page_size skel_len in
                     let total_pages =
                       1 + table_pages + payload_pages + skel_pages
@@ -250,6 +266,7 @@ let parse_header path =
                           total_pages;
                         },
                         (table_pages, payload_pages, skel_len),
+                        (table_crc, payload_crc, skel_crc),
                         size )
                   end
                 end
@@ -263,7 +280,7 @@ let parse_header path =
 let read_info path =
   match parse_header path with
   | Error _ as e -> e
-  | Ok (info, _, size) ->
+  | Ok (info, _, _, size) ->
       if size < info.total_pages * info.page_size then
         Error
           (Truncated
@@ -277,7 +294,10 @@ let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
 
 let load ~path ~stats ?(policy = Buffer_pool.Lru) ?(cache_pages = 64)
     ?expect_kind () =
-  let* info, (table_pages, payload_pages, skel_len), size = parse_header path in
+  let* info, (table_pages, payload_pages, skel_len), crcs, size =
+    parse_header path
+  in
+  let table_crc, payload_crc, skel_crc = crcs in
   let expected_bytes = info.total_pages * info.page_size in
   let* () =
     if size < expected_bytes then
@@ -314,21 +334,59 @@ let load ~path ~stats ?(policy = Buffer_pool.Lru) ?(cache_pages = 64)
       if info.n_blocks = 0 then Ok [||]
       else
         let* raw = read_span ~first:1 (8 * info.n_blocks) in
+        let* () =
+          if crc_bytes raw <> table_crc then
+            Error (Bad_section_crc { section = "block table" })
+          else Ok ()
+        in
         Ok
           (Array.init info.n_blocks (fun i ->
                (get_u32 raw (8 * i), get_u32 raw ((8 * i) + 4))))
     in
     let payload_base = 1 + table_pages in
-    let* raw_skel = read_span ~first:(payload_base + payload_pages) skel_len in
-    let* value =
-      match (Marshal.from_bytes raw_skel 0 : 'v) with
-      | value -> Ok value
-      | exception (Failure msg | Invalid_argument msg) ->
-          Error (Bad_payload msg)
+    (* section CRC over the payload blocks' bytes, in id order — this
+       also proves every block span decodes from its pages *)
+    let* got_payload_crc =
+      let n = Array.length table in
+      let rec go i acc =
+        if i >= n then Ok acc
+        else
+          let first, len = table.(i) in
+          let* raw = read_span ~first:(payload_base + first) len in
+          go (i + 1) (Crc32.update acc raw ~pos:0 ~len:(Bytes.length raw))
+      in
+      go 0 0
+    in
+    let* () =
+      if got_payload_crc <> payload_crc then
+        Error (Bad_section_crc { section = "payload" })
+      else Ok ()
+    in
+    let* skeleton = read_span ~first:(payload_base + payload_pages) skel_len in
+    let* () =
+      if crc_bytes skeleton <> skel_crc then
+        Error (Bad_section_crc { section = "skeleton" })
+      else Ok ()
     in
     let pool = Buffer_pool.create ~file ~policy ~capacity:cache_pages in
     let fb = File_backend.of_table ~base_page:payload_base ~table pool in
-    Ok { info; value; backend = File_backend.backend fb; pool }
+    Ok { info; skeleton; backend = File_backend.backend fb; pool }
   in
   (match result with Error _ -> Block_file.close file | Ok _ -> ());
   result
+
+(* -- structure-side helpers --------------------------------------- *)
+
+let close opened = Block_file.close (Buffer_pool.file opened.pool)
+
+let decode_skeleton codec skeleton =
+  match Emio.Codec.decode codec skeleton with
+  | v -> Ok v
+  | exception Emio.Codec.Decode msg -> Error (Bad_payload msg)
+
+let reconstruct f =
+  match f () with
+  | v -> Ok v
+  | exception Emio.Codec.Decode msg -> Error (Bad_payload msg)
+  | exception Invalid_argument msg -> Error (Bad_payload msg)
+  | exception Failure msg -> Error (Bad_payload msg)

@@ -1,26 +1,30 @@
-(** Persistent index snapshots: build a structure once, serialize it,
-    and reopen it for querying in a later process with its payload
-    blocks served from disk through a {!Buffer_pool}.
+(** Persistent index snapshots, format v2: build a structure once,
+    serialize it, and reopen it for querying in a later process with
+    its payload blocks served from disk through a {!Buffer_pool}.
 
     A snapshot file is a sequence of checksummed {!Block_file} pages:
-    a header page (magic, version, page/block size, kind and free-form
-    meta strings), block-table pages mapping each store block to its
-    page span, the payload pages themselves, and finally the
-    structure's {e skeleton} — everything except the payload blocks
-    (layer lists, auxiliary B-trees, block ids), marshalled with
-    {!Emio.Store.marshal_flags}.
+    a header page (magic, version, page/block size, per-section CRCs,
+    kind and free-form meta strings), block-table pages mapping each
+    store block to its page span, the payload pages themselves, and
+    finally the structure's {e skeleton} — everything except the
+    payload blocks (layer lists, auxiliary B-trees, block ids), as a
+    closure-free {!Emio.Codec} section.
 
-    Loading validates the whole file (magic, version, per-page CRC-32,
-    length bookkeeping) before any value is unmarshalled; every way a
-    file can be damaged is a constructor of {!error}, never an escaping
-    exception.  Because skeletons may contain closures, a snapshot can
-    only be reopened by the binary that wrote it — a mismatch surfaces
-    as [Bad_payload].
+    Nothing in the file is [Marshal]ed, so a snapshot written by one
+    binary (or compiler version, or architecture) reopens in any
+    other.  Loading validates the whole file — magic, version,
+    per-page CRC-32, a CRC-32 over each section, length bookkeeping —
+    before handing anything back; every way a file can be damaged is a
+    constructor of {!error}, never an escaping exception.  A v1
+    (closure-marshalled) file is rejected with [Unsupported_version 1].
 
     Structures wrap this module with their own [save_snapshot] /
-    [of_snapshot] (e.g. {!Core.Halfspace2d.of_snapshot}), which pin the
-    skeleton's type via the [kind] tag and re-{!Emio.Store.attach} the
-    reopened backend. *)
+    [of_snapshot] (e.g. {!Core.Halfspace2d.of_snapshot}): save exports
+    the primary store's blocks ({!Emio.Store.export_bytes}) and
+    codec-encodes a plain-data skeleton record; load decodes the
+    skeleton ({!decode_skeleton}) and rebuilds stores from [backend]
+    via {!Emio.Store.of_backend}, reconstructing comparators and
+    splitters from the persisted parameters. *)
 
 type error =
   | Bad_magic
@@ -28,7 +32,10 @@ type error =
   | Bad_header of string
   | Truncated of { expected_bytes : int; actual_bytes : int }
   | Bad_checksum of { page : int }
-  | Bad_payload of string  (** unmarshalling failed (or wrong binary) *)
+  | Bad_section_crc of { section : string }
+      (** a whole section (block table, payload, or skeleton) fails
+          its header CRC even though each page checks out *)
+  | Bad_payload of string  (** skeleton or payload bytes fail to decode *)
   | Kind_mismatch of { expected : string; got : string }
 
 val pp_error : Format.formatter -> error -> unit
@@ -44,12 +51,12 @@ type info = {
   total_pages : int;
 }
 
-type 'v opened = {
+type opened = {
   info : info;
-  value : 'v;
-      (** the unmarshalled skeleton.  Its type is pinned by the caller
-          (guarded by [expect_kind]); its primary store is empty until
-          {!Emio.Store.attach}ed to [backend]. *)
+  skeleton : bytes;
+      (** the skeleton section, verified but not yet decoded — the
+          caller picks the codec from [info.kind] (guarded by
+          [expect_kind]) and runs {!decode_skeleton}. *)
   backend : Emio.Store_intf.backend;
   pool : Buffer_pool.t;
 }
@@ -62,14 +69,16 @@ val save :
   kind:string ->
   ?meta:string ->
   ?page_size:int ->
-  store:'a Emio.Store.t ->
-  value:'v ->
+  block_size:int ->
+  payload:bytes array ->
+  skeleton:bytes ->
   unit ->
   unit
-(** Write [value]'s snapshot: [store]'s blocks become the payload
-    pages, and [value] is marshalled with the store ejected (see
-    {!Emio.Store.with_ejected}).  [store] must be the primary store
-    referenced inside [value].  Fsyncs before returning. *)
+(** Write a snapshot: [payload] (one [bytes] per store block, in id
+    order — from {!Emio.Store.export_bytes}) becomes the payload
+    pages, [skeleton] the skeleton section, and [block_size] is
+    recorded in the header for the reopening side.  Fsyncs before
+    returning. *)
 
 val read_info : string -> (info, error) result
 (** Header-only probe (no CRC sweep of the body, but the header page
@@ -82,9 +91,27 @@ val load :
   ?cache_pages:int ->
   ?expect_kind:string ->
   unit ->
-  ('v opened, error) result
-(** Open a snapshot: verify every page, rebuild the block table, and
-    return the skeleton plus a file backend (buffer pool of
-    [cache_pages] pages, default 64, eviction [policy] default LRU)
-    ready to be {!Emio.Store.attach}ed.  All verification I/O is
-    recorded in [stats]; reset it afterwards to measure queries alone. *)
+  (opened, error) result
+(** Open a snapshot: verify every page and every section CRC, rebuild
+    the block table, and return the raw skeleton plus a file backend
+    (buffer pool of [cache_pages] pages, default 64, eviction [policy]
+    default LRU) ready for {!Emio.Store.of_backend}.  All verification
+    I/O is recorded in [stats]; reset it afterwards to measure queries
+    alone. *)
+
+(** {2 Structure-side helpers} *)
+
+val close : opened -> unit
+(** Close the underlying file — call when skeleton decoding fails
+    after a successful {!load} (a loaded structure's lifetime
+    otherwise owns the file). *)
+
+val decode_skeleton : 'a Emio.Codec.t -> bytes -> ('a, error) result
+(** Decode a verified skeleton section; {!Emio.Codec.Decode} becomes
+    [Bad_payload]. *)
+
+val reconstruct : (unit -> 'a) -> ('a, error) result
+(** Run structure-reconstruction code, mapping the exceptions it can
+    legitimately raise on corrupt-but-checksummed input
+    ([Codec.Decode], [Invalid_argument], [Failure]) to [Bad_payload],
+    so [of_snapshot] never lets one escape. *)

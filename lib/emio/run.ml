@@ -81,3 +81,44 @@ let iter_prefix_blocks f t =
       if continue_scan then go (i + 1)
   in
   go 0
+
+(* -- persistence -------------------------------------------------- *)
+
+let to_portable t = (t.block_ids, t.length)
+let of_portable store (block_ids, length) = { store; block_ids; length }
+
+let portable_codec = Codec.pair (Codec.array Codec.int) Codec.int
+
+type 'a stored = {
+  s_blocks : 'a array array;
+  s_ids : int array;
+  s_len : int;
+  s_bsize : int;
+  s_cache : int;
+}
+
+let to_stored t =
+  {
+    s_blocks = Store.to_blocks t.store;
+    s_ids = t.block_ids;
+    s_len = t.length;
+    s_bsize = Store.block_size t.store;
+    s_cache = Store.cache_blocks t.store;
+  }
+
+let of_stored ~stats s =
+  let store =
+    Store.of_blocks ~stats ~block_size:s.s_bsize ~cache_blocks:s.s_cache
+      s.s_blocks
+  in
+  { store; block_ids = s.s_ids; length = s.s_len }
+
+let stored_codec elt =
+  let open Codec in
+  map
+    ~decode:(fun ((s_blocks, s_ids, s_len), (s_bsize, s_cache)) ->
+      { s_blocks; s_ids; s_len; s_bsize; s_cache })
+    ~encode:(fun s -> ((s.s_blocks, s.s_ids, s.s_len), (s.s_bsize, s.s_cache)))
+    (pair
+       (triple (array (array elt)) (array int) int)
+       (pair int int))

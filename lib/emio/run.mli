@@ -46,3 +46,29 @@ val iter_prefix_blocks : ('a array -> bool) -> 'a t -> unit
 (** Scan blocks left to right while the callback returns [true]:
     the filtering-search idiom — stop paying I/Os once enough output
     has been found. *)
+
+(** {2 Persistence}
+
+    A run over a {e shared} store (e.g. a snapshot's payload store)
+    persists as just its block ids + length ({!to_portable}); a run
+    over its own {e private} simulator store persists as a ['a stored]
+    that embeds the store's blocks too. *)
+
+val to_portable : 'a t -> int array * int
+(** Block ids and length — enough to revive the run against a store
+    that is persisted separately. *)
+
+val of_portable : 'a Store.t -> int array * int -> 'a t
+(** Inverse of {!to_portable}, given the revived store. *)
+
+val portable_codec : (int array * int) Codec.t
+
+type 'a stored
+(** A run plus the blocks of its private simulator store. *)
+
+val to_stored : 'a t -> 'a stored
+(** @raise Invalid_argument if the run's store is external. *)
+
+val of_stored : stats:Io_stats.t -> 'a stored -> 'a t
+
+val stored_codec : 'a Codec.t -> 'a stored Codec.t

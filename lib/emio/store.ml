@@ -1,14 +1,8 @@
-(* Marshal flags for block payloads and snapshot skeletons.  [Closures]
-   is required because some structures keep comparison closures (e.g.
-   Btree's [cmp]) in their skeletons; it ties snapshots to the binary
-   that wrote them, which Snapshot.load surfaces as a typed error. *)
-let marshal_flags = [ Marshal.Closures ]
-
 type 'a mem = { mutable blocks : 'a array array; mutable used : int }
 
 (* External state keeps a decoded-payload cache: the backend serves
    raw bytes (with its own physical-page accounting), and [decoded]
-   memoizes the unmarshalled ['a array]s for the ids currently resident
+   memoizes the decoded ['a array]s for the ids currently resident
    in the store's LRU, so hot blocks skip both the backend read and the
    re-decode.  Capacity 0 (the default) disables it entirely. *)
 type 'a ext = {
@@ -17,43 +11,46 @@ type 'a ext = {
   decoded : (int, 'a array) Hashtbl.t;
 }
 
-(* [Ejected] replaces the state while {!with_ejected} runs a snapshot
-   marshal: a plain counter is marshal-safe and cannot leak payloads
-   (or decoded-cache contents) into the skeleton. *)
-type 'a state = Mem of 'a mem | Ext of 'a ext | Ejected of { used : int }
+type 'a state = Mem of 'a mem | Ext of 'a ext
 
 type 'a t = {
   mutable stats : Io_stats.t;
   block_size : int;
   mutable state : 'a state;
   cache : Lru.t;
+  (* block codec = Codec.array of the element codec: the wire format of
+     one payload block.  Required in external mode; in simulator mode
+     it is only consulted by {!export_bytes}. *)
+  codec : 'a array Codec.t option;
 }
 
-let ejected_error op = failwith ("Store: " ^ op ^ " during with_ejected")
+let block_codec t op =
+  match t.codec with
+  | Some c -> c
+  | None -> invalid_arg ("Store." ^ op ^ ": store has no codec")
 
-let create ~stats ~block_size ?(cache_blocks = 0) ?backend () =
+let create ~stats ~block_size ?(cache_blocks = 0) ?codec ?backend () =
   if block_size <= 0 then invalid_arg "Store.create: block_size must be > 0";
+  let codec = Option.map Codec.array codec in
   let state =
     match backend with
     | None -> Mem { blocks = Array.make 16 [||]; used = 0 }
-    | Some backend -> Ext { backend; allocated = 0; decoded = Hashtbl.create 64 }
+    | Some backend ->
+        if codec = None then
+          invalid_arg "Store.create: an external backend requires a codec";
+        Ext { backend; allocated = 0; decoded = Hashtbl.create 64 }
   in
-  { stats; block_size; state; cache = Lru.create ~capacity:cache_blocks }
+  { stats; block_size; state; cache = Lru.create ~capacity:cache_blocks; codec }
 
 let block_size t = t.block_size
 let stats t = t.stats
+let cache_blocks t = Lru.capacity t.cache
 
 let blocks_used t =
-  match t.state with
-  | Mem m -> m.used
-  | Ext e -> e.allocated
-  | Ejected { used } -> used
+  match t.state with Mem m -> m.used | Ext e -> e.allocated
 
-let is_external t =
-  match t.state with Mem _ | Ejected _ -> false | Ext _ -> true
-
-let backend t =
-  match t.state with Mem _ | Ejected _ -> None | Ext e -> Some e.backend
+let is_external t = match t.state with Mem _ -> false | Ext _ -> true
+let backend t = match t.state with Mem _ -> None | Ext e -> Some e.backend
 
 let grow m =
   let capacity = Array.length m.blocks in
@@ -83,11 +80,10 @@ let alloc t data =
       if traced then Cost_ctx.emit (Block_write { id; hit });
       id
   | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
-      let id = B.alloc b (Marshal.to_bytes data marshal_flags) in
+      let id = B.alloc b (Codec.encode (block_codec t "alloc") data) in
       e.allocated <- e.allocated + 1;
       if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit = false });
       id
-  | Ejected _ -> ejected_error "alloc"
 
 let read (t : 'a t) id : 'a array =
   match t.state with
@@ -101,10 +97,11 @@ let read (t : 'a t) id : 'a array =
       if traced then Cost_ctx.emit (Block_read { id; hit });
       m.blocks.(id)
   | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
+      let codec = block_codec t "read" in
       if Lru.capacity t.cache = 0 then begin
         if Cost_ctx.tracing () then
           Cost_ctx.emit (Block_read { id; hit = false });
-        (Marshal.from_bytes (B.read b id) 0 : 'a array)
+        Codec.decode codec (B.read b id)
       end
       else begin
         let in_lru, evicted = Lru.touch_report t.cache id in
@@ -119,11 +116,10 @@ let read (t : 'a t) id : 'a array =
         | None ->
             if Cost_ctx.tracing () then
               Cost_ctx.emit (Block_read { id; hit = false });
-            let data = (Marshal.from_bytes (B.read b id) 0 : 'a array) in
+            let data = Codec.decode codec (B.read b id) in
             Hashtbl.replace e.decoded id data;
             data
       end
-  | Ejected _ -> ejected_error "read"
 
 let write t id data =
   check_block t data;
@@ -142,47 +138,60 @@ let write t id data =
       (* invalidate rather than update: caching the caller's array
          would alias memory the caller may mutate after the write *)
       Hashtbl.remove e.decoded id;
-      B.write b id (Marshal.to_bytes data marshal_flags)
-  | Ejected _ -> ejected_error "write"
+      B.write b id (Codec.encode (block_codec t "write") data)
 
 let drop_cache t =
   Lru.clear t.cache;
   match t.state with
-  | Mem _ | Ejected _ -> ()
+  | Mem _ -> ()
   | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
       Hashtbl.reset e.decoded;
       B.drop_cache b
 
 let flush t =
   match t.state with
-  | Mem _ | Ejected _ -> ()
+  | Mem _ -> ()
   | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.flush b
 
 let close t =
   match t.state with
-  | Mem _ | Ejected _ -> ()
+  | Mem _ -> ()
   | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.close b
 
 let export_bytes t =
   match t.state with
   | Mem m ->
-      Array.init m.used (fun i -> Marshal.to_bytes m.blocks.(i) marshal_flags)
+      let codec = block_codec t "export_bytes" in
+      Array.init m.used (fun i -> Codec.encode codec m.blocks.(i))
   | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
       Array.init (B.blocks_used b) (fun i -> B.read b i)
-  | Ejected _ -> ejected_error "export_bytes"
 
-let attach t ~stats backend =
-  let allocated =
-    let (Store_intf.Backend ((module B), b)) = backend in
-    B.blocks_used b
-  in
-  t.stats <- stats;
-  t.state <- Ext { backend; allocated; decoded = Hashtbl.create 64 };
-  Lru.clear t.cache
+let to_blocks t =
+  match t.state with
+  | Mem m -> Array.sub m.blocks 0 m.used
+  | Ext _ -> invalid_arg "Store.to_blocks: external store"
+
+let of_blocks ~stats ~block_size ?(cache_blocks = 0) ?codec blocks =
+  let t = create ~stats ~block_size ~cache_blocks ?codec () in
+  (match t.state with
+  | Mem m ->
+      Array.iter
+        (fun b ->
+          if Array.length b > block_size then
+            raise (Codec.Decode "Store.of_blocks: block larger than block_size"))
+        blocks;
+      m.blocks <- (if Array.length blocks = 0 then Array.make 16 [||] else Array.copy blocks);
+      m.used <- Array.length blocks
+  | Ext _ -> assert false);
+  t
+
+let of_backend ~stats ~block_size ?(cache_blocks = 0) ~codec backend =
+  let t = create ~stats ~block_size ~cache_blocks ~codec ~backend () in
+  (match t.state with
+  | Ext e ->
+      let (Store_intf.Backend ((module B), b)) = e.backend in
+      e.allocated <- B.blocks_used b
+  | Mem _ -> assert false);
+  t
 
 let set_stats t stats = t.stats <- stats
-
-let with_ejected t f =
-  let saved = t.state in
-  t.state <- Ejected { used = blocks_used t };
-  Fun.protect ~finally:(fun () -> t.state <- saved) f

@@ -11,12 +11,17 @@
 
     Passing [?backend] instead plugs in an external byte-level backend
     (see {!Store_intf.BACKEND}, implemented by [Diskstore.File_backend]):
-    blocks are marshalled and handed to the backend, which lays them
-    out as fixed-size checksummed pages on a real file and records
-    physical page reads/writes, buffer-pool hits and evictions, and
-    byte counts through its own {!Io_stats}.  The store itself charges
-    nothing in that mode, so model-level accounting is never mixed with
-    physical accounting. *)
+    blocks are serialized through the store's {!Codec.t} and handed to
+    the backend, which lays them out as fixed-size checksummed pages on
+    a real file and records physical page reads/writes, buffer-pool
+    hits and evictions, and byte counts through its own {!Io_stats}.
+    The store itself charges nothing in that mode, so model-level
+    accounting is never mixed with physical accounting.
+
+    Serialization never uses [Marshal]: any store that needs to touch
+    bytes (external mode, {!export_bytes}) must be given the element
+    codec at creation time, which is what makes the on-disk form
+    architecture- and compiler-independent. *)
 
 type 'a t
 
@@ -24,6 +29,7 @@ val create :
   stats:Io_stats.t ->
   block_size:int ->
   ?cache_blocks:int ->
+  ?codec:'a Codec.t ->
   ?backend:Store_intf.backend ->
   unit ->
   'a t
@@ -31,14 +37,23 @@ val create :
     On the simulator backend it models main memory: resident blocks
     cost nothing.  On an external backend it sizes a decoded-block
     cache: the most recently read [cache_blocks] blocks keep their
-    unmarshalled payloads in memory, so re-reading them skips both the
+    decoded payloads in memory, so re-reading them skips both the
     backend page read and the decode (the backend's physical counters
     simply see fewer reads — model-level accounting is still never
     charged in external mode).  [backend] defaults to the in-memory
-    simulator. *)
+    simulator.
+
+    [codec] is the {e element} codec; the store derives the per-block
+    wire format from it.  It is required when [backend] is given
+    (raises [Invalid_argument] otherwise) and by {!export_bytes};
+    a pure simulator store that is only ever embedded in a skeleton
+    (via {!to_blocks}) may omit it. *)
 
 val block_size : 'a t -> int
 val stats : 'a t -> Io_stats.t
+
+val cache_blocks : 'a t -> int
+(** The LRU capacity this store was created with. *)
 
 val alloc : 'a t -> 'a array -> int
 (** Store a fresh block (length ≤ [block_size]); charges one write and
@@ -46,7 +61,9 @@ val alloc : 'a t -> 'a array -> int
 
 val read : 'a t -> int -> 'a array
 (** Fetch a block; charges one read on a cache miss.  The returned
-    array is the store's own copy and must not be mutated. *)
+    array is the store's own copy and must not be mutated.
+    @raise Invalid_argument on a bad block id (simulator mode).
+    @raise Codec.Decode if an external block's bytes are corrupt. *)
 
 val write : 'a t -> int -> 'a array -> unit
 (** Overwrite an existing block; charges one write. *)
@@ -70,30 +87,45 @@ val close : 'a t -> unit
 (** Release backend resources (no-op for the simulator). *)
 
 val export_bytes : 'a t -> bytes array
-(** Every block, marshalled — the payload a [Diskstore.Snapshot]
-    persists.  For external stores this returns the backend's raw
-    payloads (only valid when the store is the backend's sole user). *)
+(** Every block, codec-encoded — the payload a [Diskstore.Snapshot]
+    persists.  Simulator mode encodes through the codec
+    ([Invalid_argument] if the store has none); for external stores
+    this returns the backend's raw payloads (only valid when the store
+    is the backend's sole user). *)
 
-val attach : 'a t -> stats:Io_stats.t -> Store_intf.backend -> unit
-(** Repoint the store at an external backend (and a fresh stats sink).
-    Used when reopening a snapshot: the unmarshalled skeleton's store
-    is empty, and [attach] gives it the file-backed payload blocks. *)
+(** {2 Snapshot reconstruction}
+
+    Reviving a structure from a snapshot builds its stores out of
+    persisted parts instead of [alloc] calls: {!of_blocks} rebuilds an
+    auxiliary store whose blocks rode inside the skeleton section, and
+    {!of_backend} wraps the snapshot's page-file payload backend. *)
+
+val to_blocks : 'a t -> 'a array array
+(** The blocks of a simulator-mode store, in id order — the form a
+    skeleton embeds.  @raise Invalid_argument in external mode. *)
+
+val of_blocks :
+  stats:Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  ?codec:'a Codec.t ->
+  'a array array ->
+  'a t
+(** Simulator-mode store whose blocks are exactly the given array
+    (ids [0..n-1]); the inverse of {!to_blocks}.
+    @raise Codec.Decode if a block exceeds [block_size]. *)
+
+val of_backend :
+  stats:Io_stats.t ->
+  block_size:int ->
+  ?cache_blocks:int ->
+  codec:'a Codec.t ->
+  Store_intf.backend ->
+  'a t
+(** External-mode store over an already-populated backend; block ids
+    [0 .. blocks_used - 1] are readable immediately. *)
 
 val set_stats : 'a t -> Io_stats.t -> unit
-(** Repoint the store's accounting at a fresh sink.  Needed after
-    unmarshalling a snapshot skeleton, whose auxiliary stores still
-    reference the stats object of the process that built them. *)
-
-val with_ejected : 'a t -> (unit -> 'r) -> 'r
-(** Run [f] with the store's contents temporarily replaced by an empty
-    placeholder (restored afterwards, also on exceptions).  This lets a
-    snapshot marshal a structure's skeleton — layer lists, block ids,
-    auxiliary btrees — without duplicating the payload blocks that are
-    written separately as pages.  While ejected, only [blocks_used] is
-    answerable; [read]/[write]/[alloc]/[export_bytes] raise [Failure
-    "Store: <op> during with_ejected"]. *)
-
-val marshal_flags : Marshal.extern_flags list
-(** Flags used for block payloads and snapshot skeletons
-    ([Marshal.Closures]: skeletons may contain comparator closures,
-    which ties a snapshot to the binary that wrote it). *)
+(** Repoint the store's accounting at a fresh sink.  Needed when a
+    structure revived from a snapshot skeleton is handed a fresh
+    [Io_stats] for the reopened session. *)

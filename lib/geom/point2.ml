@@ -32,3 +32,9 @@ let in_triangle a b c p =
   (o1 >= 0 && o2 >= 0 && o3 >= 0) || (o1 <= 0 && o2 <= 0 && o3 <= 0)
 
 let pp ppf p = Format.fprintf ppf "(%g, %g)" p.x p.y
+
+let codec =
+  Emio.Codec.map
+    ~decode:(fun (x, y) -> { x; y })
+    ~encode:(fun p -> (p.x, p.y))
+    Emio.Codec.(pair float float)

@@ -32,3 +32,6 @@ val in_triangle : t -> t -> t -> t -> bool
     orientation. *)
 
 val pp : Format.formatter -> t -> unit
+
+val codec : t Emio.Codec.t
+(** Two IEEE-754 floats — the on-disk form of a point. *)

@@ -21,3 +21,6 @@ val orient3 : t -> t -> t -> t -> float
     predicate of the incremental hull ({!Hull3}). *)
 
 val pp : Format.formatter -> t -> unit
+
+val codec : t Emio.Codec.t
+(** Three IEEE-754 floats — the on-disk form of a point. *)

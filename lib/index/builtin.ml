@@ -186,7 +186,29 @@ module H3 = struct
   let estimate t _q = logb ~bs:t.bs (blocks_of ~n:t.n ~bs:t.bs)
   let space_blocks t = Core.Halfspace3d.space_blocks t.s
   let counters t = [ ("fallbacks", Core.Halfspace3d.fallbacks t.s) ]
-  let snapshot = None
+
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Core.Halfspace3d.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Core.Halfspace3d.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Core.Halfspace3d.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      n = Core.Halfspace3d.length s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
 end
 
 module Ptree = struct
@@ -234,7 +256,28 @@ module Ptree = struct
   let counters t =
     [ ("last_visited_nodes", Core.Partition_tree.last_visited_nodes t.s) ]
 
-  let snapshot = None
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Core.Partition_tree.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Core.Partition_tree.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Core.Partition_tree.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      pts = Core.Partition_tree.points s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
 end
 
 module Shallow = struct
@@ -289,7 +332,28 @@ module Shallow = struct
   let counters t =
     [ ("last_secondary_uses", Core.Shallow_tree.last_secondary_uses t.s) ]
 
-  let snapshot = None
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Core.Shallow_tree.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Core.Shallow_tree.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Core.Shallow_tree.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      pts = Core.Shallow_tree.points s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
 end
 
 module Tradeoff = struct
@@ -342,7 +406,29 @@ module Tradeoff = struct
       ("last_secondary_queries", Core.Tradeoff3d.last_secondary_queries t.s);
     ]
 
-  let snapshot = None
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Core.Tradeoff3d.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Core.Tradeoff3d.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Core.Tradeoff3d.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      pts = Core.Tradeoff3d.points s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                      a = Core.Tradeoff3d.exponent s;
+                    },
+                    info ));
+      }
 end
 
 module Cert = struct
@@ -388,17 +474,38 @@ module Cert = struct
       ("certificate_items", Core.Cert_tree.certificate_items t.s);
     ]
 
-  let snapshot = None
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Core.Cert_tree.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Core.Cert_tree.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Core.Cert_tree.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      pts = Core.Cert_tree.points s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
 end
 
 (* The two R-tree packings share everything but the name and the
-   [packing] flag — and only the STR one owns the snapshot kind, so the
-   kind → module mapping stays injective. *)
+   [packing] flag; each stamps its own snapshot kind
+   ("lcsearch." ^ name) so the kind → module mapping stays
+   injective. *)
 module type RTREE_VARIANT = sig
   val name : string
   val description : string
   val packing : Baselines.Rtree.packing
-  val with_snapshot : bool
 end
 
 module Make_rtree (V : RTREE_VARIANT) = struct
@@ -434,43 +541,41 @@ module Make_rtree (V : RTREE_VARIANT) = struct
   let counters t = [ ("height", Baselines.Rtree.height t.s) ]
 
   let snapshot =
-    if not V.with_snapshot then None
-    else
-      Some
-        {
-          Index.snapshot_kind = Baselines.Rtree.snapshot_kind;
-          save =
-            (fun t ~path ~meta ~page_size ->
-              Baselines.Rtree.save_snapshot t.s ~path ~meta ?page_size ());
-          load =
-            (fun ~stats ~policy ~cache_pages path ->
-              match
-                Baselines.Rtree.of_snapshot ~stats ~policy ~cache_pages path
-              with
-              | Error _ as e -> e
-              | Ok (s, info) ->
-                  Ok
-                    ( {
-                        s;
-                        n = Baselines.Rtree.length s;
-                        bs = info.Diskstore.Snapshot.block_size;
-                      },
-                      info ));
-        }
+    let kind = "lcsearch." ^ V.name in
+    Some
+      {
+        Index.snapshot_kind = kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Baselines.Rtree.save_snapshot t.s ~path ~kind ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Baselines.Rtree.of_snapshot ~stats ~policy ~cache_pages ~kind
+                path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      n = Baselines.Rtree.length s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
 end
 
 module Rtree = Make_rtree (struct
   let name = "rtree"
   let description = "STR-packed R-tree baseline (§1.2 refs 29, 9)"
   let packing = Baselines.Rtree.Str
-  let with_snapshot = true
 end)
 
 module Rtree_hilbert = Make_rtree (struct
   let name = "rtree-hilbert"
   let description = "Hilbert-packed R-tree baseline (§1.2 ref 33)"
   let packing = Baselines.Rtree.Hilbert
-  let with_snapshot = false
 end)
 
 module Quadtree = struct
@@ -505,7 +610,29 @@ module Quadtree = struct
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Quadtree.space_blocks t.s
   let counters t = [ ("depth", Baselines.Quadtree.depth t.s) ]
-  let snapshot = None
+
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Baselines.Quadtree.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Baselines.Quadtree.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Baselines.Quadtree.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      n = Baselines.Quadtree.length s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
 end
 
 module Gridfile = struct
@@ -539,7 +666,29 @@ module Gridfile = struct
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Grid_file.space_blocks t.s
   let counters t = [ ("side", Baselines.Grid_file.side t.s) ]
-  let snapshot = None
+
+  let snapshot =
+    Some
+      {
+        Index.snapshot_kind = Baselines.Grid_file.snapshot_kind;
+        save =
+          (fun t ~path ~meta ~page_size ->
+            Baselines.Grid_file.save_snapshot t.s ~path ~meta ?page_size ());
+        load =
+          (fun ~stats ~policy ~cache_pages path ->
+            match
+              Baselines.Grid_file.of_snapshot ~stats ~policy ~cache_pages path
+            with
+            | Error _ as e -> e
+            | Ok (s, info) ->
+                Ok
+                  ( {
+                      s;
+                      n = Baselines.Grid_file.length s;
+                      bs = info.Diskstore.Snapshot.block_size;
+                    },
+                    info ));
+      }
 end
 
 module Scan = struct
@@ -607,10 +756,9 @@ module Scan = struct
             match t.s with
             | S2 s ->
                 Baselines.Linear_scan.save_snapshot s ~path ~meta ?page_size ()
-            | Sd _ ->
-                invalid_arg
-                  "scan.save_snapshot: d-dimensional scans have no snapshot \
-                   format");
+            | Sd s ->
+                Baselines.Linear_scan.save_snapshot_d s ~path ~meta ?page_size
+                  ());
         load =
           (fun ~stats ~policy ~cache_pages path ->
             match
@@ -618,14 +766,16 @@ module Scan = struct
                 path
             with
             | Error _ as e -> e
-            | Ok (s, info) ->
+            | Ok (any, info) ->
+                let s, n =
+                  match any with
+                  | Baselines.Linear_scan.T2 s ->
+                      (S2 s, Baselines.Linear_scan.length s)
+                  | Baselines.Linear_scan.Td s ->
+                      (Sd s, Baselines.Linear_scan.length_d s)
+                in
                 Ok
-                  ( {
-                      s = S2 s;
-                      n = Baselines.Linear_scan.length s;
-                      bs = info.Diskstore.Snapshot.block_size;
-                    },
-                    info ));
+                  ({ s; n; bs = info.Diskstore.Snapshot.block_size }, info));
       }
 end
 

@@ -169,3 +169,28 @@ let crossing_number cells c =
   Array.fold_left
     (fun acc cell -> if classify cell c = Crossing then acc + 1 else acc)
     0 cells
+
+let point_codec : point Emio.Codec.t = Emio.Codec.(array float)
+
+let cell_codec =
+  let open Emio.Codec in
+  let floats = array float in
+  let verts = array point_codec in
+  custom
+    ~write:(fun buf c ->
+      match c with
+      | Box { lo; hi } ->
+          write_u8 buf 0;
+          write floats buf lo;
+          write floats buf hi
+      | Simplex vs ->
+          write_u8 buf 1;
+          write verts buf vs)
+    ~read:(fun b pos ->
+      match read_u8 b pos with
+      | 0 ->
+          let lo = read floats b pos in
+          let hi = read floats b pos in
+          Box { lo; hi }
+      | 1 -> Simplex (read verts b pos)
+      | t -> raise (Decode (Printf.sprintf "bad cell tag %d" t)))

@@ -60,3 +60,6 @@ val bounding_simplex : dim:int -> point array -> cell
 val crossing_number : cell array -> constr -> int
 (** How many cells the constraint's boundary hyperplane crosses — the
     quantity Theorem 5.1 bounds by α r^{1-1/d}. *)
+
+val point_codec : point Emio.Codec.t
+val cell_codec : cell Emio.Codec.t

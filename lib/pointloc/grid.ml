@@ -108,6 +108,50 @@ let create ~stats ~block_size ?(cache_blocks = 0) ~clip ~items () =
     dir_block = block_size;
   }
 
+(* -- persistence -------------------------------------------------- *)
+
+type 'a portable = {
+  p_directory : (int * int) Emio.Run.stored;
+  p_buckets : (Point2.t array * 'a) Emio.Run.stored;
+  p_clip : float * float * float * float;
+  p_side : int;
+  p_dir_block : int;
+}
+
+let to_portable t =
+  {
+    p_directory = Emio.Run.to_stored t.directory;
+    p_buckets = Emio.Run.to_stored t.buckets;
+    p_clip = t.clip;
+    p_side = t.side;
+    p_dir_block = t.dir_block;
+  }
+
+let of_portable ~stats p =
+  {
+    directory = Emio.Run.of_stored ~stats p.p_directory;
+    buckets = Emio.Run.of_stored ~stats p.p_buckets;
+    clip = p.p_clip;
+    side = p.p_side;
+    dir_block = p.p_dir_block;
+  }
+
+let portable_codec payload =
+  let open Emio.Codec in
+  let bucket = pair (array Point2.codec) payload in
+  map
+    ~decode:(fun ((d, b), clip, (side, dir_block)) ->
+      { p_directory = d; p_buckets = b; p_clip = clip; p_side = side;
+        p_dir_block = dir_block })
+    ~encode:(fun p ->
+      ((p.p_directory, p.p_buckets), p.p_clip, (p.p_side, p.p_dir_block)))
+    (triple
+       (pair
+          (Emio.Run.stored_codec (pair int int))
+          (Emio.Run.stored_codec bucket))
+       (quad float float float float)
+       (pair int int))
+
 let locate t x y =
   match cell_of t x y with
   | None -> None

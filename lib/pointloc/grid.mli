@@ -34,3 +34,11 @@ val space_blocks : 'a t -> int
 
 val grid_side : 'a t -> int
 (** Number of cells per axis. *)
+
+(** {2 Persistence} *)
+
+type 'a portable
+
+val to_portable : 'a t -> 'a portable
+val of_portable : stats:Emio.Io_stats.t -> 'a portable -> 'a t
+val portable_codec : 'a Emio.Codec.t -> 'a portable Emio.Codec.t

@@ -140,6 +140,106 @@ let node_candidate node x y =
     check_block (!lo - 1) None |> check_block !lo
   end
 
+(* -- persistence -------------------------------------------------- *)
+
+(* The portable tree: every node's run becomes (block ids, length)
+   against the one store all runs share, whose blocks ride alongside. *)
+type node_p = {
+  np_lo : float;
+  np_hi : float;
+  np_run : int array * int;
+  np_mid : float;
+  np_left : node_p option;
+  np_right : node_p option;
+}
+
+type 'a portable = {
+  sp_blocks : 'a seg array array;
+  sp_cache : int;
+  sp_root : node_p option;
+  sp_block_size : int;
+  sp_n_segments : int;
+}
+
+let to_portable t =
+  let rec node_p n =
+    {
+      np_lo = n.lo;
+      np_hi = n.hi;
+      np_run = Emio.Run.to_portable n.run;
+      np_mid = n.mid;
+      np_left = Option.map node_p n.left;
+      np_right = Option.map node_p n.right;
+    }
+  in
+  let blocks, cache =
+    match t.root with
+    | None -> ([||], 0)
+    | Some n ->
+        let store = Emio.Run.store n.run in
+        (Emio.Store.to_blocks store, Emio.Store.cache_blocks store)
+  in
+  {
+    sp_blocks = blocks;
+    sp_cache = cache;
+    sp_root = Option.map node_p t.root;
+    sp_block_size = t.block_size;
+    sp_n_segments = t.n_segments;
+  }
+
+let of_portable ~stats p =
+  let store =
+    Emio.Store.of_blocks ~stats ~block_size:p.sp_block_size
+      ~cache_blocks:p.sp_cache p.sp_blocks
+  in
+  let rec node np =
+    {
+      lo = np.np_lo;
+      hi = np.np_hi;
+      run = Emio.Run.of_portable store np.np_run;
+      mid = np.np_mid;
+      left = Option.map node np.np_left;
+      right = Option.map node np.np_right;
+    }
+  in
+  {
+    root = Option.map node p.sp_root;
+    block_size = p.sp_block_size;
+    n_segments = p.sp_n_segments;
+  }
+
+let portable_codec payload =
+  let open Emio.Codec in
+  let seg_codec =
+    map
+      ~decode:(fun ((x0, x1, slope, icept), payload) ->
+        { x0; x1; slope; icept; payload })
+      ~encode:(fun s -> ((s.x0, s.x1, s.slope, s.icept), s.payload))
+      (pair (quad float float float float) payload)
+  in
+  let node_codec =
+    fix (fun self ->
+        map
+          ~decode:(fun ((np_lo, np_hi, np_mid), np_run, (np_left, np_right)) ->
+            { np_lo; np_hi; np_run; np_mid; np_left; np_right })
+          ~encode:(fun n ->
+            ((n.np_lo, n.np_hi, n.np_mid), n.np_run, (n.np_left, n.np_right)))
+          (triple
+             (triple float float float)
+             Emio.Run.portable_codec
+             (pair (option self) (option self))))
+  in
+  map
+    ~decode:(fun ((blocks, cache), root, (bs, n)) ->
+      { sp_blocks = blocks; sp_cache = cache; sp_root = root;
+        sp_block_size = bs; sp_n_segments = n })
+    ~encode:(fun p ->
+      ((p.sp_blocks, p.sp_cache), p.sp_root, (p.sp_block_size, p.sp_n_segments)))
+    (triple
+       (pair (array (array seg_codec)) int)
+       (option node_codec)
+       (pair int int))
+
 let locate_above t x y =
   let rec go node best =
     match node with

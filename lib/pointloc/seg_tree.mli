@@ -32,3 +32,11 @@ val locate_above : 'a t -> float -> float -> 'a option
 
 val space_blocks : 'a t -> int
 val segment_count : 'a t -> int
+
+(** {2 Persistence} *)
+
+type 'a portable
+
+val to_portable : 'a t -> 'a portable
+val of_portable : stats:Emio.Io_stats.t -> 'a portable -> 'a t
+val portable_codec : 'a Emio.Codec.t -> 'a portable Emio.Codec.t

@@ -177,3 +177,77 @@ let to_list t =
     done
   done;
   !acc
+
+(* -- persistence: the tree minus its comparator ------------------- *)
+
+type ('k, 'v) portable = {
+  p_leaf_blocks : ('k * 'v) array array;
+  p_internal_blocks : ('k * int) array array;
+  p_root : root;
+  p_height : int;
+  p_length : int;
+  p_n_leaves : int;
+  p_block_size : int;
+  p_cache_blocks : int;
+}
+
+let to_portable t =
+  {
+    p_leaf_blocks = Emio.Store.to_blocks t.leaves;
+    p_internal_blocks = Emio.Store.to_blocks t.internals;
+    p_root = t.root;
+    p_height = t.height;
+    p_length = t.length;
+    p_n_leaves = t.n_leaves;
+    p_block_size = Emio.Store.block_size t.leaves;
+    p_cache_blocks = Emio.Store.cache_blocks t.leaves;
+  }
+
+let of_portable ~stats ~cmp p =
+  let block_size = p.p_block_size and cache_blocks = p.p_cache_blocks in
+  {
+    leaves = Emio.Store.of_blocks ~stats ~block_size ~cache_blocks p.p_leaf_blocks;
+    internals =
+      Emio.Store.of_blocks ~stats ~block_size ~cache_blocks p.p_internal_blocks;
+    root = p.p_root;
+    height = p.p_height;
+    length = p.p_length;
+    n_leaves = p.p_n_leaves;
+    cmp;
+  }
+
+let portable_codec key value =
+  let open Emio.Codec in
+  let root_codec =
+    map
+      ~decode:(fun (tag, id) ->
+        match tag with
+        | 0 -> Leaf_root id
+        | 1 -> Node_root id
+        | t -> raise (Decode (Printf.sprintf "bad btree root tag %d" t)))
+      ~encode:(function Leaf_root id -> (0, id) | Node_root id -> (1, id))
+      (pair u8 int)
+  in
+  map
+    ~decode:(fun ((lb, ib, root), (h, len, nl), (bs, cb)) ->
+      {
+        p_leaf_blocks = lb;
+        p_internal_blocks = ib;
+        p_root = root;
+        p_height = h;
+        p_length = len;
+        p_n_leaves = nl;
+        p_block_size = bs;
+        p_cache_blocks = cb;
+      })
+    ~encode:(fun p ->
+      ( (p.p_leaf_blocks, p.p_internal_blocks, p.p_root),
+        (p.p_height, p.p_length, p.p_n_leaves),
+        (p.p_block_size, p.p_cache_blocks) ))
+    (triple
+       (triple
+          (array (array (pair key value)))
+          (array (array (pair key int)))
+          root_codec)
+       (triple int int int)
+       (pair int int))

@@ -50,3 +50,21 @@ val iter_range : ('k, 'v) t -> lo:'k -> hi:'k -> ('k -> 'v -> unit) -> unit
 
 val to_list : ('k, 'v) t -> ('k * 'v) list
 (** Full scan in key order, O(n) I/Os. *)
+
+(** {2 Persistence}
+
+    The on-disk form of a B-tree is everything except its comparator:
+    node blocks, root pointer, and shape parameters.  The reopening
+    side supplies [cmp] again — reconstructed from persisted build
+    parameters, never serialized. *)
+
+type ('k, 'v) portable
+
+val to_portable : ('k, 'v) t -> ('k, 'v) portable
+(** @raise Invalid_argument if the tree's stores are external. *)
+
+val of_portable :
+  stats:Emio.Io_stats.t -> cmp:('k -> 'k -> int) -> ('k, 'v) portable -> ('k, 'v) t
+
+val portable_codec :
+  'k Emio.Codec.t -> 'v Emio.Codec.t -> ('k, 'v) portable Emio.Codec.t

@@ -242,7 +242,7 @@ let test_store_over_file_backend () =
     (fun _path stats pool ->
       let fb = Diskstore.File_backend.create pool in
       let store =
-        Emio.Store.create ~stats ~block_size:4
+        Emio.Store.create ~stats ~block_size:4 ~codec:Emio.Codec.int
           ~backend:(Diskstore.File_backend.backend fb) ()
       in
       check_bool "external" true (Emio.Store.is_external store);
@@ -331,8 +331,13 @@ let test_snapshot_rtree_and_scan () =
   Baselines.Linear_scan.save_snapshot sc ~path:sc_path ();
   let s2 = Emio.Io_stats.create () in
   let rt', _ = expect_loaded (Baselines.Rtree.of_snapshot ~stats:s2 rt_path) in
-  let sc', _ =
+  let sc_any, _ =
     expect_loaded (Baselines.Linear_scan.of_snapshot ~stats:s2 sc_path)
+  in
+  let sc' =
+    match sc_any with
+    | Baselines.Linear_scan.T2 s -> s
+    | Baselines.Linear_scan.Td _ -> Alcotest.fail "expected a 2-d scan"
   in
   let rng = Workload.rng 31 in
   for _ = 1 to 10 do
@@ -398,7 +403,8 @@ let test_snapshot_truncation_corpus () =
       match load_h2 stub with
       | Error
           ( Diskstore.Snapshot.Truncated _ | Diskstore.Snapshot.Bad_checksum _
-          | Diskstore.Snapshot.Bad_header _ | Diskstore.Snapshot.Bad_magic ) ->
+          | Diskstore.Snapshot.Bad_header _ | Diskstore.Snapshot.Bad_magic
+          | Diskstore.Snapshot.Bad_section_crc _ ) ->
           ()
       | Ok _ -> Alcotest.failf "truncation to %d bytes accepted" keep
       | Error e ->
@@ -426,6 +432,35 @@ let test_snapshot_flipped_byte_corpus () =
       | Ok _ -> Alcotest.failf "flipped byte at %d accepted" off)
     offsets
 
+(* a v1 (closure-marshalled) snapshot must be rejected with the typed
+   Unsupported_version error, not misparsed *)
+let test_snapshot_v1_rejected () =
+  let path = saved_h2_snapshot () in
+  let raw = Bytes.of_string (read_file path) in
+  (* the version u32 sits at file offset 16 (8-byte page header, then
+     the 8-byte magic); rewrite it to 1 and re-seal the header page's
+     CRC so only the version check can fire *)
+  Bytes.set raw 16 '\001';
+  Bytes.set raw 17 '\000';
+  Bytes.set raw 18 '\000';
+  Bytes.set raw 19 '\000';
+  let psz = 256 in
+  let crc =
+    Diskstore.Crc32.update
+      (Diskstore.Crc32.update 0 raw ~pos:0 ~len:4)
+      raw ~pos:8 ~len:(psz - 8)
+  in
+  Bytes.set raw 4 (Char.chr (crc land 0xFF));
+  Bytes.set raw 5 (Char.chr ((crc lsr 8) land 0xFF));
+  Bytes.set raw 6 (Char.chr ((crc lsr 16) land 0xFF));
+  Bytes.set raw 7 (Char.chr ((crc lsr 24) land 0xFF));
+  let stub = temp_path () in
+  write_file stub (Bytes.to_string raw);
+  match load_h2 stub with
+  | Error (Diskstore.Snapshot.Unsupported_version 1) -> ()
+  | Ok _ -> Alcotest.fail "v1 snapshot accepted"
+  | Error e -> Alcotest.failf "wrong error: %a" Diskstore.Snapshot.pp_error e
+
 let test_snapshot_load_is_cold_process_safe () =
   (* the load path must not depend on any state of the saving run:
      simulate a "fresh process" by only using the path *)
@@ -443,6 +478,104 @@ let test_snapshot_load_is_cold_process_safe () =
       (Core.Halfspace2d.query_count reference ~slope ~icept)
       (Core.Halfspace2d.query_count loaded ~slope ~icept)
   done
+
+(* ---------- corruption corpora across every snapshot kind ----------
+
+   For each registered snapshot-capable structure: save a small
+   instance, check a clean reopen answers exactly what the linear-scan
+   oracle answers, then hit the file with the truncation and
+   flipped-byte corpora — every damaged variant must yield a typed
+   error, never a crash or a silently wrong structure. *)
+
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Workloads = Lcsearch_index.Workloads
+
+let sorted_rows rows = List.sort compare (List.map Array.to_list rows)
+
+let snapshot_corpus_case (module M : Index.S) () =
+  match M.snapshot with
+  | None -> ()
+  | Some ops ->
+      let dim = List.hd M.dims in
+      let rng = Workload.rng (4000 + (Hashtbl.hash M.name mod 101)) in
+      let ds =
+        Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n:400
+          (module M : Index.S)
+      in
+      let qs = Workloads.queries rng ds ~fraction:0.08 ~count:4 in
+      let stats = Emio.Io_stats.create () in
+      let params = { Index.default_params with Index.block_size = 16 } in
+      let t = M.build ~params ~stats ds in
+      let path = temp_path () in
+      ops.Index.save t ~path ~meta:"corpus" ~page_size:(Some 512);
+      let load p =
+        ops.Index.load
+          ~stats:(Emio.Io_stats.create ())
+          ~policy:Diskstore.Buffer_pool.Lru ~cache_pages:8 p
+      in
+      let (module Oracle : Index.S) = Registry.find_exn "scan" in
+      let oracle = Oracle.build ~params:Index.default_params ~stats ds in
+      (match load path with
+      | Error e ->
+          Alcotest.failf "%s: load failed: %a" M.name Diskstore.Snapshot.pp_error
+            e
+      | Ok (loaded, info) ->
+          Alcotest.(check string) (M.name ^ ": kind") ops.Index.snapshot_kind
+            info.Diskstore.Snapshot.kind;
+          List.iteri
+            (fun i q ->
+              check_bool
+                (Printf.sprintf "%s query %d: reopened = oracle" M.name i)
+                true
+                (sorted_rows (M.query loaded q)
+                = sorted_rows (Oracle.query oracle q)))
+            qs);
+      let whole = read_file path in
+      let n = String.length whole in
+      List.iter
+        (fun keep ->
+          let keep = max 0 (min keep (n - 1)) in
+          let stub = temp_path () in
+          write_file stub (String.sub whole 0 keep);
+          match load stub with
+          | Error
+              ( Diskstore.Snapshot.Truncated _
+              | Diskstore.Snapshot.Bad_checksum _
+              | Diskstore.Snapshot.Bad_header _ | Diskstore.Snapshot.Bad_magic
+              | Diskstore.Snapshot.Bad_section_crc _ ) ->
+              ()
+          | Ok _ ->
+              Alcotest.failf "%s: truncation to %d bytes accepted" M.name keep
+          | Error e ->
+              Alcotest.failf "%s: truncation to %d: wrong error %a" M.name keep
+                Diskstore.Snapshot.pp_error e)
+        [ 0; 1; 15; 100; 256; 300; n / 2; n - 200; n - 1 ];
+      List.iter
+        (fun off ->
+          let off = max 0 (min off (n - 1)) in
+          let corrupt = Bytes.of_string whole in
+          Bytes.set corrupt off
+            (Char.chr (Char.code (Bytes.get corrupt off) lxor 0x01));
+          let stub = temp_path () in
+          write_file stub (Bytes.to_string corrupt);
+          match load stub with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "%s: flipped byte at %d accepted" M.name off)
+        [ 0; 9; 40; 257; 300; 512; n / 2; (3 * n) / 4; n - 10 ]
+
+let snapshot_corpus_tests =
+  List.filter_map
+    (fun (module M : Index.S) ->
+      match M.snapshot with
+      | None -> None
+      | Some ops ->
+          Some
+            (Alcotest.test_case
+               (Printf.sprintf "corpus %s" ops.Index.snapshot_kind)
+               `Quick
+               (snapshot_corpus_case (module M : Index.S))))
+    (Registry.all ())
 
 let () =
   Alcotest.run "diskstore"
@@ -479,7 +612,9 @@ let () =
             test_snapshot_truncation_corpus;
           Alcotest.test_case "flipped-byte corpus" `Quick
             test_snapshot_flipped_byte_corpus;
+          Alcotest.test_case "v1 rejected" `Quick test_snapshot_v1_rejected;
           Alcotest.test_case "cold reopen" `Quick
             test_snapshot_load_is_cold_process_safe;
         ] );
+      ("snapshot corpora", snapshot_corpus_tests);
     ]

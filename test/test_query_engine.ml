@@ -1,7 +1,8 @@
 (* Satellites of the zero-allocation-reporting PR: Reporter semantics,
-   the decoded-block cache on external backends, the with_ejected
-   access guard, nearest-rank percentile edge cases, and sequential /
-   parallel batch equivalence across every registered structure. *)
+   the decoded-block cache on external backends, the codec requirements
+   of byte-level stores, nearest-rank percentile edge cases, and
+   sequential / parallel batch equivalence across every registered
+   structure. *)
 
 module Index = Lcsearch_index.Index
 module Registry = Lcsearch_index.Registry
@@ -99,7 +100,7 @@ let counting_store ~cache_blocks =
   let store =
     Emio.Store.create
       ~stats:(Emio.Io_stats.create ())
-      ~block_size:4 ~cache_blocks
+      ~block_size:4 ~cache_blocks ~codec:Emio.Codec.int
       ~backend:(Emio.Store_intf.Backend ((module Counting_backend), b))
       ()
   in
@@ -176,32 +177,56 @@ let test_decoded_cache_disabled () =
   check "cold cache: one backend read per Store.read" 3
     b.Counting_backend.phys_reads
 
-(* ---- with_ejected: access guard and restoration ---- *)
+(* ---- codec requirements: anything that touches bytes needs the
+   element codec; the pure simulator path never does ---- *)
 
-let test_with_ejected_guard () =
+let test_backend_requires_codec () =
+  let b =
+    { Counting_backend.blocks = Hashtbl.create 16; next = 0; phys_reads = 0 }
+  in
+  match
+    Emio.Store.create
+      ~stats:(Emio.Io_stats.create ())
+      ~block_size:4
+      ~backend:(Emio.Store_intf.Backend ((module Counting_backend), b))
+      ()
+  with
+  | (_ : int Emio.Store.t) ->
+      Alcotest.fail "external backend without a codec must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_export_requires_codec () =
+  let store = Emio.Store.create ~stats:(Emio.Io_stats.create ())
+      ~block_size:4 ()
+  in
+  ignore (Emio.Store.alloc store [| 1; 2 |]);
+  (match Emio.Store.export_bytes store with
+  | _ -> Alcotest.fail "export_bytes without a codec must raise"
+  | exception Invalid_argument _ -> ());
+  (* to_blocks is the codec-free skeleton-embedding path and still works *)
+  check "to_blocks still available" 1
+    (Array.length (Emio.Store.to_blocks store))
+
+let test_to_blocks_external_rejected () =
+  let store, _ = counting_store ~cache_blocks:0 in
+  ignore (Emio.Store.alloc store [| 1 |]);
+  match Emio.Store.to_blocks store with
+  | _ -> Alcotest.fail "to_blocks on an external store must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_of_blocks_roundtrip () =
   let stats = Emio.Io_stats.create () in
   let store = Emio.Store.create ~stats ~block_size:4 () in
-  let id = Emio.Store.alloc store [| 1; 2 |] in
-  Emio.Store.with_ejected store (fun () ->
-      check "blocks_used still answerable" 1 (Emio.Store.blocks_used store);
-      (match Emio.Store.read store id with
-      | _ -> Alcotest.fail "read during with_ejected must raise"
-      | exception Failure msg ->
-          Alcotest.(check string)
-            "read error names the op" "Store: read during with_ejected" msg);
-      (match Emio.Store.write store id [| 9 |] with
-      | () -> Alcotest.fail "write during with_ejected must raise"
-      | exception Failure _ -> ());
-      match Emio.Store.alloc store [| 9 |] with
-      | _ -> Alcotest.fail "alloc during with_ejected must raise"
-      | exception Failure _ -> ());
-  Alcotest.(check (array int)) "contents restored" [| 1; 2 |]
-    (Emio.Store.read store id);
-  (* restored on the exception path too *)
-  (try Emio.Store.with_ejected store (fun () -> failwith "boom")
-   with Failure _ -> ());
-  Alcotest.(check (array int)) "restored after exception" [| 1; 2 |]
-    (Emio.Store.read store id)
+  let id0 = Emio.Store.alloc store [| 1; 2; 3 |] in
+  let id1 = Emio.Store.alloc store [| 4 |] in
+  let revived =
+    Emio.Store.of_blocks ~stats ~block_size:4 (Emio.Store.to_blocks store)
+  in
+  Alcotest.(check (array int)) "block 0 revived" [| 1; 2; 3 |]
+    (Emio.Store.read revived id0);
+  Alcotest.(check (array int)) "block 1 revived" [| 4 |]
+    (Emio.Store.read revived id1);
+  check "blocks_used preserved" 2 (Emio.Store.blocks_used revived)
 
 (* ---- percentile: nearest-rank edge cases ---- *)
 
@@ -290,9 +315,17 @@ let () =
           Alcotest.test_case "disabled at 0" `Quick
             test_decoded_cache_disabled;
         ] );
-      ( "ejection",
-        [ Alcotest.test_case "with_ejected guard" `Quick
-            test_with_ejected_guard ] );
+      ( "codec guard",
+        [
+          Alcotest.test_case "backend requires codec" `Quick
+            test_backend_requires_codec;
+          Alcotest.test_case "export_bytes requires codec" `Quick
+            test_export_requires_codec;
+          Alcotest.test_case "to_blocks rejects external" `Quick
+            test_to_blocks_external_rejected;
+          Alcotest.test_case "of_blocks roundtrip" `Quick
+            test_of_blocks_roundtrip;
+        ] );
       ( "percentile",
         [ Alcotest.test_case "nearest rank" `Quick test_percentile ] );
       ("batch", batch_equivalence_tests);

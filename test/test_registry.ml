@@ -1,7 +1,8 @@
 (* Registry integrity, the error convention of Index.S.build, and the
    conformance suite: every registered structure must report exactly
    the points the linear-scan oracle reports, over every workload kind
-   and every dimension it supports. *)
+   and every dimension it supports — both in memory and again after a
+   snapshot save / fresh reopen. *)
 
 module Index = Lcsearch_index.Index
 module Registry = Lcsearch_index.Registry
@@ -119,7 +120,17 @@ let test_error_convention () =
   expect_invalid_arg "non-integral extra" (fun () ->
       build "quadtree" ~extra:[ ("max_depth", 2.5) ] (Index.Pts2 small_pts2))
 
-let test_scan_d_snapshot_refused () =
+let temp_snapshot () =
+  let path = Filename.temp_file "lcsearch_registry" ".snapshot" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+let sorted_rows rows =
+  List.sort compare (List.map Array.to_list rows)
+
+(* the d-dimensional scan arm shares kind "lcsearch.scan" with the 2-d
+   one; saving and reloading must bring back the right variant *)
+let test_scan_d_snapshot_roundtrip () =
   let ds =
     Index.PtsD (Workload.uniform_d (Workload.rng 23) ~n:64 ~dim:3 ~range:50.)
   in
@@ -128,14 +139,26 @@ let test_scan_d_snapshot_refused () =
     M.build ~params:Index.default_params ~stats:(Emio.Io_stats.create ()) ds
   in
   let ops = Option.get M.snapshot in
-  match ops.Index.save t ~path:"/tmp/never-written" ~meta:"" ~page_size:None with
-  | () -> Alcotest.fail "d-dimensional scan snapshot must be refused"
-  | exception Invalid_argument _ -> ()
+  let path = temp_snapshot () in
+  ops.Index.save t ~path ~meta:"" ~page_size:None;
+  match
+    ops.Index.load
+      ~stats:(Emio.Io_stats.create ())
+      ~policy:Diskstore.Buffer_pool.Lru ~cache_pages:4 path
+  with
+  | Error e ->
+      Alcotest.failf "d-dim scan reload failed: %s"
+        (Diskstore.Snapshot.error_to_string e)
+  | Ok (loaded, info) ->
+      Alcotest.(check string)
+        "kind" ops.Index.snapshot_kind info.Diskstore.Snapshot.kind;
+      let q = { Index.a0 = 10.; a = [| 0.5; -0.25 |] } in
+      Alcotest.(check bool)
+        "reopened d-scan = in-memory" true
+        (sorted_rows (M.query loaded q) = sorted_rows (M.query t q))
 
-(* ---- conformance: every structure vs the linear-scan oracle ---- *)
-
-let sorted_rows rows =
-  List.sort compare (List.map Array.to_list rows)
+(* ---- conformance: every structure vs the linear-scan oracle,
+   in memory and again after a snapshot save / reopen ---- *)
 
 let conformance_case ~kind (module M : Index.S) ~dim () =
   let n = 512 and q_count = 6 in
@@ -162,7 +185,31 @@ let conformance_case ~kind (module M : Index.S) ~dim () =
         (Printf.sprintf "%s d=%d %s query %d: query_count agrees" M.name dim
            (Workloads.kind_name kind) i)
         (List.length got) (M.query_count t q))
-    qs
+    qs;
+  match M.snapshot with
+  | None -> ()
+  | Some ops ->
+      let path = temp_snapshot () in
+      ops.Index.save t ~path ~meta:"" ~page_size:None;
+      (match
+         ops.Index.load
+           ~stats:(Emio.Io_stats.create ())
+           ~policy:Diskstore.Buffer_pool.Lru ~cache_pages:8 path
+       with
+      | Error e ->
+          Alcotest.failf "%s d=%d %s: snapshot reload failed: %s" M.name dim
+            (Workloads.kind_name kind)
+            (Diskstore.Snapshot.error_to_string e)
+      | Ok (reopened, _) ->
+          List.iteri
+            (fun i q ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s d=%d %s query %d: reopened rows" M.name
+                   dim (Workloads.kind_name kind) i)
+                true
+                (sorted_rows (M.query reopened q)
+                = sorted_rows (Oracle.query oracle q)))
+            qs)
 
 let conformance_tests =
   List.concat_map
@@ -196,8 +243,8 @@ let () =
         [
           Alcotest.test_case "Invalid_argument convention" `Quick
             test_error_convention;
-          Alcotest.test_case "scan d-dim snapshot refused" `Quick
-            test_scan_d_snapshot_refused;
+          Alcotest.test_case "scan d-dim snapshot roundtrip" `Quick
+            test_scan_d_snapshot_roundtrip;
         ] );
       ("conformance", conformance_tests);
     ]
