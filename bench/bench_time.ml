@@ -60,7 +60,9 @@ let run () =
    the schema).  Environment knobs:
      LCSEARCH_BENCH_N        points per structure   (default 8192)
      LCSEARCH_BENCH_QUERIES  batch size             (default 256)
-     LCSEARCH_BENCH_DOMAINS  parallel fan-out       (default 4)
+     LCSEARCH_BENCH_DOMAINS  parallel fan-out       (default: the Par
+                             pool's recommendation — cores minus one,
+                             clamped; 1 on OCaml < 5.0)
      LCSEARCH_BENCH_OUT      output path            (default BENCH_TIME.json) *)
 
 module Query_engine = Lcsearch_index.Query_engine
@@ -173,7 +175,9 @@ let json_of_batch_row r =
 let run_batch_throughput () =
   let n = env_int "LCSEARCH_BENCH_N" 8192 in
   let queries = env_int "LCSEARCH_BENCH_QUERIES" 256 in
-  let domains = env_int "LCSEARCH_BENCH_DOMAINS" 4 in
+  let domains =
+    env_int "LCSEARCH_BENCH_DOMAINS" (Lcsearch_index.Par.default_domains ())
+  in
   let out =
     match Sys.getenv_opt "LCSEARCH_BENCH_OUT" with
     | None | Some "" -> "BENCH_TIME.json"

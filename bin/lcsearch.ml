@@ -20,6 +20,7 @@ module Index = Lcsearch_index.Index
 module Registry = Lcsearch_index.Registry
 module Workloads = Lcsearch_index.Workloads
 module Query_engine = Lcsearch_index.Query_engine
+module Par = Lcsearch_index.Par
 
 let structure_conv =
   let parse name =
@@ -82,7 +83,8 @@ let list_cmd =
 
 (* ---------- run / sweep ---------- *)
 
-let run_once (module M : Index.S) n block_size fraction queries kind seed dim =
+let run_once (module M : Index.S) n block_size fraction queries kind seed dim
+    domains =
   let dim = pick_dim (module M) dim in
   let rng = Workload.rng seed in
   let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
@@ -99,7 +101,7 @@ let run_once (module M : Index.S) n block_size fraction queries kind seed dim =
     ((n + block_size - 1) / block_size)
     (Index.space_blocks inst)
     (Emio.Cost_ctx.total bctx);
-  let costs = Query_engine.run_batch inst qs in
+  let costs = Query_engine.run_batch ~domains inst qs in
   let reads = List.map (fun c -> c.Query_engine.reads) costs in
   let total_io = List.fold_left ( + ) 0 reads in
   let total_t =
@@ -116,6 +118,18 @@ let run_once (module M : Index.S) n block_size fraction queries kind seed dim =
   List.iter
     (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
     (Index.counters inst)
+
+(* Parallel fan-out for query batches.  Defaults to the Par pool's
+   recommendation (cores - 1, clamped; 1 on OCaml < 5.0, where the
+   pool is a sequential fallback). *)
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Par.default_domains ())
+    & info [ "domains" ]
+        ~doc:
+          "Domains to run query batches over (default: recommended count \
+           minus one; 1 = sequential).")
 
 let structure_arg =
   Arg.(
@@ -148,9 +162,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Build a structure and measure query I/Os")
     Term.(
       const run_once $ structure_arg $ n $ b $ fraction $ queries $ kind $ seed
-      $ dim_arg)
+      $ dim_arg $ domains_arg)
 
-let sweep_once (module M : Index.S) block_size fraction kind seed dim =
+let sweep_once (module M : Index.S) block_size fraction kind seed dim domains =
   let dim = pick_dim (module M) dim in
   Printf.printf "%10s %8s %10s %10s\n" "N" "n" "avg IO" "space";
   List.iter
@@ -163,7 +177,7 @@ let sweep_once (module M : Index.S) block_size fraction kind seed dim =
         Index.build (module M : Index.S) ~params:(params_of ~block_size) ~stats
           ds
       in
-      let costs = Query_engine.run_batch inst qs in
+      let costs = Query_engine.run_batch ~domains inst qs in
       let total =
         List.fold_left (fun acc c -> acc + c.Query_engine.reads) 0 costs
       in
@@ -188,7 +202,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep N and print I/O scaling")
     Term.(
-      const sweep_once $ structure_arg $ b $ fraction $ kind $ seed $ dim_arg)
+      const sweep_once $ structure_arg $ b $ fraction $ kind $ seed $ dim_arg
+      $ domains_arg)
 
 (* ---------- knn / segments (structure-specific extensions) ---------- *)
 

@@ -103,14 +103,21 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(partitioner = Kd)
   let root = if Array.length items = 0 then None else Some (build_node items) in
   { leaves; internals; root; length = Array.length points; dim; visited = 0 }
 
-(* Report every point of a subtree: O(subtree blocks) I/Os. *)
+(* Report every point of a subtree: O(subtree blocks) I/Os.  Explicit
+   for-loops, not Array.iter: the iteration closures were an
+   allocation per node visited, which is what separates a ~30 and a
+   ~60 words/query batch engine. *)
 let rec report_subtree t ~report = function
   | Leaf id ->
-      Array.iter (fun it -> report it.pid) (Emio.Store.read t.leaves id)
+      let items = Emio.Store.read t.leaves id in
+      for i = 0 to Array.length items - 1 do
+        report items.(i).pid
+      done
   | Node id ->
-      Array.iter
-        (fun child -> report_subtree t ~report child.sub)
-        (Emio.Store.read t.internals id)
+      let children = Emio.Store.read t.internals id in
+      for i = 0 to Array.length children - 1 do
+        report_subtree t ~report children.(i).sub
+      done
 
 (* The shared traversal: every reported pid goes through [report], so
    the reporter-sink, list and pure-counting entry points all run the
@@ -122,20 +129,23 @@ let query_with t ~classify_cell ~keep_point ~report =
         t.visited <- t.visited + 1;
         if Emio.Cost_ctx.tracing () then
           Emio.Cost_ctx.emit (Node { label = "ptree"; depth });
-        Array.iter
-          (fun it -> if keep_point it.coords then report it.pid)
-          (Emio.Store.read t.leaves id)
+        let items = Emio.Store.read t.leaves id in
+        for i = 0 to Array.length items - 1 do
+          let it = items.(i) in
+          if keep_point it.coords then report it.pid
+        done
     | Node id ->
         t.visited <- t.visited + 1;
         if Emio.Cost_ctx.tracing () then
           Emio.Cost_ctx.emit (Node { label = "ptree"; depth });
-        Array.iter
-          (fun child ->
-            match classify_cell child.cell with
-            | Cells.R_inside -> report_subtree t ~report child.sub
-            | Cells.R_disjoint -> ()
-            | Cells.R_crossing -> go ~depth:(depth + 1) child.sub)
-          (Emio.Store.read t.internals id)
+        let children = Emio.Store.read t.internals id in
+        for i = 0 to Array.length children - 1 do
+          let child = children.(i) in
+          match classify_cell child.cell with
+          | Cells.R_inside -> report_subtree t ~report child.sub
+          | Cells.R_disjoint -> ()
+          | Cells.R_crossing -> go ~depth:(depth + 1) child.sub
+        done
   in
   match t.root with None -> () | Some root -> go ~depth:0 root
 
@@ -170,16 +180,38 @@ let query_simplex t constrs =
 let halfspace_constr t ~a0 ~a =
   Cells.constr_of_halfspace ~dim:t.dim ~a0 ~a
 
-let query_halfspace t ~a0 ~a = query_simplex t [ halfspace_constr t ~a0 ~a ]
+(* Halfspace queries are the paper's (and the batch engine's) hot
+   path, so they bypass the constraint-list machinery: one constr,
+   classified and tested directly.  The closures below are the only
+   per-query allocations — nothing is allocated per child or per
+   point, where the list path paid a closure ([simplex_keep]) per
+   candidate point and ref cells ([classify_region]) per cell. *)
+let halfspace_classify c cell =
+  match Cells.classify cell c with
+  | Cells.Inside -> Cells.R_inside
+  | Cells.Outside -> Cells.R_disjoint
+  | Cells.Crossing -> Cells.R_crossing
+
+let query_halfspace_with t ~a0 ~a ~report =
+  let c = halfspace_constr t ~a0 ~a in
+  query_with t ~classify_cell:(halfspace_classify c)
+    ~keep_point:(Cells.satisfies c) ~report
+
+let query_halfspace t ~a0 ~a =
+  let acc = ref [] in
+  query_halfspace_with t ~a0 ~a ~report:(fun pid -> acc := pid :: !acc);
+  !acc
 
 let query_halfspace_into t ~a0 ~a r =
-  query_simplex_into t [ halfspace_constr t ~a0 ~a ] r
+  query_halfspace_with t ~a0 ~a ~report:(Emio.Reporter.add r)
 
 let query_halfspace_iter t ~a0 ~a report =
-  query_simplex_iter t [ halfspace_constr t ~a0 ~a ] report
+  query_halfspace_with t ~a0 ~a ~report
 
 let query_halfspace_count t ~a0 ~a =
-  query_simplex_count t [ halfspace_constr t ~a0 ~a ]
+  let n = ref 0 in
+  query_halfspace_with t ~a0 ~a ~report:(fun _ -> incr n);
+  !n
 
 let points t =
   let out = Array.make t.length [||] in

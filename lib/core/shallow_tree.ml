@@ -115,13 +115,20 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend
     secondary_uses = 0;
   }
 
+(* Explicit for-loops, not Array.iter: the iteration closures were an
+   allocation per node visited, which the zero-allocation batch path
+   cannot afford. *)
 let rec report_subtree t ~report = function
   | Leaf id ->
-      Array.iter (fun it -> report it.pid) (Emio.Store.read t.leaves id)
+      let items = Emio.Store.read t.leaves id in
+      for i = 0 to Array.length items - 1 do
+        report items.(i).pid
+      done
   | Node id ->
-      Array.iter
-        (fun child -> report_subtree t ~report child.sub)
-        (Emio.Store.read t.internals id)
+      let children = Emio.Store.read t.internals id in
+      for i = 0 to Array.length children - 1 do
+        report_subtree t ~report children.(i).sub
+      done
 
 (* The shared traversal behind every query entry point: each reported
    pid goes through [report], so reporter-sink, list and counting
@@ -131,23 +138,24 @@ let query_halfspace_iter t ~a0 ~a report =
   t.secondary_uses <- 0;
   let rec go = function
     | Leaf id ->
-        Array.iter
-          (fun it -> if Cells.satisfies c it.coords then report it.pid)
-          (Emio.Store.read t.leaves id)
+        let items = Emio.Store.read t.leaves id in
+        for i = 0 to Array.length items - 1 do
+          let it = items.(i) in
+          if Cells.satisfies c it.coords then report it.pid
+        done
     | Node id ->
         let children = Emio.Store.read t.internals id in
-        let crossing =
-          Array.fold_left
-            (fun n child ->
-              if Cells.classify child.cell c = Cells.Crossing then n + 1
-              else n)
-            0 children
-        in
+        let crossing = ref 0 in
+        for i = 0 to Array.length children - 1 do
+          match Cells.classify children.(i).cell c with
+          | Cells.Crossing -> incr crossing
+          | Cells.Inside | Cells.Outside -> ()
+        done;
         let threshold =
           t.shallow_factor
           *. (log (float_of_int (max 2 (Array.length children))) /. log 2.)
         in
-        if float_of_int crossing > threshold then begin
+        if float_of_int !crossing > threshold then begin
           (* not shallow at this node: delegate to the §5 secondary
              structure (its output term dominates, §6) *)
           t.secondary_uses <- t.secondary_uses + 1;
@@ -156,13 +164,13 @@ let query_halfspace_iter t ~a0 ~a report =
               report pids.(i))
         end
         else
-          Array.iter
-            (fun child ->
-              match Cells.classify child.cell c with
-              | Cells.Inside -> report_subtree t ~report child.sub
-              | Cells.Outside -> ()
-              | Cells.Crossing -> go child.sub)
-            children
+          for i = 0 to Array.length children - 1 do
+            let child = children.(i) in
+            match Cells.classify child.cell c with
+            | Cells.Inside -> report_subtree t ~report child.sub
+            | Cells.Outside -> ()
+            | Cells.Crossing -> go child.sub
+          done
   in
   match t.root with None -> () | Some root -> go root
 

@@ -32,6 +32,17 @@ let create ?trace () =
     trace;
   }
 
+(* Reusing one context per domain (reset between queries) is how the
+   batch engine keeps per-query accounting allocation-free; the
+   counters afterwards are bit-identical to a fresh context's. *)
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.hits <- 0;
+  t.evictions <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0
+
 let reads t = t.reads
 let writes t = t.writes
 let total t = t.reads + t.writes

@@ -38,6 +38,12 @@ val with_ctx : t -> (unit -> 'r) -> 'r
 (** Install [ctx] for the duration of the callback (exception-safe).
     Nested installs stack. *)
 
+val reset : t -> unit
+(** Zero every counter, leaving the trace sink in place.  A context
+    that is [reset] between measurements reports exactly what a fresh
+    one would — the batch engine installs one context per domain and
+    resets it between queries instead of allocating per query. *)
+
 val reads : t -> int
 val writes : t -> int
 val total : t -> int

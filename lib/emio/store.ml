@@ -1,28 +1,48 @@
 type 'a mem = { mutable blocks : 'a array array; mutable used : int }
 
-(* External state keeps a decoded-payload cache: the backend serves
-   raw bytes (with its own physical-page accounting), and [decoded]
-   memoizes the decoded ['a array]s for the ids currently resident
-   in the store's LRU, so hot blocks skip both the backend read and the
-   re-decode.  Capacity 0 (the default) disables it entirely. *)
-type 'a ext = {
-  backend : Store_intf.backend;
-  mutable allocated : int;
-  decoded : (int, 'a array) Hashtbl.t;
-}
+type 'a ext = { backend : Store_intf.backend; mutable allocated : int }
 
 type 'a state = Mem of 'a mem | Ext of 'a ext
+
+(* Block caches are per-domain: each domain of a parallel batch owns a
+   private LRU (plus, for external stores, the decoded-payload table
+   keyed by the ids resident in that LRU), living behind a {!Tls} key.
+   A single-domain process sees exactly the old shared-cache
+   behaviour — the main domain's cache IS the store's cache — while
+   parallel batches stop serializing (and racing) on one Lru/Hashtbl.
+   The configured [cache_blocks] capacity is split across domains when
+   the batch engine announces its fan-out ({!with_cache_split}), so a
+   parallel run models the same total main memory as a sequential
+   one. *)
+type 'a cache = { lru : Lru.t; decoded : (int, 'a array) Hashtbl.t }
 
 type 'a t = {
   mutable stats : Io_stats.t;
   block_size : int;
   mutable state : 'a state;
-  cache : Lru.t;
+  cache_capacity : int;  (* configured cache_blocks, pre-split *)
+  dcache : 'a cache Tls.key;
   (* block codec = Codec.array of the element codec: the wire format of
      one payload block.  Required in external mode; in simulator mode
      it is only consulted by {!export_bytes}. *)
   codec : 'a array Codec.t option;
 }
+
+(* How many ways to split a store's [cache_blocks] across domains.
+   1 outside parallel batches, so caches created by sequential code
+   (in particular the main domain's, created on first touch) always
+   get the full configured capacity.  Worker domains first touch a
+   store from inside Par.run, under [with_cache_split ~domains]. *)
+let cache_split = Atomic.make 1
+
+let with_cache_split ~domains f =
+  let prev = Atomic.exchange cache_split (max 1 domains) in
+  Fun.protect ~finally:(fun () -> Atomic.set cache_split prev) f
+
+let domain_cache_key capacity =
+  Tls.new_key (fun () ->
+      let capacity = max 1 (capacity / Atomic.get cache_split) in
+      { lru = Lru.create ~capacity; decoded = Hashtbl.create 16 })
 
 let block_codec t op =
   match t.codec with
@@ -31,6 +51,8 @@ let block_codec t op =
 
 let create ~stats ~block_size ?(cache_blocks = 0) ?codec ?backend () =
   if block_size <= 0 then invalid_arg "Store.create: block_size must be > 0";
+  if cache_blocks < 0 then
+    invalid_arg "Store.create: cache_blocks must be >= 0";
   let codec = Option.map Codec.array codec in
   let state =
     match backend with
@@ -38,13 +60,21 @@ let create ~stats ~block_size ?(cache_blocks = 0) ?codec ?backend () =
     | Some backend ->
         if codec = None then
           invalid_arg "Store.create: an external backend requires a codec";
-        Ext { backend; allocated = 0; decoded = Hashtbl.create 64 }
+        Ext { backend; allocated = 0 }
   in
-  { stats; block_size; state; cache = Lru.create ~capacity:cache_blocks; codec }
+  let dcache =
+    if cache_blocks = 0 then
+      (* never consulted (every cache probe is guarded by the
+         capacity); one shared empty cache keeps the key total down *)
+      Tls.new_key (fun () ->
+          { lru = Lru.create ~capacity:0; decoded = Hashtbl.create 1 })
+    else domain_cache_key cache_blocks
+  in
+  { stats; block_size; state; cache_capacity = cache_blocks; dcache; codec }
 
 let block_size t = t.block_size
 let stats t = t.stats
-let cache_blocks t = Lru.capacity t.cache
+let cache_blocks t = t.cache_capacity
 
 let blocks_used t =
   match t.state with Mem m -> m.used | Ext e -> e.allocated
@@ -64,6 +94,11 @@ let check_block t data =
   if Array.length data > t.block_size then
     invalid_arg "Store: block larger than block_size"
 
+(* This domain's LRU-touch: false (a charged miss) when caching is
+   disabled, without ever resolving the domain-local slot. *)
+let touch_cache t id =
+  t.cache_capacity > 0 && Lru.touch (Tls.get t.dcache).lru id
+
 let alloc t data =
   check_block t data;
   match t.state with
@@ -72,7 +107,7 @@ let alloc t data =
       let id = m.used in
       m.blocks.(id) <- data;
       m.used <- m.used + 1;
-      let hit = Lru.touch t.cache id in
+      let hit = touch_cache t id in
       let traced =
         if hit then Io_stats.record_hit_traced t.stats
         else Io_stats.record_write_traced t.stats
@@ -89,26 +124,27 @@ let read (t : 'a t) id : 'a array =
   match t.state with
   | Mem m ->
       if id < 0 || id >= m.used then invalid_arg "Store.read: bad block id";
-      let hit = Lru.touch t.cache id in
+      let hit = touch_cache t id in
       let traced =
         if hit then Io_stats.record_hit_traced t.stats
         else Io_stats.record_read_traced t.stats
       in
       if traced then Cost_ctx.emit (Block_read { id; hit });
       m.blocks.(id)
-  | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
       let codec = block_codec t "read" in
-      if Lru.capacity t.cache = 0 then begin
+      if t.cache_capacity = 0 then begin
         if Cost_ctx.tracing () then
           Cost_ctx.emit (Block_read { id; hit = false });
         Codec.decode codec (B.read b id)
       end
       else begin
-        let in_lru, evicted = Lru.touch_report t.cache id in
+        let dc = Tls.get t.dcache in
+        let in_lru, evicted = Lru.touch_report dc.lru id in
         (match evicted with
-        | Some victim -> Hashtbl.remove e.decoded victim
+        | Some victim -> Hashtbl.remove dc.decoded victim
         | None -> ());
-        match (if in_lru then Hashtbl.find_opt e.decoded id else None) with
+        match (if in_lru then Hashtbl.find_opt dc.decoded id else None) with
         | Some data ->
             if Cost_ctx.tracing () then
               Cost_ctx.emit (Block_read { id; hit = true });
@@ -117,7 +153,7 @@ let read (t : 'a t) id : 'a array =
             if Cost_ctx.tracing () then
               Cost_ctx.emit (Block_read { id; hit = false });
             let data = Codec.decode codec (B.read b id) in
-            Hashtbl.replace e.decoded id data;
+            Hashtbl.replace dc.decoded id data;
             data
       end
 
@@ -127,26 +163,34 @@ let write t id data =
   | Mem m ->
       if id < 0 || id >= m.used then invalid_arg "Store.write: bad block id";
       m.blocks.(id) <- data;
-      let hit = Lru.touch t.cache id in
+      let hit = touch_cache t id in
       let traced =
         if hit then Io_stats.record_hit_traced t.stats
         else Io_stats.record_write_traced t.stats
       in
       if traced then Cost_ctx.emit (Block_write { id; hit })
-  | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } ->
       if Cost_ctx.tracing () then Cost_ctx.emit (Block_write { id; hit = false });
       (* invalidate rather than update: caching the caller's array
-         would alias memory the caller may mutate after the write *)
-      Hashtbl.remove e.decoded id;
+         would alias memory the caller may mutate after the write.
+         Only this domain's decoded copy is dropped — parallel batches
+         are read-only by contract, so cross-domain copies cannot be
+         stale while another domain is querying. *)
+      if t.cache_capacity > 0 then
+        Hashtbl.remove (Tls.get t.dcache).decoded id;
       B.write b id (Codec.encode (block_codec t "write") data)
 
 let drop_cache t =
-  Lru.clear t.cache;
+  (* the calling domain's cache; worker domains drop theirs when they
+     next split (their caches die with the pool, not the store) *)
+  if t.cache_capacity > 0 then begin
+    let dc = Tls.get t.dcache in
+    Lru.clear dc.lru;
+    Hashtbl.reset dc.decoded
+  end;
   match t.state with
   | Mem _ -> ()
-  | Ext ({ backend = Store_intf.Backend ((module B), b); _ } as e) ->
-      Hashtbl.reset e.decoded;
-      B.drop_cache b
+  | Ext { backend = Store_intf.Backend ((module B), b); _ } -> B.drop_cache b
 
 let flush t =
   match t.state with

@@ -55,6 +55,19 @@ val stats : 'a t -> Io_stats.t
 val cache_blocks : 'a t -> int
 (** The LRU capacity this store was created with. *)
 
+val with_cache_split : domains:int -> (unit -> 'r) -> 'r
+(** Run the callback with every store's cache capacity split [domains]
+    ways.  Block caches are {e per-domain} (each domain owns a private
+    LRU, and in external mode a private decoded-payload table), created
+    lazily on a domain's first access to the store; a cache created
+    while a split is in force gets [max 1 (cache_blocks / domains)]
+    slots, so a parallel batch over [domains] domains models the same
+    total main memory as a sequential run.  The batch engine wraps its
+    fan-out in this; sequential code never needs it (the main domain's
+    cache is created at full capacity).  During a parallel run the
+    structures must be read-only: {!write} invalidates only the writing
+    domain's decoded copy. *)
+
 val alloc : 'a t -> 'a array -> int
 (** Store a fresh block (length ≤ [block_size]); charges one write and
     returns the new block id. *)

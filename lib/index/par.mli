@@ -1,17 +1,56 @@
-(** Build-time-selected parallel map: OCaml 5 runs it on [Domain]s
-    with a shared work index, 4.14 falls back to [Array.map].  The
-    {!Query_engine} batch runner is the only intended caller — queries
-    against the registered structures are read-only and keep their
-    per-query accounting in domain-local {!Emio.Cost_ctx}s, which is
-    what makes the fan-out safe. *)
+(** Build-time-selected parallel execution: OCaml 5 runs work on a
+    persistent pool of [Domain]s, 4.14 falls back to sequential loops.
+    The {!Query_engine} batch runner is the only intended caller —
+    queries against the registered structures are read-only and keep
+    their per-query accounting in domain-local {!Emio.Cost_ctx}s,
+    which is what makes the fan-out safe.
+
+    The pool is lazily created on the first parallel {!run}: worker
+    domains are spawned once per process, parked on a condition
+    variable between jobs, and reused across batches (spawning a
+    domain costs hundreds of microseconds — more than a whole 256
+    query h2 batch — which is why the per-batch [Domain.spawn] of the
+    first engine was a slowdown).  The pool grows to the largest
+    [domains] ever requested and is joined by an [at_exit] hook (or an
+    explicit {!shutdown}).
+
+    Not re-entrant: {!run} and {!map} must be called from the main
+    domain only, never from inside a running job. *)
 
 val available : bool
 (** [true] iff this build can actually run on multiple domains. *)
 
+val default_domains : unit -> int
+(** The fan-out to use when the caller expressed no preference:
+    [Domain.recommended_domain_count () - 1] (leaving a core for the
+    main domain's share of the work), clamped to [\[1, 8\]].  Always
+    [1] on 4.14 builds. *)
+
+val run : domains:int -> n:int -> ?chunk:int -> (int -> int -> unit) -> unit
+(** [run ~domains ~n ~chunk body] executes [body lo hi] over disjoint
+    index ranges covering [\[0, n)].  Ranges are claimed from a shared
+    atomic index in [chunk]-sized steps (default
+    [max 1 (n / (8 * domains))]), so uneven work balances across
+    domains without paying one fetch-and-add per item.  At most
+    [domains] domains participate; the calling domain is one of them.
+    The first exception any worker raises is re-raised after the job
+    completes.  With [domains <= 1] (or on 4.14 builds) this is
+    exactly [body 0 n] on the calling domain. *)
+
 val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] applies [f] to every element, preserving
-    order.  Work is pulled from a shared index so uneven queries
-    balance across domains; at most [domains] domains run (the calling
-    domain is one of them).  The first exception any worker raises is
-    re-raised after all domains join.  With [domains <= 1], on empty
-    input, or when {!available} is [false], this is [Array.map f xs]. *)
+    order — the boxed convenience wrapper over {!run} (chunk size 1,
+    per-element claiming) used by the trace-mode batch path, where
+    per-query cost dwarfs claim traffic.  With [domains <= 1], on
+    empty input, or when {!available} is [false], this is
+    [Array.map f xs]. *)
+
+val pool_size : unit -> int
+(** Worker domains currently parked in the pool (0 before the first
+    parallel {!run} and always 0 on 4.14 builds).  The calling domain
+    is not counted. *)
+
+val shutdown : unit -> unit
+(** Join every pooled worker domain.  Idempotent; registered
+    [at_exit].  A later {!run} simply respawns the pool, so this is
+    safe to call between batches (tests do, to pin pool reuse). *)

@@ -1,0 +1,26 @@
+(* The sequential fallback must satisfy Par's contract without
+   domains: the full index range is covered exactly once, in order,
+   regardless of the requested fan-out. *)
+
+let () =
+  assert (not Par_fallback.available);
+  assert (Par_fallback.default_domains () = 1);
+  assert (Par_fallback.pool_size () = 0);
+  let hits = Array.make 64 0 in
+  Par_fallback.run ~domains:4 ~n:64 (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  assert (Array.for_all (fun c -> c = 1) hits);
+  Par_fallback.run ~domains:2 ~n:17 ~chunk:3 (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  assert (Array.for_all (fun c -> c = 2) (Array.sub hits 0 17));
+  (* n = 0: the body must not run at all *)
+  Par_fallback.run ~domains:8 ~n:0 (fun _ _ -> assert false);
+  assert (Par_fallback.map ~domains:8 (fun x -> x * x) [| 1; 2; 3 |]
+          = [| 1; 4; 9 |]);
+  assert (Par_fallback.map ~domains:2 succ [||] = [||]);
+  Par_fallback.shutdown ();
+  print_endline "par fallback: ok"

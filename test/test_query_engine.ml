@@ -251,6 +251,94 @@ let test_percentile () =
   | _ -> Alcotest.fail "p < 0 must raise"
   | exception Invalid_argument _ -> ()
 
+(* ties: nearest rank picks the value at the rank, duplicates and
+   all — no interpolation, no dedup *)
+let test_percentile_ties () =
+  let xs = [ 3; 1; 3; 2; 3; 2 ] in
+  (* sorted: 1 2 2 3 3 3 *)
+  check "p=0 is the minimum with ties" 1 (Query_engine.percentile 0. xs);
+  check "p=1 is the maximum with ties" 3 (Query_engine.percentile 1. xs);
+  check "p=0.5 lands inside a tie run" 2 (Query_engine.percentile 0.5 xs);
+  check "p=0.51 crosses into the next run" 3
+    (Query_engine.percentile 0.51 xs);
+  check "p=2/3 boundary rank" 3 (Query_engine.percentile (2. /. 3.) xs);
+  let flat = [ 5; 5; 5; 5 ] in
+  List.iter
+    (fun p ->
+      check
+        (Printf.sprintf "all-equal sample at p=%g" p)
+        5
+        (Query_engine.percentile p flat))
+    [ 0.; 0.25; 0.5; 0.75; 1. ]
+
+(* ---- the persistent domain pool ---- *)
+
+let count_covered ~domains ?chunk n =
+  let hits = Array.make (max 1 n) 0 in
+  Par.run ~domains ~n ?chunk (fun lo hi ->
+      for i = lo to hi - 1 do
+        (* each index must be claimed by exactly one chunk, so plain
+           non-atomic increments are safe *)
+        hits.(i) <- hits.(i) + 1
+      done);
+  Array.for_all (fun c -> c = 1) (Array.sub hits 0 n)
+
+let test_pool_covers_range () =
+  List.iter
+    (fun (domains, n, chunk) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d n=%d covered exactly once" domains n)
+        true
+        (count_covered ~domains ?chunk n))
+    [ (1, 100, None); (2, 100, None); (4, 7, None); (4, 1000, Some 1);
+      (8, 64, Some 64); (3, 0, None) ]
+
+let test_pool_reuse () =
+  if Par.available then begin
+    Par.shutdown ();
+    check "shutdown empties the pool" 0 (Par.pool_size ());
+    Alcotest.(check bool) "first batch after shutdown" true
+      (count_covered ~domains:4 64);
+    let size = Par.pool_size () in
+    check "run ~domains:4 spawns three helpers" 3 size;
+    Alcotest.(check bool) "second batch" true (count_covered ~domains:4 64);
+    check "consecutive batch reuses the pool" size (Par.pool_size ());
+    Alcotest.(check bool) "smaller fan-out reuses too" true
+      (count_covered ~domains:2 64);
+    check "no shrink on smaller fan-out" size (Par.pool_size ())
+  end
+
+exception Poisoned of int
+
+let test_pool_exception () =
+  (match
+     Par.run ~domains:4 ~n:100 ~chunk:1 (fun lo _ ->
+         if lo = 37 then raise (Poisoned lo))
+   with
+  | () -> Alcotest.fail "poisoned chunk must propagate its exception"
+  | exception Poisoned 37 -> ());
+  (* the pool survives a poisoned job *)
+  Alcotest.(check bool) "pool usable after an exception" true
+    (count_covered ~domains:4 64)
+
+let test_batch_poisoned_query () =
+  let module M = (val Registry.find_exn "h2") in
+  let rng = Workload.rng 4242 in
+  let ds =
+    Workloads.dataset rng ~kind:Workloads.Uniform ~dim:2 ~n:256
+      (module M : Index.S)
+  in
+  let qs =
+    Array.of_list (Workloads.queries rng ds ~fraction:0.05 ~count:8)
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Index.build (module M) ~params:Index.default_params ~stats ds in
+  (* a d=3 query against a d=2 structure: the adapter rejects it *)
+  qs.(5) <- { Index.a0 = 0.; a = [| 1.; 2. |] };
+  match Query_engine.run_batch_array ~domains:4 t qs with
+  | _ -> Alcotest.fail "poisoned query must raise out of the batch"
+  | exception Invalid_argument _ -> ()
+
 (* ---- batch execution: parallel runs must report the exact
    sequential per-query costs (reads, writes, hits, result) ---- *)
 
@@ -286,6 +374,46 @@ let batch_equivalence_case (module M : Index.S) () =
           p.result)
       seq
   end
+
+(* Fan-out sweep on the three structures the perf work targets: every
+   domain count must reproduce the sequential costs bit-for-bit. *)
+let multi_domain_case name () =
+  let module M = (val Registry.find_exn name : Index.S) in
+  let dim = List.hd M.dims in
+  let rng = Workload.rng 7700 in
+  let ds =
+    Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n:1024
+      (module M : Index.S)
+  in
+  let qs =
+    Array.of_list (Workloads.queries rng ds ~fraction:0.03 ~count:32)
+  in
+  let stats = Emio.Io_stats.create () in
+  let t = Index.build (module M) ~params:Index.default_params ~stats ds in
+  let seq = Query_engine.run_batch_array t qs in
+  List.iter
+    (fun domains ->
+      let par = Query_engine.run_batch_array ~domains t qs in
+      Array.iteri
+        (fun i (c : Query_engine.cost) ->
+          let p = par.(i) in
+          let label field =
+            Printf.sprintf "%s @%d domains, query %d: %s" name domains i field
+          in
+          check (label "reads") c.reads p.reads;
+          check (label "writes") c.writes p.writes;
+          check (label "hits") c.hits p.hits;
+          check (label "result") c.result p.result)
+        seq)
+    [ 1; 2; 4; 8 ]
+
+let multi_domain_tests =
+  List.map
+    (fun name ->
+      Alcotest.test_case
+        (Printf.sprintf "%s @ domains 1/2/4/8" name)
+        `Quick (multi_domain_case name))
+    [ "h2"; "shallow"; "ptree" ]
 
 let batch_equivalence_tests =
   List.map
@@ -327,6 +455,21 @@ let () =
             test_of_blocks_roundtrip;
         ] );
       ( "percentile",
-        [ Alcotest.test_case "nearest rank" `Quick test_percentile ] );
+        [
+          Alcotest.test_case "nearest rank" `Quick test_percentile;
+          Alcotest.test_case "ties" `Quick test_percentile_ties;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "range covered exactly once" `Quick
+            test_pool_covers_range;
+          Alcotest.test_case "reused across consecutive batches" `Quick
+            test_pool_reuse;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "poisoned query in a batch" `Quick
+            test_batch_poisoned_query;
+        ] );
       ("batch", batch_equivalence_tests);
+      ("batch fan-out", multi_domain_tests);
     ]
