@@ -45,6 +45,15 @@ let workload_conv =
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
+(* SIGINT/SIGTERM during a bench must still run the at_exit hooks
+   (Par.shutdown joins the domain pool), so an interrupted run leaves
+   no stuck worker domains behind: exit with the conventional
+   128+signal status instead of dying on the default handler. *)
+let install_clean_exit () =
+  let handle code = Sys.Signal_handle (fun _ -> exit code) in
+  (try Sys.set_signal Sys.sigint (handle 130) with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigterm (handle 143) with Invalid_argument _ -> ()
+
 (* The dimension to run a structure at: --dim if given, else the
    structure's first supported dimension. *)
 let pick_dim (module M : Index.S) = function
@@ -85,6 +94,7 @@ let list_cmd =
 
 let run_once (module M : Index.S) n block_size fraction queries kind seed dim
     domains =
+  install_clean_exit ();
   let dim = pick_dim (module M) dim in
   let rng = Workload.rng seed in
   let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
@@ -165,6 +175,7 @@ let run_cmd =
       $ dim_arg $ domains_arg)
 
 let sweep_once (module M : Index.S) block_size fraction kind seed dim domains =
+  install_clean_exit ();
   let dim = pick_dim (module M) dim in
   Printf.printf "%10s %8s %10s %10s\n" "N" "n" "avg IO" "space";
   List.iter
@@ -514,6 +525,242 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Print a snapshot file's header")
     Term.(const inspect_once $ path)
 
+(* ---------- serve / loadgen ---------- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~doc:"Address to bind or connect to.")
+
+let snapshots_arg =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"SNAPSHOT"
+        ~doc:"Snapshot files written by $(b,lcsearch build), one per structure.")
+
+let serve_once host port snapshots queue batch domains deadline_ms read_timeout
+    cache_pages policy no_resident verbose =
+  let cfg =
+    {
+      Serve.Server.default_config with
+      host;
+      port;
+      snapshots;
+      queue_capacity = queue;
+      batch_max = batch;
+      domains;
+      default_deadline_ms = deadline_ms;
+      read_timeout_s = read_timeout;
+      cache_pages;
+      policy;
+      resident = not no_resident;
+      verbose;
+    }
+  in
+  let srv = try Serve.Server.start cfg with Failure m -> die "%s" m in
+  Printf.printf "serving on %s:%d (%s mode, %d domain%s):\n" host
+    (Serve.Server.port srv)
+    (if no_resident then "file-backed" else "resident")
+    (if no_resident then 1 else domains)
+    (if (not no_resident) && domains > 1 then "s" else "");
+  List.iter
+    (fun (name, dim) -> Printf.printf "  %-14s d=%d\n" name dim)
+    (Serve.Server.structures srv);
+  print_string "SIGINT/SIGTERM drains and exits.\n";
+  flush stdout;
+  let stop_requested = ref false in
+  let request_stop = Sys.Signal_handle (fun _ -> stop_requested := true) in
+  (try Sys.set_signal Sys.sigint request_stop with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm request_stop with Invalid_argument _ -> ());
+  while not !stop_requested do
+    Thread.delay 0.2
+  done;
+  prerr_endline "draining...";
+  Serve.Server.stop srv;
+  let s = Serve.Server.stats srv in
+  Printf.printf
+    "served %d of %d accepted; shed %d queue-full, %d deadline, %d draining; \
+     %d errors\n"
+    s.Serve.Server.served s.Serve.Server.accepted s.Serve.Server.shed_full
+    s.Serve.Server.shed_deadline s.Serve.Server.shed_drain s.Serve.Server.errors
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 7227 & info [ "p"; "port" ] ~doc:"TCP port (0 = ephemeral).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~doc:"Admission queue capacity (requests).")
+  in
+  let batch =
+    Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Dispatcher batch size.")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 200
+      & info [ "deadline-ms" ]
+          ~doc:"Default queueing deadline for requests that set none.")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "read-timeout" ] ~doc:"Per-connection idle timeout in seconds.")
+  in
+  let cache_pages =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-pages" ] ~doc:"Buffer-pool capacity in pages.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Diskstore.Buffer_pool.Lru
+      & info [ "policy" ] ~doc:"Buffer-pool eviction policy: lru or clock.")
+  in
+  let no_resident =
+    Arg.(
+      value & flag
+      & info [ "no-resident" ]
+          ~doc:
+            "Serve payload blocks from the file through the buffer pool \
+             instead of preloading them (forces sequential dispatch: the \
+             pool is not safe under domain fan-out).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log connections.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve snapshots over TCP with admission control")
+    Term.(
+      const serve_once $ host_arg $ port $ snapshots_arg $ queue $ batch
+      $ domains_arg $ deadline $ read_timeout $ cache_pages $ policy
+      $ no_resident $ verbose)
+
+let loadgen_once host port snapshots mode_name concurrency qps duration warmup
+    mix_name zipf_s pool fraction want_ids deadline_ms check seed out verbose =
+  let mode =
+    match mode_name with
+    | "closed" -> Serve.Loadgen.Closed concurrency
+    | "open" -> Serve.Loadgen.Open qps
+    | m -> die "unknown mode %S (closed or open)" m
+  in
+  let mix =
+    match mix_name with
+    | "uniform" -> Serve.Loadgen.Uniform_mix
+    | "zipf" -> Serve.Loadgen.Zipf zipf_s
+    | m -> die "unknown mix %S (uniform or zipf)" m
+  in
+  let cfg =
+    {
+      Serve.Loadgen.host;
+      port;
+      snapshots;
+      mode;
+      mix;
+      duration_s = duration;
+      warmup_s = warmup;
+      pool;
+      fraction;
+      want_ids;
+      deadline_ms;
+      check;
+      seed;
+      verbose;
+    }
+  in
+  let summary = try Serve.Loadgen.run cfg with Failure m -> die "%s" m in
+  Format.printf "%a@?" Serve.Loadgen.pp_summary summary;
+  (match out with
+  | Some path ->
+      Serve.Loadgen.write_json ~path summary;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if check && summary.Serve.Loadgen.mismatches > 0 then
+    die "check FAILED: %d responses disagree with the sequential oracle"
+      summary.Serve.Loadgen.mismatches
+
+let loadgen_cmd =
+  let port =
+    Arg.(value & opt int 7227 & info [ "p"; "port" ] ~doc:"Server TCP port.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt string "closed"
+      & info [ "mode" ] ~doc:"closed (concurrency-bound) or open (rate-bound).")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "concurrency" ] ~doc:"Closed-loop worker threads.")
+  in
+  let qps =
+    Arg.(
+      value & opt float 500.
+      & info [ "qps" ] ~doc:"Open-loop target arrival rate.")
+  in
+  let duration =
+    Arg.(value & opt float 10. & info [ "duration" ] ~doc:"Run length in seconds.")
+  in
+  let warmup =
+    Arg.(
+      value & opt float 1.
+      & info [ "warmup" ] ~doc:"Seconds excluded from latency accounting.")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "mix" ] ~doc:"Query popularity: uniform or zipf.")
+  in
+  let zipf_s =
+    Arg.(value & opt float 1.1 & info [ "zipf-s" ] ~doc:"Zipf skew exponent.")
+  in
+  let pool =
+    Arg.(
+      value & opt int 64
+      & info [ "pool" ] ~doc:"Pregenerated queries per structure.")
+  in
+  let fraction =
+    Arg.(value & opt float 0.02 & info [ "f"; "fraction" ] ~doc:"Query selectivity.")
+  in
+  let want_ids =
+    Arg.(
+      value & flag
+      & info [ "ids" ] ~doc:"Request answer ids (id-reporting structures).")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~doc:"Per-request deadline (0 = server default).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Reopen each snapshot in-process and verify every response's \
+             count, I/O cost words, and ids against the sequential \
+             single-query engine; exit nonzero on any mismatch.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_SERVE.json")
+      & info [ "json" ] ~docv:"PATH" ~doc:"Summary JSON output path.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty output.") in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running lcsearch serve and measure tail latency")
+    Term.(
+      const loadgen_once $ host_arg $ port $ snapshots_arg $ mode $ concurrency
+      $ qps $ duration $ warmup $ mix $ zipf_s $ pool $ fraction $ want_ids
+      $ deadline $ check $ seed $ out $ verbose)
+
 let info_text () =
   print_string
     "Efficient Searching with Linear Constraints — OCaml reproduction\n\
@@ -548,6 +795,8 @@ let () =
             build_cmd;
             query_cmd;
             inspect_cmd;
+            serve_cmd;
+            loadgen_cmd;
             knn_cmd;
             segments_cmd;
             info_cmd;

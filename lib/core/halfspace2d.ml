@@ -24,17 +24,40 @@ type t = {
   length : int;
   block_size : int;
   beta : int;
+  (* diagnostic gauges for the last query; racy under concurrent
+     queries, which is fine for a "last query" counter *)
   mutable last_clusters_visited : int;
   mutable last_layers_visited : int;
-  (* query-time scratch, one slot per distinct dual line: a line is
-     "marked" when its slot holds the current epoch, so resetting a
-     mark set is one counter bump, and the hot loops never hash or
-     allocate.  Single-owner state, like a Reporter: never share one
-     [t] across concurrently running queries. *)
-  reported_at : int array;
-  above_at : int array;
+  distinct : int; (* scratch slots a query needs: distinct dual lines *)
+}
+
+(* Query-time dedup scratch, one slot per distinct dual line: a line
+   is "marked" when its slot holds the current epoch, so resetting a
+   mark set is one counter bump, and the hot loops never hash or
+   allocate.  The scratch lives in domain-local storage ({!Emio.Tls}),
+   not in [t]: the batch engine fans queries against one shared [t]
+   out across domains, and epoch marks are exactly the state that
+   must not be shared between concurrently running queries.  One
+   scratch per domain, grown to the largest structure it has served. *)
+type scratch = {
+  mutable reported_at : int array;
+  mutable above_at : int array;
   mutable epoch : int;
 }
+
+let scratch_key : scratch Emio.Tls.key =
+  Emio.Tls.new_key (fun () ->
+      { reported_at = [||]; above_at = [||]; epoch = 0 })
+
+let scratch_for t =
+  let sc = Emio.Tls.get scratch_key in
+  if Array.length sc.reported_at < t.distinct then begin
+    (* fresh zeroed arrays: epoch restarts above 0, so no stale marks *)
+    sc.reported_at <- Array.make t.distinct 0;
+    sc.above_at <- Array.make t.distinct 0;
+    sc.epoch <- 0
+  end;
+  sc
 
 let length t = t.length
 let block_size t = t.block_size
@@ -158,9 +181,7 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?backend ?(seed = 0) points =
     beta;
     last_clusters_visited = 0;
     last_layers_visited = 0;
-    reported_at = Array.make (max 1 distinct) 0;
-    above_at = Array.make (max 1 distinct) 0;
-    epoch = 0;
+    distinct = max 1 distinct;
   }
 
 (* Is the dual line below (or through) the dual query point (px,py)? *)
@@ -170,17 +191,17 @@ let below_query ~px ~py e = (e.slope *. px) +. e.icept <= py +. Eps.eps
    the query point to [report].  Returns whether the overall query may
    halt here (Lemma 3.1) and the number of clusters visited (the
    r - l + 1 of Lemma 3.4).  Dedup stays (the same line appears in
-   several overlapping clusters) but runs on the epoch-stamped scratch
-   arrays in [t] — the former per-layer hash tables keyed by boxed
+   several overlapping clusters) but runs on the domain's epoch-stamped
+   scratch arrays — the former per-layer hash tables keyed by boxed
    (slope, icept) tuples dominated the query's CPU profile. *)
-let query_clustered t ~px ~py ~lambda ~clusters ~btree ~report =
+let query_clustered sc ~px ~py ~lambda ~clusters ~btree ~report =
   let u = Array.length clusters in
   let relevant =
     match Xbtree.Btree.predecessor btree px with
     | Some (_, idx) -> idx + 1
     | None -> 0
   in
-  let reported_at = t.reported_at and qe = t.epoch in
+  let reported_at = sc.reported_at and qe = sc.epoch in
   let report e =
     if reported_at.(e.id) <> qe then begin
       reported_at.(e.id) <- qe;
@@ -202,8 +223,8 @@ let query_clustered t ~px ~py ~lambda ~clusters ~btree ~report =
        lambda distinct lines of the walked union lie above the query *)
     let visited = ref 1 in
     let walk step =
-      t.epoch <- t.epoch + 1;
-      let above_at = t.above_at and we = t.epoch in
+      sc.epoch <- sc.epoch + 1;
+      let above_at = sc.above_at and we = sc.epoch in
       let above = ref 0 in
       let k = ref (relevant + step) in
       let stop = ref false in
@@ -232,7 +253,8 @@ let iter_entries t ~slope ~icept report =
   let px = slope and py = icept in
   let halted = ref false in
   let i = ref 0 in
-  t.epoch <- t.epoch + 1;
+  let sc = scratch_for t in
+  sc.epoch <- sc.epoch + 1;
   t.last_clusters_visited <- 0;
   while (not !halted) && !i < Array.length t.layer_list do
     if Emio.Cost_ctx.tracing () then
@@ -245,7 +267,7 @@ let iter_entries t ~slope ~icept report =
         halted := true
     | Clustered { lambda; clusters; btree } ->
         let stop, visited =
-          query_clustered t ~px ~py ~lambda ~clusters ~btree ~report
+          query_clustered sc ~px ~py ~lambda ~clusters ~btree ~report
         in
         t.last_clusters_visited <- t.last_clusters_visited + visited;
         if stop then halted := true);
@@ -344,7 +366,7 @@ let to_skeleton t =
     sk_block_size = t.block_size;
     sk_cache_blocks = Emio.Store.cache_blocks t.store;
     sk_beta = t.beta;
-    sk_scratch = Array.length t.reported_at;
+    sk_scratch = t.distinct;
   }
 
 let of_skeleton ~stats ~backend sk =
@@ -373,9 +395,7 @@ let of_skeleton ~stats ~backend sk =
     beta = sk.sk_beta;
     last_clusters_visited = 0;
     last_layers_visited = 0;
-    reported_at = Array.make (max 1 sk.sk_scratch) 0;
-    above_at = Array.make (max 1 sk.sk_scratch) 0;
-    epoch = 0;
+    distinct = max 1 sk.sk_scratch;
   }
 
 let save_snapshot t ~path ?meta ?page_size () =

@@ -20,7 +20,25 @@ val create : ?base_page:int -> Buffer_pool.t -> t
     [base_page] (default 0) upward. *)
 
 val of_table : ?base_page:int -> table:(int * int) array -> Buffer_pool.t -> t
-(** Reopen over an existing page layout (used by {!Snapshot.load}). *)
+(** Reopen over an existing page layout (used by {!Snapshot.load}).
+    Preloads immediately when {!set_resident_on_reopen} is on. *)
+
+val preload : t -> unit
+(** Pull every block payload into an in-memory resident array (read
+    once through the pool, CRC-checked).  Afterwards [read] copies out
+    of the array without touching the pool or the file, charging one
+    model read per page of the block's span to the backend's
+    {!Emio.Io_stats} — deterministic per-query cost words with no
+    cache state, and safe to call from concurrent read-only queries
+    across domains.  Idempotent. *)
+
+val is_resident : t -> bool
+
+val set_resident_on_reopen : bool -> unit
+(** Process-wide switch: when [true], every subsequent {!of_table}
+    (i.e. every snapshot reopen) preloads immediately.  Flipped by
+    [lcsearch serve] before loading the structures it will query
+    concurrently. *)
 
 val backend : t -> Emio.Store_intf.backend
 (** First-class module wrapper to pass to [Emio.Store.create ~backend]

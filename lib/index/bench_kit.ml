@@ -8,6 +8,12 @@
    query is charged in its own Cost_ctx and its read count recorded —
    the scoped equivalent of the old reset-stats-per-query loop. *)
 
+(* Latency accounting for high-volume wall-clock measurements (serve,
+   loadgen): a fixed-bucket log histogram.  Small exact I/O-count
+   samples (q_reads below) stay on Query_engine.percentile — their
+   nearest-rank values are pinned by the golden tests. *)
+module Histogram = Histogram
+
 type result = {
   name : string;
   kind : Workloads.kind;

@@ -119,6 +119,8 @@ module H2 = struct
     let slope, icept = q2 ~name q in
     Core.Halfspace2d.query_count t.s ~slope ~icept
 
+  let reports_ids = false
+  let query_into t q _r = query_count t q
   let estimate t _q = logb ~bs:t.bs (blocks_of ~n:t.n ~bs:t.bs)
   let space_blocks t = Core.Halfspace2d.space_blocks t.s
 
@@ -183,6 +185,14 @@ module H3 = struct
     let a, b, c = q3 ~name q in
     Core.Halfspace3d.query_count t.s ~a ~b ~c
 
+  let reports_ids = true
+
+  let query_into t q r =
+    let a, b, c = q3 ~name q in
+    let m = Emio.Reporter.mark r in
+    Core.Halfspace3d.query_ids_into t.s ~a ~b ~c r;
+    Emio.Reporter.length r - m
+
   let estimate t _q = logb ~bs:t.bs (blocks_of ~n:t.n ~bs:t.bs)
   let space_blocks t = Core.Halfspace3d.space_blocks t.s
   let counters t = [ ("fallbacks", Core.Halfspace3d.fallbacks t.s) ]
@@ -245,6 +255,14 @@ module Ptree = struct
   let query_count t q =
     let a0, a = qd ~name ~dim:(Core.Partition_tree.dim t.s) q in
     Core.Partition_tree.query_halfspace_count t.s ~a0 ~a
+
+  let reports_ids = true
+
+  let query_into t q r =
+    let a0, a = qd ~name ~dim:(Core.Partition_tree.dim t.s) q in
+    let m = Emio.Reporter.mark r in
+    Core.Partition_tree.query_halfspace_into t.s ~a0 ~a r;
+    Emio.Reporter.length r - m
 
   let estimate t _q =
     let d = float_of_int (Core.Partition_tree.dim t.s) in
@@ -321,6 +339,14 @@ module Shallow = struct
     let a0, a = qd ~name ~dim:(Core.Shallow_tree.dim t.s) q in
     Core.Shallow_tree.query_halfspace_count t.s ~a0 ~a
 
+  let reports_ids = true
+
+  let query_into t q r =
+    let a0, a = qd ~name ~dim:(Core.Shallow_tree.dim t.s) q in
+    let m = Emio.Reporter.mark r in
+    Core.Shallow_tree.query_halfspace_into t.s ~a0 ~a r;
+    Emio.Reporter.length r - m
+
   let estimate t _q =
     let d = Core.Shallow_tree.dim t.s in
     let n = blocks_of ~n:(Array.length t.pts) ~bs:t.bs in
@@ -392,6 +418,14 @@ module Tradeoff = struct
   let query_count t q =
     let a, b, c = q3 ~name q in
     Core.Tradeoff3d.query_count t.s ~a ~b ~c
+
+  let reports_ids = true
+
+  let query_into t q r =
+    let a, b, c = q3 ~name q in
+    let m = Emio.Reporter.mark r in
+    Core.Tradeoff3d.query_ids_into t.s ~a ~b ~c r;
+    Emio.Reporter.length r - m
 
   let estimate t _q =
     let n = float_of_int (blocks_of ~n:(Array.length t.pts) ~bs:t.bs) in
@@ -465,6 +499,14 @@ module Cert = struct
     let a0, a = qc ~name q in
     Core.Cert_tree.query_count t.s ~a0 ~a
 
+  let reports_ids = true
+
+  let query_into t q r =
+    let a0, a = qc ~name q in
+    let m = Emio.Reporter.mark r in
+    Core.Cert_tree.query_ids_into t.s ~a0 ~a r;
+    Emio.Reporter.length r - m
+
   let estimate t _q = logb ~bs:t.bs (blocks_of ~n:(Array.length t.pts) ~bs:t.bs)
   let space_blocks t = Core.Cert_tree.space_blocks t.s
 
@@ -536,6 +578,8 @@ module Make_rtree (V : RTREE_VARIANT) = struct
     let slope, icept = q2 ~name q in
     Baselines.Rtree.query_count t.s ~slope ~icept
 
+  let reports_ids = false
+  let query_into t q _r = query_count t q
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Rtree.space_blocks t.s
   let counters t = [ ("height", Baselines.Rtree.height t.s) ]
@@ -607,6 +651,8 @@ module Quadtree = struct
     let slope, icept = q2 ~name q in
     Baselines.Quadtree.query_count t.s ~slope ~icept
 
+  let reports_ids = false
+  let query_into t q _r = query_count t q
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Quadtree.space_blocks t.s
   let counters t = [ ("depth", Baselines.Quadtree.depth t.s) ]
@@ -663,6 +709,8 @@ module Gridfile = struct
     let slope, icept = q2 ~name q in
     Baselines.Grid_file.query_count t.s ~slope ~icept
 
+  let reports_ids = false
+  let query_into t q _r = query_count t q
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Grid_file.space_blocks t.s
   let counters t = [ ("side", Baselines.Grid_file.side t.s) ]
@@ -738,6 +786,8 @@ module Scan = struct
         let a0, a = qd ~name ~dim:(Baselines.Linear_scan.dim_d s) q in
         Baselines.Linear_scan.query_count_d s ~a0 ~a
 
+  let reports_ids = false
+  let query_into t q _r = query_count t q
   let estimate t _q = float_of_int (blocks_of ~n:t.n ~bs:t.bs)
 
   let space_blocks t =

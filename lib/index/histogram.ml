@@ -1,0 +1,126 @@
+(* A log-bucketed (HDR-style) histogram of non-negative int samples —
+   the latency accounting primitive behind `lcsearch loadgen` and the
+   serve-side tail statistics.
+
+   Layout: one fixed preallocated bucket array, no allocation per
+   {!record}.  Values below [sub_count] land in unit-width buckets;
+   every octave above that is split into [sub_count / 2] equal buckets,
+   so the relative quantization error is bounded by
+   [2 / sub_count] (< 0.8% at sub_bits = 8) at every magnitude — the
+   usual HDR trade: fixed memory, bounded relative error, O(1) record,
+   O(buckets) percentile extraction.
+
+   This deliberately does NOT replace {!Query_engine.percentile} for
+   I/O-count samples: those are small exact samples whose nearest-rank
+   percentiles are pinned by the golden tests, so they stay on the
+   sorted-array path.  The histogram is for high-volume wall-clock
+   samples (nanoseconds across millions of requests), where keeping
+   every sample is the thing that does not scale. *)
+
+let sub_bits = 8
+let sub_count = 1 lsl sub_bits (* 256: width-1 buckets below this *)
+let half = sub_count / 2
+
+(* Values are clamped into [0, max_value]; 2^62 - 1 is the largest
+   magnitude a 63-bit OCaml int can always hold. *)
+let max_value = (1 lsl 62) - 1
+
+let significant_bits v =
+  (* number of bits needed for v >= 1, e.g. 256 -> 9 *)
+  let rec go bits v = if v = 0 then bits else go (bits + 1) (v lsr 1) in
+  go 0 v
+
+let n_buckets =
+  let top_k = significant_bits max_value - sub_bits in
+  sub_count + (top_k * half)
+
+let bucket_index v =
+  let v = if v < 0 then 0 else if v > max_value then max_value else v in
+  if v < sub_count then v
+  else
+    let k = significant_bits v - sub_bits in
+    sub_count + ((k - 1) * half) + ((v lsr k) - half)
+
+let bucket_lo i =
+  if i < 0 || i >= n_buckets then invalid_arg "Histogram.bucket_lo";
+  if i < sub_count then i
+  else
+    let j = i - sub_count in
+    let k = (j / half) + 1 in
+    (half + (j mod half)) lsl k
+
+let bucket_hi i =
+  if i < sub_count then i
+  else
+    let j = i - sub_count in
+    let k = (j / half) + 1 in
+    (((half + (j mod half) + 1) lsl k) - 1) |> Stdlib.min max_value
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable max_seen : int;  (* exact, so the top percentile never
+                              over-reports past the true maximum *)
+  mutable min_seen : int;
+}
+
+let create () =
+  {
+    counts = Array.make n_buckets 0;
+    total = 0;
+    sum = 0;
+    max_seen = 0;
+    min_seen = max_int;
+  }
+
+let clear t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.total <- 0;
+  t.sum <- 0;
+  t.max_seen <- 0;
+  t.min_seen <- max_int
+
+let record t v =
+  let v = if v < 0 then 0 else if v > max_value then max_value else v in
+  let i = bucket_index v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_seen then t.max_seen <- v;
+  if v < t.min_seen then t.min_seen <- v
+
+let count t = t.total
+let max_recorded t = t.max_seen
+let min_recorded t = if t.total = 0 then 0 else t.min_seen
+let mean t = if t.total = 0 then 0. else float_of_int t.sum /. float_of_int t.total
+
+let merge_into ~src ~dst =
+  for i = 0 to n_buckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum + src.sum;
+  if src.total > 0 then begin
+    if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen;
+    if src.min_seen < dst.min_seen then dst.min_seen <- src.min_seen
+  end
+
+(* Nearest-rank percentile over the bucket counts; the reported value
+   is the bucket's inclusive upper bound (clamped to the exact maximum
+   seen), so a reported p99 is always >= the true p99 sample and never
+   exceeds the true maximum. *)
+let percentile t p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Histogram.percentile: p must be in [0, 1]";
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  let rank =
+    let r = int_of_float (ceil (p *. float_of_int t.total)) in
+    Stdlib.min t.total (Stdlib.max 1 r)
+  in
+  let rec go i cum =
+    let cum = cum + t.counts.(i) in
+    if cum >= rank then Stdlib.min (bucket_hi i) t.max_seen
+    else go (i + 1) cum
+  in
+  go 0 0

@@ -109,6 +109,21 @@ module type S = sig
   val query_count : t -> query -> int
   (** [List.length (query t q)] without materializing coordinates. *)
 
+  val reports_ids : bool
+  (** Whether the native structure reports point {e ids} (indices into
+      the build-time array) — [true] for the id-reporting trees
+      (ptree, shallow, tradeoff, cert, h3), [false] for the
+      point-reporting structures (h2, the baselines), whose natural
+      zero-allocation sink is a point callback. *)
+
+  val query_into : t -> query -> Emio.Reporter.t -> int
+  (** Run the query on the zero-allocation path, returning the result
+      count.  When [reports_ids] is [true] the answer ids are appended
+      to the reporter (same traversal and I/O charge as [query]); when
+      [false] the reporter is left untouched and this is exactly
+      [query_count] — the serve layer keys off [reports_ids] to decide
+      whether a response can carry ids. *)
+
   val estimate : t -> query -> float
   (** Rough predicted query cost in I/Os from the structure's Table-1
       bound (the non-output term, with epsilon ~ 0.1): a planning hint,
@@ -135,6 +150,8 @@ let structure (Instance ((module M), _)) = (module M : S)
 let name (Instance ((module M), _)) = M.name
 let query (Instance ((module M), t)) q = M.query t q
 let query_count (Instance ((module M), t)) q = M.query_count t q
+let query_into (Instance ((module M), t)) q r = M.query_into t q r
+let reports_ids (Instance ((module M), _)) = M.reports_ids
 let estimate (Instance ((module M), t)) q = M.estimate t q
 let space_blocks (Instance ((module M), t)) = M.space_blocks t
 let counters (Instance ((module M), t)) = M.counters t

@@ -100,6 +100,36 @@ let run_batch_array ?(trace = false) ?(domains = 1) inst qs =
 let run_batch ?trace ?domains inst qs =
   Array.to_list (run_batch_array ?trace ?domains inst (Array.of_list qs))
 
+(* Single-query entry point on the batch engine's scratch state, for
+   callers (the serve dispatcher) that handle requests one at a time
+   and must not pay the batch fan-out setup per request.  The charging
+   protocol is the same reset-install-run sequence as one iteration of
+   [run_cost_chunk], so the cost record is bit-identical to what the
+   query would report inside a batch (test_query_engine pins this).
+
+   With [?reporter] the query runs on the {!Index.query_into} path:
+   ids (for id-reporting structures) are appended to the caller's
+   reporter — typically {!domain_reporter} — and [result] is still the
+   count.  Not thread-safe against concurrent engine calls on the same
+   domain: the scratch context is domain-local, exactly like the batch
+   path. *)
+let run_one ?reporter inst q =
+  let ctx = (Emio.Tls.get scratch_key).ctx in
+  Emio.Cost_ctx.reset ctx;
+  let result =
+    Emio.Cost_ctx.with_ctx ctx (fun () ->
+        match reporter with
+        | None -> Index.query_count inst q
+        | Some r -> Index.query_into inst q r)
+  in
+  {
+    reads = Emio.Cost_ctx.reads ctx;
+    writes = Emio.Cost_ctx.writes ctx;
+    hits = Emio.Cost_ctx.hits ctx;
+    result;
+    events = [];
+  }
+
 (* Nearest-rank percentile of an int sample, p in [0, 1]: sort once
    into an array and index the rank directly (the old implementation
    walked a sorted list with List.nth per call). *)

@@ -1,0 +1,134 @@
+(* Bounded ring + mutex + self-pipe.  Pushers are the reader threads
+   (many), the popper is the dispatcher (one).  The pipe carries no
+   data — any byte means "state changed, re-check the ring" — so byte
+   accounting can be sloppy: the popper drains it opportunistically
+   and re-checks under the lock, which makes lost or extra wakeups
+   harmless. *)
+
+type 'a t = {
+  capacity : int;
+  buf : 'a option array;
+  mutable head : int; (* next slot to pop *)
+  mutable len : int;
+  mutable closed : bool;
+  m : Mutex.t;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  mutable disposed : bool;
+}
+
+type push_result = Accepted | Full | Closed
+type 'a pop_result = Items of 'a list | Timeout | Drained
+
+let create capacity =
+  let capacity = max 1 capacity in
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  {
+    capacity;
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    m = Mutex.create ();
+    pipe_r;
+    pipe_w;
+    disposed = false;
+  }
+
+let wake_byte = Bytes.make 1 '!'
+
+let wake t =
+  try ignore (Unix.single_write t.pipe_w wake_byte 0 1)
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      () (* pipe full: a wakeup is already pending *)
+  | Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) -> () (* disposed *)
+
+let push t x =
+  Mutex.lock t.m;
+  let r =
+    if t.closed then Closed
+    else if t.len = t.capacity then Full
+    else begin
+      t.buf.((t.head + t.len) mod t.capacity) <- Some x;
+      t.len <- t.len + 1;
+      Accepted
+    end
+  in
+  Mutex.unlock t.m;
+  if r = Accepted then wake t;
+  r
+
+let length t =
+  Mutex.lock t.m;
+  let n = t.len in
+  Mutex.unlock t.m;
+  n
+
+let drain_pipe t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.pipe_r b 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  in
+  go ()
+
+let pop_batch t ~max ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    Mutex.lock t.m;
+    let n = min max t.len in
+    let items = ref [] in
+    for _ = 1 to n do
+      (match t.buf.(t.head) with
+      | Some x -> items := x :: !items
+      | None -> assert false);
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod t.capacity;
+      t.len <- t.len - 1
+    done;
+    let finished = t.closed && t.len = 0 in
+    Mutex.unlock t.m;
+    if n > 0 then begin
+      drain_pipe t;
+      Items (List.rev !items)
+    end
+    else if finished then Drained
+    else begin
+      let wait = deadline -. Unix.gettimeofday () in
+      if wait <= 0. then Timeout
+      else begin
+        (match Unix.select [ t.pipe_r ] [] [] wait with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ());
+        drain_pipe t;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Mutex.unlock t.m;
+  wake t
+
+let dispose t =
+  close t;
+  Mutex.lock t.m;
+  let already = t.disposed in
+  t.disposed <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+    try Unix.close t.pipe_r with Unix.Unix_error _ -> ()
+  end

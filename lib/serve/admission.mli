@@ -1,0 +1,43 @@
+(** The admission queue: a bounded MPSC ring between the per-connection
+    reader threads and the single dispatcher.
+
+    Boundedness {e is} the admission control — a [push] against a full
+    ring returns {!constructor:Full} immediately (the reader turns that
+    into an explicit [Shed Queue_full] response) instead of blocking or
+    growing, so a client burst can delay service but never exhaust
+    memory or wedge a reader thread.
+
+    Wakeups use a self-pipe: the dispatcher parks in [Unix.select] on
+    the pipe's read end, so a timed wait needs no timed condition
+    variable (the stdlib has none) and close can interrupt a parked
+    dispatcher from any thread. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] (clamped to at least 1). *)
+
+type push_result = Accepted | Full | Closed
+
+val push : 'a t -> 'a -> push_result
+(** Never blocks. *)
+
+type 'a pop_result =
+  | Items of 'a list  (** at least one item, FIFO order *)
+  | Timeout  (** nothing arrived within the window *)
+  | Drained  (** closed and empty: no item will ever arrive again *)
+
+val pop_batch : 'a t -> max:int -> timeout:float -> 'a pop_result
+(** Single-consumer: up to [max] items, waiting up to [timeout]
+    seconds for the first.  After {!close}, keeps returning the
+    backlog until the ring is empty — drain, then [Drained]. *)
+
+val length : 'a t -> int
+
+val close : 'a t -> unit
+(** Stop admitting ([push] returns [Closed] from now on) and wake the
+    dispatcher; queued items remain poppable. *)
+
+val dispose : 'a t -> unit
+(** [close] and release the self-pipe fds.  Call once the consumer has
+    exited. *)

@@ -1,0 +1,44 @@
+type t = {
+  fd : Unix.file_descr;
+  peer : string;
+  wlock : Mutex.t;
+  mutable alive : bool;
+}
+
+let create fd =
+  let peer =
+    match Unix.getpeername fd with
+    | Unix.ADDR_INET (a, p) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+    | Unix.ADDR_UNIX s -> s
+    | exception Unix.Unix_error _ -> "?"
+  in
+  { fd; peer; wlock = Mutex.create (); alive = true }
+
+let fd t = t.fd
+let peer t = t.peer
+let alive t = t.alive
+
+let send t msg =
+  Mutex.lock t.wlock;
+  let ok =
+    t.alive
+    &&
+    match Frame.write t.fd msg with
+    | Ok () -> true
+    | Error (`Closed | `Timeout) ->
+        t.alive <- false;
+        false
+  in
+  Mutex.unlock t.wlock;
+  ok
+
+let close t =
+  Mutex.lock t.wlock;
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.wlock
+
+let close_fd t = try Unix.close t.fd with Unix.Unix_error _ -> ()

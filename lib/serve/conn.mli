@@ -1,0 +1,26 @@
+(** One accepted client connection: the socket plus a write lock, so
+    the dispatcher (results, deadline sheds) and the connection's own
+    reader thread (admission sheds, protocol errors) can interleave
+    responses without tearing frames.  A failed send marks the
+    connection dead; later sends become silent no-ops (the peer is
+    gone — there is nobody to tell). *)
+
+type t
+
+val create : Unix.file_descr -> t
+val fd : t -> Unix.file_descr
+val peer : t -> string
+
+val send : t -> Protocol.msg -> bool
+(** Whole-frame write under the lock; [false] once the peer is gone. *)
+
+val alive : t -> bool
+
+val close : t -> unit
+(** Mark dead and [shutdown] both directions — unblocks a reader
+    parked in [Frame.read] immediately.  Idempotent; does not close
+    the fd. *)
+
+val close_fd : t -> unit
+(** Release the descriptor.  Exactly-once, by whoever owns the reader
+    thread's exit path. *)

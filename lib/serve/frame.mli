@@ -1,0 +1,45 @@
+(** Length-prefixed framing of {!Protocol} messages over a stream.
+
+    Every frame is a 4-byte little-endian payload length followed by
+    the {!Protocol.codec} bytes.  The length is validated against a cap
+    {e before} the payload is read — a hostile or corrupt length can
+    cost at most one rejected frame, never an unbounded allocation.
+
+    Every way a read can go wrong is a constructor of {!read_error},
+    never an escaping exception: clean EOF at a frame boundary is
+    [Closed], EOF mid-frame is [Truncated], a blown [SO_RCVTIMEO] is
+    [Timeout], a length over the cap is [Oversized], and payload bytes
+    the codec rejects are [Malformed]. *)
+
+val default_max_frame : int
+(** 4 MiB. *)
+
+type read_error =
+  | Closed  (** orderly EOF between frames *)
+  | Timeout  (** the fd's receive timeout expired *)
+  | Oversized of { length : int; max : int }
+  | Truncated of { expected : int; got : int }  (** EOF mid-frame *)
+  | Malformed of string  (** codec rejection, message from {!Emio.Codec.Decode} *)
+
+val read_error_to_string : read_error -> string
+
+type write_error = [ `Closed | `Timeout ]
+
+(** {2 Pure paths (unit-testable without sockets)} *)
+
+val encode : Protocol.msg -> bytes
+(** One complete frame: length prefix + payload. *)
+
+val decode : ?max_frame:int -> bytes -> (Protocol.msg, read_error) result
+(** Decode a buffer holding exactly one frame; extra trailing bytes are
+    [Malformed], a short buffer is [Truncated]. *)
+
+(** {2 File-descriptor paths} *)
+
+val read : ?max_frame:int -> Unix.file_descr -> (Protocol.msg, read_error) result
+(** Blocking read of one frame (honors [SO_RCVTIMEO] if set). *)
+
+val write : Unix.file_descr -> Protocol.msg -> (unit, write_error) result
+(** Blocking write of one frame (honors [SO_SNDTIMEO] if set); EPIPE
+    and connection resets map to [`Closed] — callers must have SIGPIPE
+    ignored, which {!Server.start} and {!Loadgen.run} do. *)

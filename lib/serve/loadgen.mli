@@ -1,0 +1,89 @@
+(** The load generator behind [lcsearch loadgen].
+
+    Regenerates each target snapshot's workload from its meta string
+    (same rng contract as [lcsearch query]), pregenerates a pool of
+    halfspace queries per structure, and drives a running server in
+    one of two shapes:
+
+    - {b closed loop} ([Closed c]): [c] worker threads, one connection
+      and one outstanding request each — throughput is latency-bound,
+      the classic "think-time zero" closed system;
+    - {b open loop} ([Open qps]): one connection, a writer pacing
+      requests at a fixed arrival rate regardless of completions and a
+      reader matching responses by id — the shape that actually
+      exposes queueing collapse, where a closed loop would politely
+      slow down with the server.
+
+    Requests pick a (structure, query) item uniformly or Zipfian
+    ([Zipf s], popularity by item rank).  Client-observed latencies go
+    into per-structure log-bucketed {!Lcsearch_index.Bench_kit.Histogram}s
+    (recorded after [warmup_s]); the summary carries p50/p99/p999 per
+    structure plus shed/error counts, and {!write_json} emits the
+    BENCH_SERVE.json consumed by the CI gate.
+
+    With [check = true] every target snapshot is also reopened
+    in-process (resident) and each pool query run once through
+    {!Lcsearch_index.Query_engine.run_one} before load starts; every
+    server [Result] is then compared against this sequential golden
+    oracle — count, reads/writes/hits cost words, and (when ids flow)
+    the sorted id set.  [mismatches > 0] means the server's concurrent
+    path diverged from the sequential one. *)
+
+type mix = Uniform_mix | Zipf of float
+type mode = Closed of int  (** worker count *) | Open of float  (** target qps *)
+
+type config = {
+  host : string;
+  port : int;
+  snapshots : string list;
+  mode : mode;
+  mix : mix;
+  duration_s : float;
+  warmup_s : float;
+  pool : int;  (** pregenerated queries per structure *)
+  fraction : float;  (** query selectivity for the regenerated pool *)
+  want_ids : bool;
+  deadline_ms : int;  (** 0 = server default *)
+  check : bool;
+  seed : int;
+  verbose : bool;
+}
+
+val default_config : config
+
+type structure_summary = {
+  s_name : string;
+  s_requests : int;
+  s_ok : int;
+  s_p50_us : float;
+  s_p90_us : float;
+  s_p99_us : float;
+  s_p999_us : float;
+  s_max_us : float;
+  s_mean_us : float;
+}
+
+type summary = {
+  mode_name : string;
+  concurrency : int;  (** closed-loop workers; 1 for open loop *)
+  target_qps : float;  (** 0 for closed loop *)
+  mix_name : string;
+  measured_s : float;  (** post-warmup window *)
+  sent : int;
+  ok : int;
+  shed_full : int;
+  shed_deadline : int;
+  shed_drain : int;
+  errors : int;
+  mismatches : int;  (** oracle disagreements; 0 unless [check] *)
+  checked : bool;
+  throughput_rps : float;  (** ok responses per measured second *)
+  per_structure : structure_summary list;
+}
+
+val run : config -> summary
+(** Raises [Failure] if a snapshot cannot be read or the server is
+    unreachable. *)
+
+val write_json : path:string -> summary -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,42 @@
+(** Snapshot-meta plumbing shared by {!Server} and {!Loadgen}: parse
+    the [s=...;n=...;b=...;w=...;seed=...;d=...] meta string written by
+    [lcsearch build], reopen a snapshot through the registry by its
+    header kind, and replay the builder's workload stream (the same
+    seed positions the same {!Workload.rng}, so the dataset — and any
+    query stream drawn after it — reproduces the build process's). *)
+
+type workload = {
+  structure : string;
+  n : int;
+  block_size : int;
+  kind : Lcsearch_index.Workloads.kind;
+  seed : int;
+  dim : int;
+}
+
+val workload_of_meta : string -> (workload, string) result
+
+type loaded = {
+  name : string;  (** serving name = the structure's registry name *)
+  dim : int;
+  reports_ids : bool;
+  inst : Lcsearch_index.Index.instance;
+  info : Diskstore.Snapshot.info;
+  meta_workload : workload;
+}
+
+val load :
+  ?policy:Diskstore.Buffer_pool.policy ->
+  ?cache_pages:int ->
+  string ->
+  (loaded, string) result
+(** Reopen [path], dispatching on the snapshot kind through
+    {!Lcsearch_index.Registry.find_by_snapshot_kind}.  Load-time
+    verification I/O is charged to a throwaway stats sink.  Honors
+    {!Diskstore.File_backend.set_resident_on_reopen}. *)
+
+val replay_queries :
+  loaded -> fraction:float -> count:int -> Lcsearch_index.Index.query array
+(** Regenerate the dataset from the snapshot meta and draw [count]
+    fresh halfspace queries of ~[fraction] selectivity, consuming the
+    rng in the same order as [lcsearch query]. *)

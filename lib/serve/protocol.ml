@@ -1,0 +1,152 @@
+(* Wire messages for `lcsearch serve`.  The encoding reuses the
+   snapshot codec conventions (Emio.Codec: fixed-width little-endian,
+   u32 counts, IEEE-754 float bit patterns) so a frame is
+   architecture- and compiler-version-independent, and wraps the body
+   in Codec.versioned so decoding a frame from a different protocol
+   version fails loudly with a message naming both versions. *)
+
+module Codec = Emio.Codec
+
+type request = {
+  id : int;
+  structure : string;
+  want_ids : bool;
+  deadline_ms : int;
+  a0 : float;
+  a : float array;
+}
+
+type shed_reason = Queue_full | Deadline_exceeded | Draining
+type error_code = Unknown_structure | Bad_dimension | Bad_request
+
+type msg =
+  | Query of request
+  | Result of {
+      id : int;
+      count : int;
+      reads : int;
+      writes : int;
+      hits : int;
+      elapsed_ns : int;
+      ids : int array;
+    }
+  | Shed of { id : int; reason : shed_reason }
+  | Error of { id : int; code : error_code; message : string }
+
+let shed_reason_name = function
+  | Queue_full -> "queue-full"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Draining -> "draining"
+
+let error_code_name = function
+  | Unknown_structure -> "unknown-structure"
+  | Bad_dimension -> "bad-dimension"
+  | Bad_request -> "bad-request"
+
+(* Tags are part of the wire format: never renumber, only append. *)
+let tag_query = 0
+and tag_result = 1
+and tag_shed = 2
+and tag_error = 3
+
+let shed_tag = function Queue_full -> 0 | Deadline_exceeded -> 1 | Draining -> 2
+
+let shed_of_tag = function
+  | 0 -> Queue_full
+  | 1 -> Deadline_exceeded
+  | 2 -> Draining
+  | t -> raise (Codec.Decode (Printf.sprintf "protocol: bad shed reason %d" t))
+
+let code_tag = function
+  | Unknown_structure -> 0
+  | Bad_dimension -> 1
+  | Bad_request -> 2
+
+let code_of_tag = function
+  | 0 -> Unknown_structure
+  | 1 -> Bad_dimension
+  | 2 -> Bad_request
+  | t -> raise (Codec.Decode (Printf.sprintf "protocol: bad error code %d" t))
+
+let body =
+  Codec.custom
+    ~write:(fun buf m ->
+      match m with
+      | Query q ->
+          Codec.write_u8 buf tag_query;
+          Codec.write_u32 buf q.id;
+          Codec.write Codec.string buf q.structure;
+          Codec.write Codec.bool buf q.want_ids;
+          Codec.write_u32 buf q.deadline_ms;
+          Codec.write Codec.float buf q.a0;
+          Codec.write (Codec.array Codec.float) buf q.a
+      | Result r ->
+          Codec.write_u8 buf tag_result;
+          Codec.write_u32 buf r.id;
+          Codec.write_u32 buf r.count;
+          Codec.write_u32 buf r.reads;
+          Codec.write_u32 buf r.writes;
+          Codec.write_u32 buf r.hits;
+          Codec.write Codec.int buf r.elapsed_ns;
+          Codec.write (Codec.array Codec.int) buf r.ids
+      | Shed s ->
+          Codec.write_u8 buf tag_shed;
+          Codec.write_u32 buf s.id;
+          Codec.write_u8 buf (shed_tag s.reason)
+      | Error e ->
+          Codec.write_u8 buf tag_error;
+          Codec.write_u32 buf e.id;
+          Codec.write_u8 buf (code_tag e.code);
+          Codec.write Codec.string buf e.message)
+    ~read:(fun b pos ->
+      (* field order is the wire contract: sequence reads with lets,
+         never inside a record literal *)
+      let tag = Codec.read_u8 b pos in
+      if tag = tag_query then begin
+        let id = Codec.read_u32 b pos in
+        let structure = Codec.read Codec.string b pos in
+        let want_ids = Codec.read Codec.bool b pos in
+        let deadline_ms = Codec.read_u32 b pos in
+        let a0 = Codec.read Codec.float b pos in
+        let a = Codec.read (Codec.array Codec.float) b pos in
+        Query { id; structure; want_ids; deadline_ms; a0; a }
+      end
+      else if tag = tag_result then begin
+        let id = Codec.read_u32 b pos in
+        let count = Codec.read_u32 b pos in
+        let reads = Codec.read_u32 b pos in
+        let writes = Codec.read_u32 b pos in
+        let hits = Codec.read_u32 b pos in
+        let elapsed_ns = Codec.read Codec.int b pos in
+        let ids = Codec.read (Codec.array Codec.int) b pos in
+        Result { id; count; reads; writes; hits; elapsed_ns; ids }
+      end
+      else if tag = tag_shed then begin
+        let id = Codec.read_u32 b pos in
+        let reason = shed_of_tag (Codec.read_u8 b pos) in
+        Shed { id; reason }
+      end
+      else if tag = tag_error then begin
+        let id = Codec.read_u32 b pos in
+        let code = code_of_tag (Codec.read_u8 b pos) in
+        let message = Codec.read Codec.string b pos in
+        Error { id; code; message }
+      end
+      else
+        raise (Codec.Decode (Printf.sprintf "protocol: bad message tag %d" tag)))
+
+let codec = Codec.versioned ~magic:"LCSV" ~version:1 body
+
+let pp ppf = function
+  | Query q ->
+      Format.fprintf ppf "Query{id=%d; s=%s; ids=%b; deadline=%dms; d=%d}" q.id
+        q.structure q.want_ids q.deadline_ms
+        (Array.length q.a + 1)
+  | Result r ->
+      Format.fprintf ppf
+        "Result{id=%d; count=%d; reads=%d; writes=%d; hits=%d; %dns; %d ids}"
+        r.id r.count r.reads r.writes r.hits r.elapsed_ns (Array.length r.ids)
+  | Shed s -> Format.fprintf ppf "Shed{id=%d; %s}" s.id (shed_reason_name s.reason)
+  | Error e ->
+      Format.fprintf ppf "Error{id=%d; %s; %s}" e.id (error_code_name e.code)
+        e.message

@@ -1,0 +1,56 @@
+(** The lcsearch wire protocol, version 1.
+
+    One message per frame (see {!Frame} for the length prefix), encoded
+    with the repo's {!Emio.Codec} fixed-width little-endian conventions
+    and framed by [Codec.versioned] under magic ["LCSV"] — a frame
+    written under a different magic or version is rejected at decode
+    with an error naming both, exactly like a snapshot section.
+
+    Clients send {!constructor:Query}; the server answers every request
+    with exactly one of {!constructor:Result}, {!constructor:Shed}, or
+    {!constructor:Error} carrying the request's [id].  A request is
+    never silently dropped: overload surfaces as an explicit [Shed]
+    (admission queue full, deadline passed while queued, or server
+    draining), not as a hang. *)
+
+type request = {
+  id : int;  (** client-chosen, [0..2^32-1], echoed in the response *)
+  structure : string;  (** serving name, e.g. ["h2"] *)
+  want_ids : bool;
+      (** ask for answer ids; honored only for id-reporting structures *)
+  deadline_ms : int;
+      (** queueing budget in milliseconds; [0] = server default *)
+  a0 : float;
+  a : float array;
+      (** the paper's query x_d <= a0 + sum a_i x_i; length d-1 *)
+}
+
+type shed_reason =
+  | Queue_full  (** the admission queue was at capacity on arrival *)
+  | Deadline_exceeded  (** queued longer than the request's deadline *)
+  | Draining  (** the server is shutting down and accepts no new work *)
+
+type error_code = Unknown_structure | Bad_dimension | Bad_request
+
+type msg =
+  | Query of request
+  | Result of {
+      id : int;
+      count : int;  (** points satisfying the query *)
+      reads : int;  (** model I/O reads charged to this query *)
+      writes : int;
+      hits : int;
+      elapsed_ns : int;  (** server-side sojourn: enqueue to response *)
+      ids : int array;
+          (** answer ids, empty unless [want_ids] and the structure
+              reports ids *)
+    }
+  | Shed of { id : int; reason : shed_reason }
+  | Error of { id : int; code : error_code; message : string }
+
+val codec : msg Emio.Codec.t
+(** Raises {!Emio.Codec.Decode} on malformed input, like every codec. *)
+
+val shed_reason_name : shed_reason -> string
+val error_code_name : error_code -> string
+val pp : Format.formatter -> msg -> unit

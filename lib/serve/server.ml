@@ -1,0 +1,417 @@
+module Index = Lcsearch_index.Index
+module Query_engine = Lcsearch_index.Query_engine
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+type config = {
+  host : string;
+  port : int;
+  snapshots : string list;
+  queue_capacity : int;
+  batch_max : int;
+  domains : int;
+  default_deadline_ms : int;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  cache_pages : int;
+  policy : Diskstore.Buffer_pool.policy;
+  resident : bool;
+  max_frame : int;
+  dispatch_delay_s : float;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7227;
+    snapshots = [];
+    queue_capacity = 1024;
+    batch_max = 64;
+    domains = 1;
+    default_deadline_ms = 200;
+    read_timeout_s = 30.;
+    write_timeout_s = 10.;
+    cache_pages = 64;
+    policy = Diskstore.Buffer_pool.Lru;
+    resident = true;
+    max_frame = Frame.default_max_frame;
+    dispatch_delay_s = 0.;
+    verbose = false;
+  }
+
+type stats = {
+  accepted : int;
+  served : int;
+  shed_full : int;
+  shed_deadline : int;
+  shed_drain : int;
+  errors : int;
+}
+
+type entry = { dim : int; reports_ids : bool; inst : Index.instance }
+
+type job = {
+  conn : Conn.t;
+  req : Protocol.request;
+  enq_ns : int;
+  deadline_ns : int;
+}
+
+type t = {
+  cfg : config;
+  domains : int;
+  listen_fd : Unix.file_descr;
+  port : int;
+  entries : (string * entry) list;
+  queue : job Admission.t;
+  lock : Mutex.t; (* stats, conns, threads, draining, stopped *)
+  mutable accepted : int;
+  mutable served : int;
+  mutable shed_full : int;
+  mutable shed_deadline : int;
+  mutable shed_drain : int;
+  mutable errors : int;
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable conns : Conn.t list;
+  mutable readers : Thread.t list;
+  mutable acceptor : Thread.t option;
+  mutable dispatcher : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+let log t fmt =
+  if t.cfg.verbose then Printf.eprintf ("serve: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ---------- request handling (reader threads) ---------- *)
+
+let shed t conn ~id reason =
+  locked t (fun () ->
+      match (reason : Protocol.shed_reason) with
+      | Queue_full -> t.shed_full <- t.shed_full + 1
+      | Deadline_exceeded -> t.shed_deadline <- t.shed_deadline + 1
+      | Draining -> t.shed_drain <- t.shed_drain + 1);
+  ignore (Conn.send conn (Protocol.Shed { id; reason }))
+
+let reject t conn ~id code message =
+  locked t (fun () -> t.errors <- t.errors + 1);
+  ignore (Conn.send conn (Protocol.Error { id; code; message }))
+
+let handle_query t conn (q : Protocol.request) =
+  match List.assoc_opt q.structure t.entries with
+  | None ->
+      reject t conn ~id:q.id Protocol.Unknown_structure
+        (Printf.sprintf "unknown structure %S (serving: %s)" q.structure
+           (String.concat ", " (List.map fst t.entries)))
+  | Some entry ->
+      if Array.length q.a + 1 <> entry.dim then
+        reject t conn ~id:q.id Protocol.Bad_dimension
+          (Printf.sprintf "%s queries have dimension %d, got %d" q.structure
+             entry.dim
+             (Array.length q.a + 1))
+      else if
+        (not (Float.is_finite q.a0)) || not (Array.for_all Float.is_finite q.a)
+      then
+        reject t conn ~id:q.id Protocol.Bad_request
+          "non-finite query coefficient"
+      else begin
+        let now = now_ns () in
+        let ms =
+          if q.deadline_ms > 0 then q.deadline_ms else t.cfg.default_deadline_ms
+        in
+        let job =
+          { conn; req = q; enq_ns = now; deadline_ns = now + (ms * 1_000_000) }
+        in
+        if locked t (fun () -> t.draining) then shed t conn ~id:q.id Draining
+        else
+          match Admission.push t.queue job with
+          | Admission.Accepted -> locked t (fun () -> t.accepted <- t.accepted + 1)
+          | Admission.Full -> shed t conn ~id:q.id Queue_full
+          | Admission.Closed -> shed t conn ~id:q.id Draining
+      end
+
+let reader_loop t conn =
+  let rec go () =
+    match Frame.read ~max_frame:t.cfg.max_frame (Conn.fd conn) with
+    | Ok (Protocol.Query q) ->
+        handle_query t conn q;
+        go ()
+    | Ok _ ->
+        reject t conn ~id:0 Protocol.Bad_request "clients send Query frames";
+        go ()
+    | Error Frame.Closed -> ()
+    | Error Frame.Timeout ->
+        log t "closing %s: idle for %.0fs" (Conn.peer conn) t.cfg.read_timeout_s
+    | Error (Frame.Truncated _) -> ()
+    | Error ((Frame.Oversized _ | Frame.Malformed _) as e) ->
+        (* a torn length-prefixed stream cannot be resynced: explain, hang up *)
+        reject t conn ~id:0 Protocol.Bad_request (Frame.read_error_to_string e)
+  in
+  go ();
+  Conn.close conn;
+  Conn.close_fd conn;
+  locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
+
+(* ---------- dispatch (the single query-execution thread) ---------- *)
+
+let respond t job (c : Query_engine.cost) ids =
+  locked t (fun () -> t.served <- t.served + 1);
+  ignore
+    (Conn.send job.conn
+       (Protocol.Result
+          {
+            id = job.req.id;
+            count = c.Query_engine.result;
+            reads = c.Query_engine.reads;
+            writes = c.Query_engine.writes;
+            hits = c.Query_engine.hits;
+            elapsed_ns = now_ns () - job.enq_ns;
+            ids;
+          }))
+
+let query_of (j : job) = { Index.a0 = j.req.a0; a = j.req.a }
+
+let execute_group t entry jobs =
+  let with_ids, count_only =
+    List.partition (fun j -> j.req.want_ids && entry.reports_ids) jobs
+  in
+  (match count_only with
+  | [] -> ()
+  | _ ->
+      let arr = Array.of_list count_only in
+      let qs = Array.map query_of arr in
+      let costs =
+        Query_engine.run_batch_array ~domains:t.domains entry.inst qs
+      in
+      Array.iteri (fun i j -> respond t j costs.(i) [||]) arr);
+  List.iter
+    (fun j ->
+      let r = Query_engine.domain_reporter () in
+      Emio.Reporter.clear r;
+      let c = Query_engine.run_one ~reporter:r entry.inst (query_of j) in
+      respond t j c (Emio.Reporter.to_array r))
+    with_ids
+
+let execute_batch t jobs =
+  if t.cfg.dispatch_delay_s > 0. then Thread.delay t.cfg.dispatch_delay_s;
+  let now = now_ns () in
+  let live, expired = List.partition (fun j -> j.deadline_ns >= now) jobs in
+  List.iter
+    (fun j -> shed t j.conn ~id:j.req.id Protocol.Deadline_exceeded)
+    expired;
+  (* group by structure, preserving arrival order within a group *)
+  let groups = ref [] in
+  List.iter
+    (fun j ->
+      match List.assoc_opt j.req.structure !groups with
+      | Some cell -> cell := j :: !cell
+      | None -> groups := (j.req.structure, ref [ j ]) :: !groups)
+    live;
+  List.iter
+    (fun (name, cell) ->
+      let entry = List.assoc name t.entries in
+      let jobs = List.rev !cell in
+      try execute_group t entry jobs
+      with exn ->
+        (* a query must never kill the dispatcher: fail the batch's
+           requests individually and keep serving *)
+        let message =
+          Printf.sprintf "query execution failed: %s" (Printexc.to_string exn)
+        in
+        List.iter
+          (fun j -> reject t j.conn ~id:j.req.id Protocol.Bad_request message)
+          jobs)
+    (List.rev !groups)
+
+let dispatcher_loop t =
+  let rec go () =
+    match Admission.pop_batch t.queue ~max:t.cfg.batch_max ~timeout:0.1 with
+    | Admission.Drained -> ()
+    | Admission.Timeout -> go ()
+    | Admission.Items jobs ->
+        execute_batch t jobs;
+        go ()
+  in
+  go ()
+
+(* ---------- accept ---------- *)
+
+let configure_client_fd t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout_s;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout_s
+
+(* Park in select with a short timeout rather than in accept, so drain
+   is noticed promptly even on platforms where closing a listening fd
+   does not reliably unblock a parked accept. *)
+let acceptor_loop t =
+  let rec go () =
+    if locked t (fun () -> t.draining) then ()
+    else begin
+      let ready =
+        match Unix.select [ t.listen_fd ] [] [] 0.2 with
+        | [ _ ], _, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> false
+      in
+      if ready then begin
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+            configure_client_fd t fd;
+            let conn = Conn.create fd in
+            let admit =
+              locked t (fun () ->
+                  if t.draining then false
+                  else begin
+                    t.conns <- conn :: t.conns;
+                    true
+                  end)
+            in
+            if admit then begin
+              log t "accepted %s" (Conn.peer conn);
+              let th = Thread.create (reader_loop t) conn in
+              locked t (fun () -> t.readers <- th :: t.readers)
+            end
+            else begin
+              Conn.close conn;
+              Conn.close_fd conn
+            end
+        | exception
+            Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+            () (* listen fd closed under us: stop below *)
+      end;
+      go ()
+    end
+  in
+  go ()
+
+(* ---------- lifecycle ---------- *)
+
+let load_entries cfg =
+  if cfg.resident then Diskstore.File_backend.set_resident_on_reopen true;
+  let entries =
+    Fun.protect
+      ~finally:(fun () -> Diskstore.File_backend.set_resident_on_reopen false)
+      (fun () ->
+        List.map
+          (fun path ->
+            match
+              Meta.load ~policy:cfg.policy ~cache_pages:cfg.cache_pages path
+            with
+            | Error m -> failwith m
+            | Ok l ->
+                ( l.Meta.name,
+                  {
+                    dim = l.Meta.dim;
+                    reports_ids = l.Meta.reports_ids;
+                    inst = l.Meta.inst;
+                  } ))
+          cfg.snapshots)
+  in
+  let rec dup_check = function
+    | [] -> ()
+    | (name, _) :: rest ->
+        if List.mem_assoc name rest then
+          failwith
+            (Printf.sprintf "two snapshots serve structure %S: names must be unique"
+               name);
+        dup_check rest
+  in
+  dup_check entries;
+  if entries = [] then failwith "no snapshots to serve";
+  entries
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let entries = load_entries cfg in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+      Unix.bind listen_fd addr;
+      Unix.listen listen_fd 128;
+      let port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      {
+        cfg;
+        (* domain fan-out over a shared buffer pool is unsafe; without
+           resident payloads the server serves sequentially *)
+        domains = (if cfg.resident then max 1 cfg.domains else 1);
+        listen_fd;
+        port;
+        entries;
+        queue = Admission.create cfg.queue_capacity;
+        lock = Mutex.create ();
+        accepted = 0;
+        served = 0;
+        shed_full = 0;
+        shed_deadline = 0;
+        shed_drain = 0;
+        errors = 0;
+        draining = false;
+        stopped = false;
+        conns = [];
+        readers = [];
+        acceptor = None;
+        dispatcher = None;
+      }
+    with exn ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise exn
+  in
+  t.dispatcher <- Some (Thread.create dispatcher_loop t);
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t
+
+let port t = t.port
+let structures t = List.map (fun (name, e) -> (name, e.dim)) t.entries
+
+let stats t =
+  locked t (fun () ->
+      {
+        accepted = t.accepted;
+        served = t.served;
+        shed_full = t.shed_full;
+        shed_deadline = t.shed_deadline;
+        shed_drain = t.shed_drain;
+        errors = t.errors;
+      })
+
+let stop t =
+  let first =
+    locked t (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          t.draining <- true;
+          true
+        end)
+  in
+  if first then begin
+    (* 1. no new requests: readers shed Draining, pushes return Closed *)
+    Admission.close t.queue;
+    (* 2. the dispatcher finishes the queued backlog, then sees Drained *)
+    (match t.dispatcher with Some th -> Thread.join th | None -> ());
+    (* 3. tear down the edges *)
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let conns, readers = locked t (fun () -> (t.conns, t.readers)) in
+    List.iter Conn.close conns;
+    List.iter (fun th -> try Thread.join th with _ -> ()) readers;
+    Admission.dispose t.queue
+  end

@@ -1,0 +1,70 @@
+(** The long-lived query server behind [lcsearch serve].
+
+    One reader thread per accepted connection decodes and validates
+    {!Protocol.Query} frames and pushes jobs through the bounded
+    {!Admission} queue; a single dispatcher thread pops batches, sheds
+    anything whose deadline passed while queued, groups the survivors
+    by structure, and executes them on the {!Lcsearch_index.Query_engine}
+    scratch paths — count-only jobs fan out over the persistent domain
+    pool, id-reporting jobs run singly through the zero-allocation
+    reporter.  Every request gets exactly one response; overload is an
+    explicit [Shed], never a hang (see DESIGN.md §3f for the admission
+    state machine).
+
+    Queries execute {e only} on the dispatcher thread (plus the domain
+    pool it drives), which is what makes the engine's domain-local
+    scratch state safe here.  Concurrent fan-out over a reopened
+    snapshot additionally requires resident payloads
+    ({!Diskstore.File_backend.preload}); with [resident = false] the
+    server forces [domains = 1]. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 = ephemeral; read the bound port with {!port} *)
+  snapshots : string list;  (** snapshot files to serve, one structure each *)
+  queue_capacity : int;
+  batch_max : int;  (** dispatcher batch size *)
+  domains : int;  (** fan-out for count-only batches *)
+  default_deadline_ms : int;  (** for requests with [deadline_ms = 0] *)
+  read_timeout_s : float;  (** per-connection idle/read timeout *)
+  write_timeout_s : float;
+  cache_pages : int;
+  policy : Diskstore.Buffer_pool.policy;
+  resident : bool;  (** preload payloads; required for [domains > 1] *)
+  max_frame : int;
+  dispatch_delay_s : float;
+      (** test hook: sleep this long before executing each batch, to
+          deterministically provoke queue-full and deadline sheds *)
+  verbose : bool;
+}
+
+val default_config : config
+
+type stats = {
+  accepted : int;
+  served : int;
+  shed_full : int;
+  shed_deadline : int;
+  shed_drain : int;
+  errors : int;
+}
+
+type t
+
+val start : config -> t
+(** Load the snapshots, bind, and spawn the acceptor + dispatcher.
+    Raises [Failure] with a readable message if a snapshot cannot be
+    served (unreadable, unknown kind, duplicate structure name). *)
+
+val port : t -> int
+(** The actually-bound port (useful with [config.port = 0]). *)
+
+val structures : t -> (string * int) list
+(** Serving names and their dimensions. *)
+
+val stats : t -> stats
+val stop : t -> unit
+(** Graceful drain: stop accepting connections and requests (new
+    arrivals are shed with [Draining]), execute the queued backlog,
+    answer it, then close every connection and join every thread.
+    Idempotent. *)

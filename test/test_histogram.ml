@@ -1,0 +1,210 @@
+(* The log-bucketed latency histogram behind `lcsearch loadgen`:
+   bucket geometry invariants, exactness below the unit-bucket
+   threshold, the bounded-relative-error contract against exact
+   nearest-rank percentiles, and merge = record-all. *)
+
+module H = Lcsearch_index.Histogram
+
+let check = Alcotest.(check int)
+
+(* ---- bucket geometry ---- *)
+
+(* Every bucket must contain its own bounds, bounds must tile the
+   value range with no gaps or overlaps, and lows must be strictly
+   increasing. *)
+let test_bucket_boundaries () =
+  for i = 0 to H.n_buckets - 1 do
+    check (Printf.sprintf "index (lo %d)" i) i (H.bucket_index (H.bucket_lo i));
+    check (Printf.sprintf "index (hi %d)" i) i (H.bucket_index (H.bucket_hi i));
+    Alcotest.(check bool)
+      (Printf.sprintf "lo <= hi at %d" i)
+      true
+      (H.bucket_lo i <= H.bucket_hi i);
+    if i > 0 then begin
+      Alcotest.(check bool)
+        (Printf.sprintf "lows increase at %d" i)
+        true
+        (H.bucket_lo (i - 1) < H.bucket_lo i);
+      check
+        (Printf.sprintf "no gap before %d" i)
+        (H.bucket_lo i)
+        (H.bucket_hi (i - 1) + 1)
+    end
+  done;
+  check "first bucket is 0" 0 (H.bucket_lo 0);
+  check "last bucket reaches max_value" H.max_value
+    (H.bucket_hi (H.n_buckets - 1))
+
+let test_bucket_index_edges () =
+  check "negative clamps to 0" 0 (H.bucket_index (-5));
+  check "over max clamps to last bucket" (H.n_buckets - 1)
+    (H.bucket_index max_int);
+  (* below sub_count buckets are unit-width: index = value *)
+  check "unit bucket 0" 0 (H.bucket_index 0);
+  check "unit bucket 255" 255 (H.bucket_index 255);
+  check "first octave bucket" 256 (H.bucket_index 256)
+
+(* The advertised quantization bound: hi/lo width relative to lo is
+   under 2/256 for every bucket past the unit range. *)
+let test_relative_width_bound () =
+  for i = 256 to H.n_buckets - 1 do
+    let lo = H.bucket_lo i and hi = H.bucket_hi i in
+    let rel = float_of_int (hi - lo) /. float_of_int lo in
+    if rel > 2. /. 256. then
+      Alcotest.failf "bucket %d: [%d, %d] relative width %.5f" i lo hi rel
+  done
+
+(* ---- recording and summary statistics ---- *)
+
+let test_counts_and_moments () =
+  let h = H.create () in
+  check "fresh count" 0 (H.count h);
+  check "fresh min" 0 (H.min_recorded h);
+  check "fresh max" 0 (H.max_recorded h);
+  Alcotest.(check (float 1e-9)) "fresh mean" 0. (H.mean h);
+  List.iter (H.record h) [ 10; 20; 30 ];
+  check "count" 3 (H.count h);
+  check "min" 10 (H.min_recorded h);
+  check "max" 30 (H.max_recorded h);
+  Alcotest.(check (float 1e-9)) "mean" 20. (H.mean h);
+  H.record h (-7);
+  check "negative clamps to 0" 0 (H.min_recorded h);
+  H.clear h;
+  check "clear resets count" 0 (H.count h);
+  H.record h 5;
+  check "reusable after clear" 5 (H.max_recorded h)
+
+(* Below 256 every bucket is unit-width, so percentiles are exact
+   nearest-rank. *)
+let test_exact_below_unit_threshold () =
+  let h = H.create () in
+  for v = 1 to 100 do
+    H.record h v
+  done;
+  check "p50" 50 (H.percentile h 0.5);
+  check "p90" 90 (H.percentile h 0.9);
+  check "p99" 99 (H.percentile h 0.99);
+  check "p100" 100 (H.percentile h 1.0);
+  check "p0 -> rank 1" 1 (H.percentile h 0.0)
+
+(* The top percentile never over-reports past the true maximum: a
+   single large sample deep inside a wide bucket must come back
+   exactly. *)
+let test_max_clamped () =
+  let h = H.create () in
+  H.record h 1_000_003;
+  check "p999 of singleton" 1_000_003 (H.percentile h 0.999);
+  check "p50 of singleton" 1_000_003 (H.percentile h 0.5)
+
+let exact_nearest_rank sorted p =
+  let n = Array.length sorted in
+  let r = int_of_float (ceil (p *. float_of_int n)) in
+  sorted.(max 1 (min n r) - 1)
+
+(* Against exact nearest-rank on random nanosecond-scale samples the
+   histogram answer must sit in [exact, exact * (1 + 2/256)] — it
+   reports a bucket's inclusive upper bound, so it can only round up,
+   and only within the quantization bound. *)
+let test_relative_error_vs_exact () =
+  let rng = Random.State.make [| 20260809 |] in
+  let n = 5_000 in
+  let samples =
+    Array.init n (fun _ ->
+        (* span several octaves: ~1us .. ~100ms in ns *)
+        let mag = 3 + Random.State.int rng 6 in
+        let base = int_of_float (10. ** float_of_int mag) in
+        base + Random.State.int rng (9 * base))
+  in
+  let h = H.create () in
+  Array.iter (H.record h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun p ->
+      let exact = exact_nearest_rank sorted p in
+      let approx = H.percentile h p in
+      if approx < exact then
+        Alcotest.failf "p%.3f: histogram %d below exact %d" p approx exact;
+      let rel = float_of_int (approx - exact) /. float_of_int exact in
+      if rel > 2. /. 256. then
+        Alcotest.failf "p%.3f: histogram %d vs exact %d, error %.5f" p approx
+          exact rel)
+    [ 0.5; 0.9; 0.95; 0.99; 0.999; 1.0 ]
+
+(* ---- merge ---- *)
+
+(* merging shards must be indistinguishable from recording everything
+   into one histogram: same counts, same moments, same percentiles. *)
+let test_merge_equals_record_all () =
+  let rng = Random.State.make [| 4242 |] in
+  let all = H.create () in
+  let shards = Array.init 4 (fun _ -> H.create ()) in
+  for i = 0 to 9_999 do
+    let v = Random.State.int rng 1_000_000 in
+    H.record all v;
+    H.record shards.(i mod 4) v
+  done;
+  let merged = H.create () in
+  Array.iter (fun src -> H.merge_into ~src ~dst:merged) shards;
+  check "count" (H.count all) (H.count merged);
+  check "min" (H.min_recorded all) (H.min_recorded merged);
+  check "max" (H.max_recorded all) (H.max_recorded merged);
+  Alcotest.(check (float 1e-9)) "mean" (H.mean all) (H.mean merged);
+  List.iter
+    (fun p ->
+      check
+        (Printf.sprintf "p%.3f" p)
+        (H.percentile all p)
+        (H.percentile merged p))
+    [ 0.5; 0.9; 0.99; 0.999; 1.0 ];
+  (* merging an empty shard changes nothing, including min/max *)
+  let before = (H.min_recorded merged, H.max_recorded merged) in
+  H.merge_into ~src:(H.create ()) ~dst:merged;
+  Alcotest.(check (pair int int)) "empty merge is a no-op" before
+    (H.min_recorded merged, H.max_recorded merged)
+
+let test_invalid_args () =
+  let h = H.create () in
+  (match H.percentile h 0.5 with
+  | _ -> Alcotest.fail "percentile of empty histogram must raise"
+  | exception Invalid_argument _ -> ());
+  H.record h 1;
+  (match H.percentile h 1.5 with
+  | _ -> Alcotest.fail "p > 1 must raise"
+  | exception Invalid_argument _ -> ());
+  (match H.percentile h (-0.1) with
+  | _ -> Alcotest.fail "p < 0 must raise"
+  | exception Invalid_argument _ -> ());
+  match H.bucket_lo (-1) with
+  | _ -> Alcotest.fail "bucket_lo out of range must raise"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "buckets",
+        [
+          Alcotest.test_case "boundary invariants" `Quick
+            test_bucket_boundaries;
+          Alcotest.test_case "index edge cases" `Quick test_bucket_index_edges;
+          Alcotest.test_case "relative width bound" `Quick
+            test_relative_width_bound;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "counts and moments" `Quick
+            test_counts_and_moments;
+          Alcotest.test_case "exact below 256" `Quick
+            test_exact_below_unit_threshold;
+          Alcotest.test_case "max clamps the top bucket" `Quick
+            test_max_clamped;
+          Alcotest.test_case "relative error vs exact" `Quick
+            test_relative_error_vs_exact;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "merge = record-all" `Quick
+            test_merge_equals_record_all;
+        ] );
+      ("errors", [ Alcotest.test_case "invalid args" `Quick test_invalid_args ]);
+    ]

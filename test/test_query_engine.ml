@@ -415,6 +415,61 @@ let multi_domain_tests =
         `Quick (multi_domain_case name))
     [ "h2"; "shallow"; "ptree" ]
 
+(* ---- run_one: the serve dispatcher's single-query path must report
+   costs bit-identical to the same query inside a batch ---- *)
+
+let run_one_equivalence_case (module M : Index.S) () =
+  let dim = List.hd M.dims in
+  let rng = Workload.rng (500 + Hashtbl.hash M.name mod 89) in
+  let ds =
+    Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n:512
+      (module M : Index.S)
+  in
+  let qs = Array.of_list (Workloads.queries rng ds ~fraction:0.05 ~count:8) in
+  let stats = Emio.Io_stats.create () in
+  let t = Index.build (module M) ~params:Index.default_params ~stats ds in
+  let batch = Query_engine.run_batch_array t qs in
+  Array.iteri
+    (fun i q ->
+      let one = Query_engine.run_one t q in
+      let b = batch.(i) in
+      let label field = Printf.sprintf "%s query %d: %s" M.name i field in
+      check (label "reads") b.Query_engine.reads one.Query_engine.reads;
+      check (label "writes") b.Query_engine.writes one.Query_engine.writes;
+      check (label "hits") b.Query_engine.hits one.Query_engine.hits;
+      check (label "result") b.Query_engine.result one.Query_engine.result)
+    qs;
+  (* interleaving with batch runs must not perturb run_one: the scratch
+     context is reset per call *)
+  ignore (Query_engine.run_batch_array t qs);
+  let again = Query_engine.run_one t qs.(0) in
+  check (M.name ^ ": run_one stable across batches") batch.(0).Query_engine.reads
+    again.Query_engine.reads;
+  (* reporter mode returns the same count, and for id-reporting
+     structures fills the reporter with exactly [count] ids *)
+  Array.iteri
+    (fun i q ->
+      let r = Query_engine.domain_reporter () in
+      Emio.Reporter.clear r;
+      let one = Query_engine.run_one ~reporter:r t q in
+      let label field = Printf.sprintf "%s query %d: %s" M.name i field in
+      check (label "reporter-mode count") batch.(i).Query_engine.result
+        one.Query_engine.result;
+      if Index.reports_ids t then
+        check (label "ids reported") one.Query_engine.result
+          (Emio.Reporter.length r)
+      else check (label "no ids for count-only") 0 (Emio.Reporter.length r))
+    qs
+
+let run_one_tests =
+  List.map
+    (fun (module M : Index.S) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: run_one = batch costs" M.name)
+        `Quick
+        (run_one_equivalence_case (module M : Index.S)))
+    (Registry.all ())
+
 let batch_equivalence_tests =
   List.map
     (fun (module M : Index.S) ->
@@ -471,5 +526,6 @@ let () =
             test_batch_poisoned_query;
         ] );
       ("batch", batch_equivalence_tests);
+      ("run_one", run_one_tests);
       ("batch fan-out", multi_domain_tests);
     ]
