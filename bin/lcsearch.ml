@@ -21,6 +21,7 @@ module Registry = Lcsearch_index.Registry
 module Workloads = Lcsearch_index.Workloads
 module Query_engine = Lcsearch_index.Query_engine
 module Par = Lcsearch_index.Par
+module Shard = Lcsearch_index.Shard
 
 let structure_conv =
   let parse name =
@@ -174,7 +175,8 @@ let run_cmd =
       const run_once $ structure_arg $ n $ b $ fraction $ queries $ kind $ seed
       $ dim_arg $ domains_arg)
 
-let sweep_once (module M : Index.S) block_size fraction kind seed dim domains =
+let sweep_once (module M : Index.S) block_size fraction kind seed dim domains
+    ns =
   install_clean_exit ();
   let dim = pick_dim (module M) dim in
   Printf.printf "%10s %8s %10s %10s\n" "N" "n" "avg IO" "space";
@@ -196,7 +198,7 @@ let sweep_once (module M : Index.S) block_size fraction kind seed dim domains =
         ((n + block_size - 1) / block_size)
         (float_of_int total /. 15.)
         (Index.space_blocks inst))
-    [ 4096; 8192; 16384; 32768 ]
+    ns
 
 let sweep_cmd =
   let b = Arg.(value & opt int 64 & info [ "b"; "block-size" ] ~doc:"Block size B.") in
@@ -210,11 +212,21 @@ let sweep_cmd =
       & info [ "w"; "workload" ] ~doc:"Workload.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let n_list =
+    Arg.(
+      value
+      & opt (list int) [ 4096; 8192; 16384; 32768 ]
+      & info [ "n-list" ] ~docv:"N1,N2,..."
+          ~doc:
+            "Comma-separated N schedule to sweep (default \
+             4096,8192,16384,32768) — out-of-core sweeps are drivable \
+             without recompiling.")
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep N and print I/O scaling")
     Term.(
       const sweep_once $ structure_arg $ b $ fraction $ kind $ seed $ dim_arg
-      $ domains_arg)
+      $ domains_arg $ n_list)
 
 (* ---------- knn / segments (structure-specific extensions) ---------- *)
 
@@ -306,12 +318,21 @@ let meta_field meta key =
       | _ -> None)
     (String.split_on_char ';' meta)
 
-let build_once (module M : Index.S) n block_size kind seed out page_size dim =
+let build_once (module M0 : Index.S) n block_size kind seed out page_size dim
+    shards partition =
+  install_clean_exit ();
   (match page_size with
   | Some p when p < Diskstore.Block_file.min_page_size ->
       die "--page-size must be at least %d bytes"
         Diskstore.Block_file.min_page_size
   | _ -> ());
+  if shards < 1 then die "--shards must be at least 1";
+  (* [--shards K] for K > 1 swaps in the scatter-gather wrapper: same
+     Index.S surface, directory snapshot instead of a single file. *)
+  let (module M : Index.S) =
+    if shards = 1 then (module M0)
+    else Shard.make ~inner:(module M0 : Index.S) ~shards ~partition ()
+  in
   let ops =
     match M.snapshot with
     | Some ops -> ops
@@ -332,19 +353,39 @@ let build_once (module M : Index.S) n block_size kind seed out page_size dim =
     Emio.Cost_ctx.with_ctx bctx (fun () ->
         M.build ~params:(params_of ~block_size) ~stats ds)
   in
-  let meta = meta_string ~name:M.name ~n ~block_size ~kind ~seed ~dim in
+  let meta =
+    let base = meta_string ~name:M0.name ~n ~block_size ~kind ~seed ~dim in
+    if shards = 1 then base
+    else
+      Printf.sprintf "%s;shards=%d;partition=%s" base shards
+        (Shard.partition_name partition)
+  in
   (try ops.Index.save t ~path:out ~meta ~page_size
    with Invalid_argument msg -> die "cannot write %s: %s" out msg);
-  match Diskstore.Snapshot.read_info out with
-  | Error e ->
-      die "wrote %s but cannot read it back: %s" out
-        (Diskstore.Snapshot.error_to_string e)
-  | Ok info ->
-      Printf.printf
-        "%s: %s  N=%d  B=%d  build=%d model I/Os  %d pages of %d bytes\n" out
-        info.Diskstore.Snapshot.kind n block_size
-        (Emio.Cost_ctx.total bctx)
-        info.Diskstore.Snapshot.total_pages info.Diskstore.Snapshot.page_size
+  if shards > 1 then begin
+    match Shard.read_manifest out with
+    | Error e ->
+        die "wrote %s but cannot read it back: %s" out
+          (Diskstore.Snapshot.error_to_string e)
+    | Ok m ->
+        Printf.printf
+          "%s: %s  %d %s shards of %s  N=%d  B=%d  build=%d model I/Os\n" out
+          Shard.sharded_kind m.Shard.shards
+          (Shard.partition_name m.Shard.partition)
+          m.Shard.inner_kind n block_size
+          (Emio.Cost_ctx.total bctx)
+  end
+  else
+    match Diskstore.Snapshot.read_info out with
+    | Error e ->
+        die "wrote %s but cannot read it back: %s" out
+          (Diskstore.Snapshot.error_to_string e)
+    | Ok info ->
+        Printf.printf
+          "%s: %s  N=%d  B=%d  build=%d model I/Os  %d pages of %d bytes\n" out
+          info.Diskstore.Snapshot.kind n block_size
+          (Emio.Cost_ctx.total bctx)
+          info.Diskstore.Snapshot.total_pages info.Diskstore.Snapshot.page_size
 
 let build_cmd =
   let n = Arg.(value & opt int 16384 & info [ "n" ] ~doc:"Number of points.") in
@@ -368,11 +409,29 @@ let build_cmd =
       & opt (some int) None
       & info [ "page-size" ] ~doc:"Snapshot page size in bytes (default 4096).")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Split the dataset into K shards (K > 1 writes a sharded \
+             snapshot directory: one inner-format file per shard plus a \
+             CRC-checked MANIFEST).")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt (enum [ ("str", Shard.Str); ("hash", Shard.Hash) ]) Shard.Str
+      & info [ "partition" ]
+          ~doc:
+            "Shard partitioner: str (spatial sort-tile-recursive tiles, \
+             prunable at query time) or hash (index hash).")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a structure and persist it to a snapshot")
     Term.(
       const build_once $ structure_arg $ n $ b $ kind $ seed $ out $ page_size
-      $ dim_arg)
+      $ dim_arg $ shards $ partition)
 
 let policy_conv =
   Arg.enum
@@ -380,13 +439,9 @@ let policy_conv =
 
 let sorted_rows l = List.sort compare (List.map Array.to_list l)
 
-let query_once path fraction queries cache_pages policy check =
-  let info =
-    match Diskstore.Snapshot.read_info path with
-    | Ok info -> info
-    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
-  in
-  let meta = info.Diskstore.Snapshot.meta in
+(* Decode the builder meta string (see [meta_string]) so a fresh
+   process can replay the exact workload streams. *)
+let parse_meta path meta =
   let field key =
     match meta_field meta key with
     | Some v -> v
@@ -397,10 +452,6 @@ let query_once path fraction queries cache_pages policy check =
     | Some v -> v
     | None -> die "%s: bad %S in snapshot meta" path key
   in
-  let n = int_field "n"
-  and block_size = int_field "b"
-  and seed = int_field "seed"
-  and dim = int_field "d" in
   let kind =
     match field "w" with
     | "uniform" -> Workloads.Uniform
@@ -408,6 +459,91 @@ let query_once path fraction queries cache_pages policy check =
     | "diagonal" -> Workloads.Diagonal
     | w -> die "%s: unknown workload %S in snapshot meta" path w
   in
+  ( int_field "n",
+    int_field "b",
+    int_field "seed",
+    int_field "d",
+    kind )
+
+(* Reopen a sharded snapshot directory and scatter-gather queries over
+   its shards.  [--check] rebuilds the *unsharded* structure in memory
+   from the recorded workload, so the check gates bit-equality of the
+   sharded results against the unsharded oracle. *)
+let sharded_query_once path fraction queries cache_pages policy check =
+  let stats = Emio.Io_stats.create () in
+  let inst, info, m =
+    match Shard.open_snapshot ~policy ~cache_pages ~stats path with
+    | Ok v -> v
+    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  in
+  let meta = m.Shard.meta in
+  let n, block_size, seed, _dim, kind = parse_meta path meta in
+  let (module M : Index.S) =
+    match Registry.find_by_snapshot_kind m.Shard.inner_kind with
+    | Some m -> m
+    | None ->
+        die "%s: no registered structure owns snapshot kind %S" path
+          m.Shard.inner_kind
+  in
+  let rng = Workload.rng seed in
+  let ds = Workloads.dataset rng ~kind ~dim:m.Shard.dim ~n (module M : Index.S) in
+  let reference =
+    if not check then None
+    else begin
+      let rstats = Emio.Io_stats.create () in
+      Some
+        (Index.build
+           (module M : Index.S)
+           ~params:(params_of ~block_size) ~stats:rstats ds)
+    end
+  in
+  Printf.printf "%s: %s (%d %s shards of %s)  meta %s  %d pages of %d bytes\n"
+    path info.Diskstore.Snapshot.kind m.Shard.shards
+    (Shard.partition_name m.Shard.partition)
+    m.Shard.inner_kind meta info.Diskstore.Snapshot.total_pages
+    info.Diskstore.Snapshot.page_size;
+  Emio.Io_stats.reset stats (* drop the load-time verification sweep *);
+  let total_t = ref 0 and mismatches = ref 0 in
+  for _ = 1 to queries do
+    let q = Workloads.query rng ds ~fraction in
+    let result = Index.query inst q in
+    total_t := !total_t + List.length result;
+    match reference with
+    | Some r ->
+        if sorted_rows (Index.query r q) <> sorted_rows result then
+          incr mismatches
+    | None -> ()
+  done;
+  Printf.printf
+    "%d queries at selectivity %.3f: avg t=%d points, %d page faults, %d \
+     pool hits, %d evictions, %.1f KiB read\n"
+    queries fraction
+    (!total_t / max 1 queries)
+    (Emio.Io_stats.reads stats)
+    (Emio.Io_stats.cache_hits stats)
+    (Emio.Io_stats.evictions stats)
+    (float_of_int (Emio.Io_stats.bytes_read stats) /. 1024.);
+  if check then
+    if !mismatches = 0 then
+      Printf.printf
+        "check: all %d sharded result sets identical to the unsharded \
+         in-memory oracle\n"
+        queries
+    else
+      die "check FAILED: %d of %d result sets differ from unsharded oracle"
+        !mismatches queries
+
+let query_once path fraction queries cache_pages policy check =
+  if Shard.is_sharded_path path then
+    sharded_query_once path fraction queries cache_pages policy check
+  else
+  let info =
+    match Diskstore.Snapshot.read_info path with
+    | Ok info -> info
+    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  in
+  let meta = info.Diskstore.Snapshot.meta in
+  let n, block_size, seed, dim, kind = parse_meta path meta in
   (* generic dispatch: the header's kind tag names the module *)
   let (module M : Index.S) =
     match Registry.find_by_snapshot_kind info.Diskstore.Snapshot.kind with
@@ -500,7 +636,32 @@ let query_cmd =
       const query_once $ path $ fraction $ queries $ cache_pages $ policy
       $ check)
 
+let pp_corner a =
+  String.concat ", "
+    (List.map (Printf.sprintf "%g") (Array.to_list a))
+
 let inspect_once path =
+  if Shard.is_sharded_path path then begin
+    match Shard.read_manifest path with
+    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+    | Ok m ->
+        Printf.printf
+          "%s:\n  kind        %s\n  inner kind  %s\n  partition   %s\n\
+          \  shards      %d\n  dim         %d\n  points      %d\n\
+          \  meta        %s\n"
+          path Shard.sharded_kind m.Shard.inner_kind
+          (Shard.partition_name m.Shard.partition)
+          m.Shard.shards m.Shard.dim m.Shard.total m.Shard.meta;
+        Array.iter
+          (fun (e : Shard.entry) ->
+            Printf.printf
+              "  shard %-16s crc %08x  ids %-8d tile [%s] .. [%s]\n"
+              e.Shard.file e.Shard.crc
+              (Array.length e.Shard.gids)
+              (pp_corner e.Shard.lo) (pp_corner e.Shard.hi))
+          m.Shard.entries
+  end
+  else
   match Diskstore.Snapshot.read_info path with
   | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
   | Ok i ->
@@ -560,11 +721,12 @@ let serve_once host port snapshots queue batch domains deadline_ms read_timeout
     }
   in
   let srv = try Serve.Server.start cfg with Failure m -> die "%s" m in
-  Printf.printf "serving on %s:%d (%s mode, %d domain%s):\n" host
+  let eff = Serve.Server.effective_domains srv in
+  Printf.printf "serving on %s:%d (%s mode, %d effective domain%s):\n" host
     (Serve.Server.port srv)
     (if no_resident then "file-backed" else "resident")
-    (if no_resident then 1 else domains)
-    (if (not no_resident) && domains > 1 then "s" else "");
+    eff
+    (if eff > 1 then "s" else "");
   List.iter
     (fun (name, dim) -> Printf.printf "  %-14s d=%d\n" name dim)
     (Serve.Server.structures srv);
@@ -639,7 +801,8 @@ let serve_cmd =
       $ no_resident $ verbose)
 
 let loadgen_once host port snapshots mode_name concurrency qps duration warmup
-    mix_name zipf_s pool fraction want_ids deadline_ms check seed out verbose =
+    mix_name zipf_s pool fraction want_ids deadline_ms check seed
+    server_domains out verbose =
   let mode =
     match mode_name with
     | "closed" -> Serve.Loadgen.Closed concurrency
@@ -667,6 +830,7 @@ let loadgen_once host port snapshots mode_name concurrency qps duration warmup
       deadline_ms;
       check;
       seed;
+      server_domains;
       verbose;
     }
   in
@@ -746,6 +910,14 @@ let loadgen_cmd =
              single-query engine; exit nonzero on any mismatch.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let server_domains =
+    Arg.(
+      value & opt int 0
+      & info [ "server-domains" ]
+          ~doc:
+            "The server's effective domain count (from its startup banner), \
+             recorded in the summary JSON meta; 0 = unknown.")
+  in
   let out =
     Arg.(
       value
@@ -759,7 +931,7 @@ let loadgen_cmd =
     Term.(
       const loadgen_once $ host_arg $ port $ snapshots_arg $ mode $ concurrency
       $ qps $ duration $ warmup $ mix $ zipf_s $ pool $ fraction $ want_ids
-      $ deadline $ check $ seed $ out $ verbose)
+      $ deadline $ check $ seed $ server_domains $ out $ verbose)
 
 let info_text () =
   print_string

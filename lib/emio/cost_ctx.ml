@@ -72,6 +72,23 @@ let with_ctx ctx f =
       uninstall ctx;
       raise e
 
+(* Mask every installed context on the calling domain for the duration
+   of [f].  A delegating layer that accounts work under private sinks
+   and replays the totals afterwards (Io_stats.merge_into) runs the
+   work under this, so the caller's contexts are charged exactly once
+   whether the work happened on this domain or on workers (whose
+   thread-local stacks are empty anyway). *)
+let unscoped f =
+  let saved = Tls.get stack in
+  Tls.set stack [];
+  match f () with
+  | v ->
+      Tls.set stack saved;
+      v
+  | exception e ->
+      Tls.set stack saved;
+      raise e
+
 let active () = match Tls.get stack with [] -> false | _ :: _ -> true
 
 let has_trace c = match c.trace with None -> false | Some _ -> true
@@ -126,6 +143,21 @@ let note_hit_traced () =
         go (traced || has_trace c) rest
   in
   go false (Tls.get stack)
+
+(* Bulk mirror for delegating layers (the shard layer) that run work
+   under private stats/contexts — e.g. on worker domains whose Tls
+   never saw the caller's stack — and afterwards replay the totals
+   into whatever contexts the caller has installed. *)
+let note_bulk ~reads ~writes ~hits ~evictions ~bytes_read ~bytes_written =
+  List.iter
+    (fun c ->
+      c.reads <- c.reads + reads;
+      c.writes <- c.writes + writes;
+      c.hits <- c.hits + hits;
+      c.evictions <- c.evictions + evictions;
+      c.bytes_read <- c.bytes_read + bytes_read;
+      c.bytes_written <- c.bytes_written + bytes_written)
+    (Tls.get stack)
 
 let note_eviction () =
   List.iter (fun c -> c.evictions <- c.evictions + 1) (Tls.get stack)

@@ -38,6 +38,15 @@ val with_ctx : t -> (unit -> 'r) -> 'r
 (** Install [ctx] for the duration of the callback (exception-safe).
     Nested installs stack. *)
 
+val unscoped : (unit -> 'r) -> 'r
+(** Run the callback with every context installed on the calling
+    domain masked (exception-safe).  For delegating layers that do
+    work under private {!Io_stats} sinks and replay the totals with
+    {!Io_stats.merge_into} afterwards: masking keeps the caller's
+    contexts from also being charged directly for the share of the
+    work that runs on the calling domain, so they see each I/O exactly
+    once — and the same count whatever the fan-out was. *)
+
 val reset : t -> unit
 (** Zero every counter, leaving the trace sink in place.  A context
     that is [reset] between measurements reports exactly what a fresh
@@ -71,6 +80,20 @@ val note_hit : unit -> unit
 val note_eviction : unit -> unit
 val note_bytes_read : int -> unit
 val note_bytes_written : int -> unit
+
+val note_bulk :
+  reads:int ->
+  writes:int ->
+  hits:int ->
+  evictions:int ->
+  bytes_read:int ->
+  bytes_written:int ->
+  unit
+(** Charge every installed context with a batch of counts at once —
+    how a delegating layer (see [Lcsearch_index.Shard]) replays I/O
+    done under private accounting (e.g. on worker domains, whose
+    thread-local context stacks never saw the caller's) into the
+    caller's contexts. *)
 
 val note_read_traced : unit -> bool
 (** Like {!note_read} followed by {!tracing}, in a single stack walk —

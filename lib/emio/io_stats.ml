@@ -68,6 +68,19 @@ let record_bytes_written t n =
   t.bytes_written <- t.bytes_written + n;
   Cost_ctx.note_bytes_written n
 
+(* Fold [src]'s counters into [t], mirroring into any installed
+   Cost_ctx exactly as the equivalent record_* sequence would. *)
+let merge_into ~src t =
+  t.reads <- t.reads + src.reads;
+  t.writes <- t.writes + src.writes;
+  t.hits <- t.hits + src.hits;
+  t.evictions <- t.evictions + src.evictions;
+  t.bytes_read <- t.bytes_read + src.bytes_read;
+  t.bytes_written <- t.bytes_written + src.bytes_written;
+  Cost_ctx.note_bulk ~reads:src.reads ~writes:src.writes ~hits:src.hits
+    ~evictions:src.evictions ~bytes_read:src.bytes_read
+    ~bytes_written:src.bytes_written
+
 let reset t =
   t.reads <- 0;
   t.writes <- 0;

@@ -58,6 +58,13 @@ val record_read_traced : t -> bool
 val record_write_traced : t -> bool
 val record_hit_traced : t -> bool
 
+val merge_into : src:t -> t -> unit
+(** Add [src]'s counters into the target, mirroring the totals into any
+    installed {!Cost_ctx} exactly as the equivalent [record_*] sequence
+    would.  This is how a delegating layer folds per-shard accounting
+    (accumulated under a private [t], possibly on a worker domain) back
+    into its caller's sink; [src] is left untouched. *)
+
 val reset : t -> unit
 (** Zero all counters (including byte and eviction counters).  Used
     between the build phase and the query phase of an experiment. *)

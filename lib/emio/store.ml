@@ -35,8 +35,8 @@ type 'a t = {
    store from inside Par.run, under [with_cache_split ~domains]. *)
 let cache_split = Atomic.make 1
 
-let with_cache_split ~domains f =
-  let prev = Atomic.exchange cache_split (max 1 domains) in
+let with_cache_split ?(shards = 1) ~domains f =
+  let prev = Atomic.exchange cache_split (max 1 shards * max 1 domains) in
   Fun.protect ~finally:(fun () -> Atomic.set cache_split prev) f
 
 let domain_cache_key capacity =

@@ -55,9 +55,13 @@ val stats : 'a t -> Io_stats.t
 val cache_blocks : 'a t -> int
 (** The LRU capacity this store was created with. *)
 
-val with_cache_split : domains:int -> (unit -> 'r) -> 'r
-(** Run the callback with every store's cache capacity split [domains]
-    ways.  Block caches are {e per-domain} (each domain owns a private
+val with_cache_split : ?shards:int -> domains:int -> (unit -> 'r) -> 'r
+(** Run the callback with every store's cache capacity split
+    [shards * domains] ways ([shards] defaults to [1]).  The sharded
+    layer passes [shards:K] so a K-shard structure queried over
+    [domains] domains models the same total main memory as one
+    unsharded structure — every per-shard, per-domain cache gets
+    [cache_blocks / (shards * domains)] slots.  Block caches are {e per-domain} (each domain owns a private
     LRU, and in external mode a private decoded-payload table), created
     lazily on a domain's first access to the store; a cache created
     while a split is in force gets [max 1 (cache_blocks / domains)]

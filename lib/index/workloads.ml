@@ -33,9 +33,10 @@ let dataset rng ~kind ~dim ~n (module M : Index.S) =
         invalid_arg "Workloads.dataset: 3-d representation at dim <> 3";
       Index.Pts3
         (match kind with
-        | Uniform | Diagonal -> Workload.uniform3 rng ~n ~range:range3
+        | Uniform -> Workload.uniform3 rng ~n ~range:range3
         | Clusters ->
-            Workload.clusters3 rng ~n ~clusters:10 ~sigma:3. ~range:range3)
+            Workload.clusters3 rng ~n ~clusters:10 ~sigma:3. ~range:range3
+        | Diagonal -> Workload.diagonal3 rng ~n ~jitter:0.01 ~range:range3)
   | `PtsD -> Index.PtsD (Workload.uniform_d rng ~n ~dim ~range:range3)
 
 let clamp v = Float.max (-.coeff_clamp) (Float.min coeff_clamp v)

@@ -21,6 +21,7 @@ type config = {
   deadline_ms : int;
   check : bool;
   seed : int;
+  server_domains : int;
   verbose : bool;
 }
 
@@ -39,6 +40,7 @@ let default_config =
     deadline_ms = 0;
     check = false;
     seed = 42;
+    server_domains = 0;
     verbose = false;
   }
 
@@ -92,24 +94,34 @@ let oracle_of path (module M : Index.S) queries =
       })
     queries
 
+module Lshard = Lcsearch_index.Shard
+
 let target_of cfg path =
-  let info =
-    match Diskstore.Snapshot.read_info path with
-    | Ok info -> info
-    | Error e -> failwith (path ^ ": " ^ Diskstore.Snapshot.error_to_string e)
+  (* For sharded directories the workload meta lives in the MANIFEST
+     and the query pool is typed by the *inner* structure (the sharded
+     wrapper shares its name/dims, so the server-side lookup agrees). *)
+  let meta, kind =
+    if Lshard.is_sharded_path path then
+      match Lshard.read_manifest path with
+      | Ok m -> (m.Lshard.meta, m.Lshard.inner_kind)
+      | Error e -> failwith (path ^ ": " ^ Diskstore.Snapshot.error_to_string e)
+    else
+      match Diskstore.Snapshot.read_info path with
+      | Ok info -> (info.Diskstore.Snapshot.meta, info.Diskstore.Snapshot.kind)
+      | Error e -> failwith (path ^ ": " ^ Diskstore.Snapshot.error_to_string e)
   in
   let w =
-    match Meta.workload_of_meta info.Diskstore.Snapshot.meta with
+    match Meta.workload_of_meta meta with
     | Ok w -> w
     | Error m -> failwith (path ^ ": " ^ m)
   in
   let (module M : Index.S) =
-    match Registry.find_by_snapshot_kind info.Diskstore.Snapshot.kind with
+    match Registry.find_by_snapshot_kind kind with
     | Some m -> m
     | None ->
         failwith
           (Printf.sprintf "%s: no registered structure owns snapshot kind %S"
-             path info.Diskstore.Snapshot.kind)
+             path kind)
   in
   let rng = Workload.rng w.Meta.seed in
   let ds =
@@ -396,6 +408,7 @@ type summary = {
   mismatches : int;
   checked : bool;
   throughput_rps : float;
+  server_domains : int;
   per_structure : structure_summary list;
 }
 
@@ -474,6 +487,7 @@ let run cfg =
     mismatches = agg.mismatches;
     checked = cfg.check;
     throughput_rps = float_of_int agg.ok_measured /. measured_s;
+    server_domains = cfg.server_domains;
     per_structure =
       List.init (Array.length targets) (structure_summary agg targets);
   }
@@ -506,6 +520,7 @@ let json_of_summary s =
       Printf.sprintf "  \"check\": {\"enabled\": %b, \"mismatches\": %d},\n"
         s.checked s.mismatches;
       Printf.sprintf "  \"throughput_rps\": %.1f,\n" s.throughput_rps;
+      Printf.sprintf "  \"meta\": {\"server_domains\": %d},\n" s.server_domains;
       "  \"structures\": [\n    ";
       String.concat ",\n    " (List.map structure s.per_structure);
       "\n  ]\n}\n";

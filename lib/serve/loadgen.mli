@@ -46,6 +46,10 @@ type config = {
   deadline_ms : int;  (** 0 = server default *)
   check : bool;
   seed : int;
+  server_domains : int;
+      (** the server's {e effective} domain count, as reported by its
+          startup banner (the server clamps to 1 without resident
+          payloads); recorded in the summary meta.  0 = unknown. *)
   verbose : bool;
 }
 
@@ -78,6 +82,7 @@ type summary = {
   mismatches : int;  (** oracle disagreements; 0 unless [check] *)
   checked : bool;
   throughput_rps : float;  (** ok responses per measured second *)
+  server_domains : int;  (** from [config.server_domains]; 0 = unknown *)
   per_structure : structure_summary list;
 }
 

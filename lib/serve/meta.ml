@@ -1,6 +1,7 @@
 module Index = Lcsearch_index.Index
 module Registry = Lcsearch_index.Registry
 module Workloads = Lcsearch_index.Workloads
+module Shard = Lcsearch_index.Shard
 
 type workload = {
   structure : string;
@@ -58,7 +59,35 @@ type loaded = {
   meta_workload : workload;
 }
 
+(* A sharded snapshot directory reopens through [Shard.open_snapshot]
+   (manifest-driven: inner kind, K, partitioner); queries fan out over
+   the shards behind the same [Index.instance] surface, so the server
+   needs no further dispatch. *)
+let load_sharded ~policy ~cache_pages path =
+  let ( let* ) = Result.bind in
+  let snap_err e = path ^ ": " ^ Diskstore.Snapshot.error_to_string e in
+  let stats = Emio.Io_stats.create () in
+  let* inst, info, m =
+    Result.map_error snap_err
+      (Shard.open_snapshot ~policy ~cache_pages ~stats path)
+  in
+  let* meta_workload =
+    Result.map_error (fun e -> path ^ ": " ^ e) (workload_of_meta m.Shard.meta)
+  in
+  let (module M : Index.S) = Index.structure inst in
+  Ok
+    {
+      name = M.name;
+      dim = meta_workload.dim;
+      reports_ids = M.reports_ids;
+      inst;
+      info;
+      meta_workload;
+    }
+
 let load ?(policy = Diskstore.Buffer_pool.Lru) ?(cache_pages = 64) path =
+  if Shard.is_sharded_path path then load_sharded ~policy ~cache_pages path
+  else
   let ( let* ) = Result.bind in
   let snap_err e = path ^ ": " ^ Diskstore.Snapshot.error_to_string e in
   let* info =

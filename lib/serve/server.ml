@@ -334,6 +334,15 @@ let load_entries cfg =
 
 let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Not a silent clamp: without resident payloads the shared buffer
+     pool forces sequential dispatch, and the user who asked for
+     fan-out should hear about it once, at startup. *)
+  if (not cfg.resident) && cfg.domains > 1 then
+    Printf.eprintf
+      "serve: --no-resident forces sequential dispatch; requested %d \
+       domains, using 1\n\
+       %!"
+      cfg.domains;
   let entries = load_entries cfg in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
@@ -379,6 +388,7 @@ let start cfg =
   t
 
 let port t = t.port
+let effective_domains t = t.domains
 let structures t = List.map (fun (name, e) -> (name, e.dim)) t.entries
 
 let stats t =

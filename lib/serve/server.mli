@@ -59,6 +59,11 @@ val start : config -> t
 val port : t -> int
 (** The actually-bound port (useful with [config.port = 0]). *)
 
+val effective_domains : t -> int
+(** The domain count queries actually fan out over — 1 whenever
+    [resident = false], whatever [config.domains] asked for (the
+    clamp is also warned about at startup). *)
+
 val structures : t -> (string * int) list
 (** Serving names and their dimensions. *)
 

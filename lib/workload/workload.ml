@@ -29,6 +29,13 @@ let diagonal2 rng ~n ~jitter ~range =
       let x = uniform rng range in
       Point2.make x (x +. (uniform rng 1. *. jitter)))
 
+let diagonal3 rng ~n ~jitter ~range =
+  Array.init n (fun _ ->
+      let x = uniform rng range in
+      Point3.make x
+        (x +. (uniform rng 1. *. jitter))
+        (x +. (uniform rng 1. *. jitter)))
+
 let uniform3 rng ~n ~range =
   Array.init n (fun _ ->
       Point3.make (uniform rng range) (uniform rng range) (uniform rng range))

@@ -26,6 +26,12 @@ val diagonal2 : rng -> n:int -> jitter:float -> range:float -> Geom.Point2.t arr
 (** {1 Three-dimensional point sets} *)
 
 val uniform3 : rng -> n:int -> range:float -> Geom.Point3.t array
+
+val diagonal3 : rng -> n:int -> jitter:float -> range:float -> Geom.Point3.t array
+(** 3-d analogue of {!diagonal2}: points within [jitter] of the space
+    diagonal y = z = x, same jitter convention (uniform in
+    [-jitter, jitter) around the line). *)
+
 val clusters3 :
   rng -> n:int -> clusters:int -> sigma:float -> range:float ->
   Geom.Point3.t array

@@ -1,0 +1,86 @@
+(* Index.estimate across the registry (satellite of the shard PR):
+   every registered structure must return a finite, non-negative
+   planning estimate for random valid queries at dims 2 and 3 —
+   nothing exercised [estimate] before this suite. *)
+
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Workloads = Lcsearch_index.Workloads
+module Shard = Lcsearch_index.Shard
+
+(* One small structure per (module, dim), built once and shared by
+   every qcheck iteration: estimate is a pure planning hint, so the
+   property only needs fresh queries, not fresh builds. *)
+let built =
+  List.concat_map
+    (fun (module M : Index.S) ->
+      List.filter_map
+        (fun dim ->
+          if not (List.mem dim M.dims) then None
+          else begin
+            let rng = Workload.rng (77 + dim + Hashtbl.hash M.name mod 53) in
+            let ds =
+              Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n:128
+                (module M : Index.S)
+            in
+            let t =
+              M.build ~params:Index.default_params
+                ~stats:(Emio.Io_stats.create ())
+                ds
+            in
+            Some (M.name, dim, Index.Instance ((module M), t))
+          end)
+        [ 2; 3 ])
+    (Registry.all ())
+
+(* Random valid query at [dim]: d-1 coefficients within the builders'
+   clip box (the workload generators clamp to ±9.9) and an intercept
+   spanning well past the coordinate ranges. *)
+let gen_query dim =
+  QCheck.Gen.(
+    map2
+      (fun a0 a -> { Index.a0; a = Array.of_list a })
+      (float_range (-500.) 500.)
+      (list_repeat (dim - 1) (float_range (-9.9) 9.9)))
+
+let finite_nonneg name dim inst =
+  QCheck.Test.make ~count:50
+    ~name:(Printf.sprintf "estimate %s d=%d finite and >= 0" name dim)
+    (QCheck.make (gen_query dim))
+    (fun q ->
+      let e = Index.estimate inst q in
+      Float.is_finite e && e >= 0.)
+
+let registry_props =
+  List.map
+    (fun (name, dim, inst) ->
+      QCheck_alcotest.to_alcotest (finite_nonneg name dim inst))
+    built
+
+(* The sharded wrapper keeps the property (its estimate sums over
+   non-pruned shards, which can legitimately be 0 on a miss). *)
+let sharded_props =
+  List.map
+    (fun (inner, dim) ->
+      let (module M : Index.S) = Registry.find_exn inner in
+      let (module Sh : Index.S) =
+        Shard.make ~inner:(module M) ~shards:4 ~partition:Shard.Str ()
+      in
+      let rng = Workload.rng (177 + dim) in
+      let ds =
+        Workloads.dataset rng ~kind:Workloads.Uniform ~dim ~n:128
+          (module Sh : Index.S)
+      in
+      let t =
+        Sh.build ~params:Index.default_params
+          ~stats:(Emio.Io_stats.create ())
+          ds
+      in
+      QCheck_alcotest.to_alcotest
+        (finite_nonneg (inner ^ " sharded") dim
+           (Index.Instance ((module Sh), t))))
+    [ ("h2", 2); ("ptree", 3) ]
+
+let () =
+  Alcotest.run "estimate"
+    [ ("registry", registry_props); ("sharded", sharded_props) ]
