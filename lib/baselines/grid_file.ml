@@ -87,17 +87,21 @@ let read_bucket t c f =
   let start, len =
     (Emio.Run.read_block t.directory (c / t.dir_block)).(c mod t.dir_block)
   in
-  if len > 0 then
-    Array.iter f (Emio.Run.read_range t.buckets ~pos:start ~len)
+  (* in-place range scan: the same bucket blocks are charged as the old
+     materializing read_range, but no per-bucket copy is built *)
+  if len > 0 then Emio.Run.iter_range f t.buckets ~pos:start ~len
 
 (* The shared traversal: list and counting callers run the identical
    (I/O-identical) directory-and-bucket scan through this visitor. *)
 let query_visit t ~classify ~keep f =
+  (* one filtering closure for the whole sweep, not one per crossing
+     cell *)
+  let filtered p = if keep p then f p in
   for c = 0 to (t.side * t.side) - 1 do
     match classify (cell_rect t c) with
     | Rect.Outside -> ()
     | Rect.Inside -> read_bucket t c f
-    | Rect.Crossing -> read_bucket t c (fun p -> if keep p then f p)
+    | Rect.Crossing -> read_bucket t c filtered
   done
 
 let query_fold t ~classify ~keep =

@@ -170,11 +170,19 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?cert_cap points =
 
 let rec report_subtree t ~report = function
   | Leaf id ->
-      Array.iter (fun it -> report it.pid) (Emio.Store.read t.leaves id)
+      let block = Emio.Store.read t.leaves id in
+      for i = 0 to Array.length block - 1 do
+        report block.(i).pid
+      done
   | Node id ->
       Array.iter
         (fun child -> report_subtree t ~report child.sub)
         (Emio.Store.read t.internals id)
+
+(* Single-field all-float record: mutating it updates the unboxed
+   float in place, where a [float ref] would box a fresh float per
+   assignment on the certificate scans. *)
+type fbox = { mutable fv : float }
 
 (* The shared traversal: each reported pid goes through [report], so
    list, reporter-sink and counting callers run identical I/Os. *)
@@ -182,28 +190,38 @@ let query_iter t ~a0 ~a report =
   if Array.length a <> 2 then
     invalid_arg "Cert_tree.query_ids: need 2 slope coefficients";
   let constr = Cells.constr_of_halfspace ~dim:3 ~a0 ~a in
-  (* the affine gap, negative-or-zero below the plane *)
-  let gap (p : Point3.t) =
-    Point3.z p -. (a.(0) *. Point3.x p) -. (a.(1) *. Point3.y p) -. a0
-  in
-  let range_extreme better ~start ~len =
-    let best = ref None in
-    Array.iter
+  let ax = a.(0) and ay = a.(1) in
+  (* the affine gap, negative-or-zero below the plane; evaluated
+     inline on raw coordinates so leaf and certificate scans build no
+     intermediate Point3 *)
+  let min_gap_of ~start ~len =
+    let acc = { fv = infinity } in
+    Emio.Run.iter_range
       (fun p ->
-        let g = gap p in
-        match !best with
-        | Some b when not (better g b) -> ()
-        | _ -> best := Some g)
-      (Emio.Run.read_range t.certs ~pos:start ~len);
-    Option.get !best
+        let g = Point3.z p -. (ax *. Point3.x p) -. (ay *. Point3.y p) -. a0 in
+        if g < acc.fv then acc.fv <- g)
+      t.certs ~pos:start ~len;
+    acc.fv
+  in
+  let max_gap_of ~start ~len =
+    let acc = { fv = neg_infinity } in
+    Emio.Run.iter_range
+      (fun p ->
+        let g = Point3.z p -. (ax *. Point3.x p) -. (ay *. Point3.y p) -. a0 in
+        if g > acc.fv then acc.fv <- g)
+      t.certs ~pos:start ~len;
+    acc.fv
   in
   t.visited <- 0;
   let rec go = function
     | Leaf id ->
         t.visited <- t.visited + 1;
-        Array.iter
-          (fun it -> if gap (point3_of it) <= Eps.eps then report it.pid)
-          (Emio.Store.read t.leaves id)
+        let block = Emio.Store.read t.leaves id in
+        for i = 0 to Array.length block - 1 do
+          let it = block.(i) in
+          if it.pz -. (ax *. it.px) -. (ay *. it.py) -. a0 <= Eps.eps then
+            report it.pid
+        done
     | Node id ->
         t.visited <- t.visited + 1;
         Array.iter
@@ -216,13 +234,12 @@ let query_iter t ~a0 ~a report =
                 else begin
                   (* exact point-set classification via the hulls *)
                   let min_gap =
-                    range_extreme ( < ) ~start:child.lo_start ~len:child.lo_len
+                    min_gap_of ~start:child.lo_start ~len:child.lo_len
                   in
                   if min_gap > Eps.eps then () (* no point below *)
                   else begin
                     let max_gap =
-                      range_extreme ( > ) ~start:child.up_start
-                        ~len:child.up_len
+                      max_gap_of ~start:child.up_start ~len:child.up_len
                     in
                     if max_gap <= Eps.eps then report_subtree t ~report child.sub
                     else go child.sub

@@ -66,10 +66,10 @@ let query_count t ~center ~radius =
     let threshold = (radius *. radius) -. (x *. x) -. (y *. y) +. Eps.eps in
     let rec go k =
       let k = min k n in
-      let arr = Lowest_planes.k_lowest_arr t.lp ~x ~y ~k in
-      let inside = ref 0 in
-      Array.iter (fun (_, h) -> if h <= threshold then incr inside) arr;
-      if !inside < Array.length arr || k >= n then !inside else go (2 * k)
+      let inside, retrieved =
+        Lowest_planes.k_lowest_count t.lp ~x ~y ~k ~threshold
+      in
+      if inside < retrieved || k >= n then inside else go (2 * k)
     in
     go t.beta
   end

@@ -66,10 +66,10 @@ let query_count t ~a ~b ~c =
     let threshold = c +. Eps.eps in
     let rec go k =
       let k = min k n in
-      let arr = Lowest_planes.k_lowest_arr t.lp ~x:a ~y:b ~k in
-      let below = ref 0 in
-      Array.iter (fun (_, h) -> if h <= threshold then incr below) arr;
-      if !below < Array.length arr || k >= n then !below else go (2 * k)
+      let below, retrieved =
+        Lowest_planes.k_lowest_count t.lp ~x:a ~y:b ~k ~threshold
+      in
+      if below < retrieved || k >= n then below else go (2 * k)
     in
     go t.beta
   end
@@ -108,7 +108,7 @@ let portable_codec =
 let snapshot_kind = "lcsearch.h3"
 
 let skeleton_codec =
-  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:2 portable_codec
 
 let save_snapshot t ~path ?meta ?page_size () =
   Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size

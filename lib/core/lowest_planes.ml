@@ -14,8 +14,16 @@ type payload = {
 }
 
 (* Conflict items carry inline coefficients too: scanning K(Δ) costs
-   exactly ⌈|K|/B⌉ reads. *)
-type kitem = { kid : int; ka : float; kb : float; kc : float }
+   exactly ⌈|K|/B⌉ reads.  Items are stored FLAT: a conflict run is a
+   [float Emio.Run.t] holding four floats per item — id (exact below
+   2^53), a, b, c — in stride-4 slots, and its store's block size is
+   4B floats so each block holds exactly B items and every block
+   boundary (hence every I/O charge) is identical to the boxed
+   one-record-per-item layout this replaces.  A decoded block is then
+   one unboxed float array: the hot scan reads coefficients
+   sequentially instead of chasing a pointer per item, which is where
+   most of the 3-D query time went. *)
+let stride = 4
 
 type locator =
   | Grid of payload Pointloc.Grid.t
@@ -24,7 +32,7 @@ type locator =
 type layer = {
   sample_size : int;
   locator : locator;
-  conflicts : kitem Emio.Run.t;
+  conflicts : float Emio.Run.t; (* stride-4 flat items *)
 }
 
 type copy = { layers : layer option array (* index i: sample size 2^(i+2) *) }
@@ -33,7 +41,7 @@ type t = {
   n : int;
   beta : int; (* B log_B n: the smallest k the layers are tuned for *)
   copies : copy array;
-  all_planes : kitem Emio.Run.t; (* exact fallback *)
+  all_planes : float Emio.Run.t; (* exact fallback, stride-4 flat *)
   clip : float * float * float * float;
   mutable fallback_count : int;
 }
@@ -69,13 +77,14 @@ let shuffle rng arr =
     arr.(j) <- tmp
   done
 
-let kitem_of planes id =
-  {
-    kid = id;
-    ka = Plane3.a planes.(id);
-    kb = Plane3.b planes.(id);
-    kc = Plane3.c planes.(id);
-  }
+(* Write item slot [j] of a flat conflict array: id then the three
+   plane coefficients. *)
+let put_item flat j planes id =
+  let p = planes.(id) in
+  flat.((stride * j) + 0) <- float_of_int id;
+  flat.((stride * j) + 1) <- Plane3.a p;
+  flat.((stride * j) + 2) <- Plane3.b p;
+  flat.((stride * j) + 3) <- Plane3.c p
 
 (* Triangle top edges, labelled with the triangle's payload: input for
    the worst-case Seg_tree locator. *)
@@ -105,17 +114,18 @@ let build_layer ~stats ~block_size ~cache_blocks ~clip ~planes ~order
   match Envelope3.build ~planes ~order ~sample_size ~clip with
   | exception Invalid_argument _ -> None
   | env ->
-      let store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
-      let kitems = ref [] in
+      let store =
+        Emio.Store.create ~stats ~block_size:(stride * block_size)
+          ~cache_blocks ~codec:Emio.Codec.float ()
+      in
+      let kids = ref [] (* conflict plane ids, reversed *) in
       let pos = ref 0 in
       let items =
         Array.map
           (fun (tr : Envelope3.triangle) ->
             let klen = Array.length tr.conflicts in
             let kstart = !pos in
-            Array.iter
-              (fun g -> kitems := kitem_of planes g :: !kitems)
-              tr.conflicts;
+            Array.iter (fun g -> kids := g :: !kids) tr.conflicts;
             pos := !pos + klen;
             let p = planes.(tr.plane) in
             ( tr.corners,
@@ -130,7 +140,10 @@ let build_layer ~stats ~block_size ~cache_blocks ~clip ~planes ~order
           env.Envelope3.triangles
       in
       let conflicts =
-        Emio.Run.of_array store (Array.of_list (List.rev !kitems))
+        let ids = Array.of_list (List.rev !kids) in
+        let flat = Array.make (stride * Array.length ids) 0. in
+        Array.iteri (fun j id -> put_item flat j planes id) ids;
+        Emio.Run.of_array store flat
       in
       let locator =
         if use_segtree then
@@ -151,12 +164,6 @@ let compute_beta ~block_size n_points =
   let b = float_of_int block_size in
   max 1 (int_of_float (ceil (b *. max 1. (log_base b nb))))
 
-let kitem_codec =
-  Emio.Codec.map
-    ~decode:(fun (kid, ka, kb, kc) -> { kid; ka; kb; kc })
-    ~encode:(fun k -> (k.kid, k.ka, k.kb, k.kc))
-    Emio.Codec.(quad int float float float)
-
 let payload_codec =
   Emio.Codec.map
     ~decode:(fun ((plane_id, kstart, klen), (pa, pb, pc)) ->
@@ -172,10 +179,15 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
      invalid_arg "Lowest_planes.build: empty clip box");
   let n = Array.length planes in
   let store =
-    Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:kitem_codec ()
+    Emio.Store.create ~stats ~block_size:(stride * block_size) ~cache_blocks
+      ~codec:Emio.Codec.float ()
   in
   let all_planes =
-    Emio.Run.of_array store (Array.init n (kitem_of planes))
+    let flat = Array.make (stride * n) 0. in
+    for id = 0 to n - 1 do
+      put_item flat id planes id
+    done;
+    Emio.Run.of_array store flat
   in
   let beta = compute_beta ~block_size n in
   let max_i =
@@ -200,19 +212,139 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(copies = 3)
   in
   { n; beta; copies = copies_arr; all_planes; clip; fallback_count = 0 }
 
-let height item x y = (item.ka *. x) +. (item.kb *. y) +. item.kc
+(* -- query scratch ------------------------------------------------- *)
 
-(* Exact fallback: scan every plane and select the k lowest. *)
-let full_scan t ~x ~y ~k =
+(* Per-domain candidate buffer: the single charged pass over a conflict
+   list (or the full-scan fallback) lands plane ids and heights in
+   these parallel arrays.  Parallel int/float arrays rather than an
+   (id, height) tuple array because float array elements stay unboxed —
+   a tuple would cost five words per candidate, which at N = 8192 was
+   the bulk of the 39k words/query the old pipeline allocated.
+   Domain-local ({!Emio.Tls}) so parallel batches never share or race
+   on a buffer. *)
+type scratch = {
+  mutable sids : int array;
+  mutable shts : float array;
+  mutable slen : int;
+}
+
+let scratch_key : scratch Emio.Tls.key =
+  Emio.Tls.new_key (fun () ->
+      { sids = Array.make 256 0; shts = Array.make 256 0.; slen = 0 })
+
+(* Growth never blits: the buffer is refilled from scratch on every
+   select, so stale contents are dead. *)
+let scratch_reserve sc n =
+  if Array.length sc.sids < n then begin
+    let cap = ref (2 * Array.length sc.sids) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    sc.sids <- Array.make !cap 0;
+    sc.shts <- Array.make !cap 0.
+  end
+
+(* Exact fallback: scan every plane, buffering (id, height) as we go.
+   Explicit block loop rather than [iter_blocks] so no closure is built
+   on the hot path; charges are identical (one read per block). *)
+let load_all t sc ~x ~y ~ids =
   t.fallback_count <- t.fallback_count + 1;
-  let items = Emio.Run.to_array t.all_planes in
-  let withh = Array.map (fun it -> (it.kid, height it x y)) items in
-  Array.sort (fun (_, a) (_, b) -> Float.compare a b) withh;
-  Array.sub withh 0 (min k (Array.length withh))
+  scratch_reserve sc t.n;
+  sc.slen <- 0;
+  let nb = Emio.Run.block_count t.all_planes in
+  (* the materializing scan this replaces ([Run.to_array]) sampled
+     block 0 for an element witness before iterating, charging that
+     block twice; the golden Table-1 rows pin those counts, so the
+     fallback keeps the extra charge *)
+  if nb > 0 then ignore (Emio.Run.read_block t.all_planes 0);
+  for b = 0 to nb - 1 do
+    let block = Emio.Run.read_block t.all_planes b in
+    let nitems = Array.length block / stride in
+    let base = sc.slen in
+    if ids then
+      for i = 0 to nitems - 1 do
+        let f = stride * i in
+        sc.sids.(base + i) <- int_of_float block.(f);
+        sc.shts.(base + i) <-
+          (block.(f + 1) *. x) +. (block.(f + 2) *. y) +. block.(f + 3)
+      done
+    else
+      for i = 0 to nitems - 1 do
+        let f = stride * i in
+        sc.shts.(base + i) <-
+          (block.(f + 1) *. x) +. (block.(f + 2) *. y) +. block.(f + 3)
+      done;
+    sc.slen <- base + nitems
+  done
 
-(* One invocation of TryLowestPlanes (§4.1) against a specific layer. *)
+(* Buffer items [pos, pos+len) of a conflict run, evaluating each
+   plane at (x, y) during the one charged scan — the zero-copy twin of
+   the old [read_range]-then-map pipeline, reading exactly the same
+   blocks.  The count of heights strictly below [cutoff] (the envelope
+   height, for §4.1's below-test) accumulates in the same pass so the
+   caller never walks the scratch a second time, and [ids = false]
+   skips the id stores for count-only retrievals that will never read
+   them. *)
+let load_range sc run ~pos ~len ~x ~y ~ids ~cutoff =
+  scratch_reserve sc len;
+  sc.slen <- 0;
+  let below = ref 0 in
+  if len > 0 then begin
+    (* [pos]/[len] count items; the flat run counts floats.  The store
+       block size is stride*B, so item i's four slots live in block
+       i/B — the same block index the boxed layout charged. *)
+    let fb = Emio.Store.block_size (Emio.Run.store run) in
+    let b = fb / stride in
+    let first = pos / b and last = (pos + len - 1) / b in
+    let out = ref 0 in
+    for blk = first to last do
+      let block = Emio.Run.read_block run blk in
+      let block_lo = blk * b in
+      let lo = max 0 (pos - block_lo) in
+      let hi = min (Array.length block / stride) (pos + len - block_lo) in
+      (* within one block the output slot is [o + i]: no per-item
+         counter bump *)
+      let o = !out - lo in
+      (* the loop bounds prove every access in range: stride*hi <=
+         Array.length block (hi is clamped to it) and scratch_reserve
+         sized sids/shts for at least [len] >= o + hi slots, so the
+         unchecked accesses below are safe — this loop is the single
+         hottest scan in the repo and the bounds checks were ~a third
+         of its time *)
+      if ids then
+        for i = lo to hi - 1 do
+          let f = stride * i in
+          Array.unsafe_set sc.sids (o + i)
+            (int_of_float (Array.unsafe_get block f));
+          let h =
+            (Array.unsafe_get block (f + 1) *. x)
+            +. (Array.unsafe_get block (f + 2) *. y)
+            +. Array.unsafe_get block (f + 3)
+          in
+          Array.unsafe_set sc.shts (o + i) h;
+          if h < cutoff then incr below
+        done
+      else
+        for i = lo to hi - 1 do
+          let f = stride * i in
+          let h =
+            (Array.unsafe_get block (f + 1) *. x)
+            +. (Array.unsafe_get block (f + 2) *. y)
+            +. Array.unsafe_get block (f + 3)
+          in
+          Array.unsafe_set sc.shts (o + i) h;
+          if h < cutoff then incr below
+        done;
+      out := !out + (hi - lo)
+    done;
+    sc.slen <- !out
+  end;
+  !below
+
+(* One invocation of TryLowestPlanes (§4.1) against a specific layer.
+   On [Success] the scratch holds the conflict list K(Δ). *)
 type try_result =
-  | Success of (int * float) array
+  | Success
   | Fail_threshold  (** |K| exceeded k/δ² — a smaller δ may help *)
   | Fail_below  (** fewer than k planes of K below the envelope: only a
                     smaller sample (shallower envelope) can help *)
@@ -222,110 +354,158 @@ let locate layer x y =
   | Grid g -> Pointloc.Grid.locate g x y
   | Segtree st -> Pointloc.Seg_tree.locate_above st x y
 
-let try_lowest layer ~x ~y ~k ~delta =
+let try_lowest layer sc ~x ~y ~k ~delta ~ids =
   match locate layer x y with
   | None -> Fail_threshold (* locator miss: treat as a generic failure *)
   | Some payload ->
       let threshold = int_of_float (float_of_int k /. (delta *. delta)) in
       if payload.klen > threshold then Fail_threshold
       else begin
-        let items =
-          Emio.Run.read_range layer.conflicts ~pos:payload.kstart
-            ~len:payload.klen
-        in
         let envelope_z = (payload.pa *. x) +. (payload.pb *. y) +. payload.pc in
         let below =
-          Array.fold_left
-            (fun acc it -> if height it x y < envelope_z then acc + 1 else acc)
-            0 items
+          load_range sc layer.conflicts ~pos:payload.kstart ~len:payload.klen
+            ~x ~y ~ids ~cutoff:envelope_z
         in
-        if below < k then Fail_below
-        else begin
-          let withh = Array.map (fun it -> (it.kid, height it x y)) items in
-          Array.sort (fun (_, a) (_, b) -> Float.compare a b) withh;
-          Success (Array.sub withh 0 k)
-        end
+        if below < k then Fail_below else Success
       end
 
 let inside_clip t x y =
   let xmin, ymin, xmax, ymax = t.clip in
   x > xmin && x < xmax && y > ymin && y < ymax
 
+(* Run §4.1's retry protocol, leaving the candidate set in [sc] —
+   either a successful conflict list or the full plane set — and
+   returning the retrieval count min(k, n).  The layer choice, copy
+   order, and fallback conditions mirror the legacy array path
+   exactly, so the blocks read (and hence every I/O charge) are
+   bit-identical to it. *)
+let select t sc ~x ~y ~k ~ids =
+  let k = min k t.n in
+  (* §4.1's layers are tuned for k >= beta; a smaller request is
+     answered by retrieving the beta lowest and truncating, which
+     stays within O(log_B n + k/B) because beta/B = O(log_B n). *)
+  let k_eff = min t.n (max k t.beta) in
+  let n_layers = layer_count t in
+  (* for k = Ω(N) the full scan is already within the O(k/B) output
+     term — and the retry protocol could not beat it anyway *)
+  if
+    n_layers = 0
+    || (not (inside_clip t x y))
+    || k_eff >= t.n
+    || 4 * k_eff >= t.n
+  then begin
+    load_all t sc ~x ~y ~ids;
+    k
+  end
+  else begin
+    (* delta = 2^-attempt; layer index for sample size ~ delta n / k *)
+    let rec attempt a =
+      let delta = Float.pow 2. (-.float_of_int a) in
+      if delta *. float_of_int t.n < 1. then begin
+        load_all t sc ~x ~y ~ids;
+        k
+      end
+      else begin
+        let target = delta *. float_of_int t.n /. float_of_int k_eff in
+        let rho =
+          (* sample size 2^(i+2): i = round(log2 target) - 2 *)
+          let i = int_of_float (Float.round (log target /. log 2.)) - 2 in
+          max 0 (min (n_layers - 1) i)
+        in
+        let success = ref false in
+        let all_below_failures = ref true in
+        let nc = Array.length t.copies in
+        let ci = ref 0 in
+        while (not !success) && !ci < nc do
+          (match t.copies.(!ci).layers.(rho) with
+          | None -> all_below_failures := false
+          | Some layer -> (
+              match try_lowest layer sc ~x ~y ~k:k_eff ~delta ~ids with
+              | Success -> success := true
+              | Fail_below -> ()
+              | Fail_threshold -> all_below_failures := false));
+          incr ci
+        done;
+        if !success then k
+        else if
+          (* at the smallest sample, "fewer than k of K below the
+             envelope" cannot improve with smaller delta: scan *)
+          rho = 0 && !all_below_failures
+        then begin
+          load_all t sc ~x ~y ~ids;
+          k
+        end
+        else attempt (a + 1)
+      end
+    in
+    attempt 1
+  end
+
+(* Materializing compat path (knn, oracles): sort the candidate set by
+   height and keep the k lowest.  The candidates arrive in run order —
+   the same order the old pipeline sorted — so ties break
+   identically. *)
 let k_lowest_arr t ~x ~y ~k =
   if k <= 0 then [||]
   else begin
     let k = min k t.n in
-    (* §4.1's layers are tuned for k >= beta; a smaller request is
-       answered by retrieving the beta lowest and truncating, which
-       stays within O(log_B n + k/B) because beta/B = O(log_B n). *)
-    let k_eff = min t.n (max k t.beta) in
-    let n_layers = layer_count t in
-    (* for k = Ω(N) the full scan is already within the O(k/B) output
-       term — and the retry protocol could not beat it anyway *)
-    if
-      n_layers = 0
-      || (not (inside_clip t x y))
-      || k_eff >= t.n
-      || 4 * k_eff >= t.n
-    then full_scan t ~x ~y ~k
-    else begin
-      (* delta = 2^-attempt; layer index for sample size ~ delta n / k *)
-      let rec attempt a =
-        let delta = Float.pow 2. (-.float_of_int a) in
-        if delta *. float_of_int t.n < 1. then full_scan t ~x ~y ~k
-        else begin
-          let target = delta *. float_of_int t.n /. float_of_int k_eff in
-          let rho =
-            (* sample size 2^(i+2): i = round(log2 target) - 2 *)
-            let i = int_of_float (Float.round (log target /. log 2.)) - 2 in
-            max 0 (min (n_layers - 1) i)
-          in
-          let result = ref None in
-          let all_below_failures = ref true in
-          Array.iter
-            (fun c ->
-              if !result = None then
-                match c.layers.(rho) with
-                | None -> all_below_failures := false
-                | Some layer -> (
-                    match try_lowest layer ~x ~y ~k:k_eff ~delta with
-                    | Success r -> result := Some r
-                    | Fail_below -> ()
-                    | Fail_threshold -> all_below_failures := false))
-            t.copies;
-          match !result with
-          | Some r ->
-              if k < k_eff then Array.sub r 0 (min k (Array.length r)) else r
-          | None ->
-              (* at the smallest sample, "fewer than k of K below the
-                 envelope" cannot improve with smaller delta: scan *)
-              if rho = 0 && !all_below_failures then full_scan t ~x ~y ~k
-              else attempt (a + 1)
-        end
-      in
-      attempt 1
-    end
+    let sc = Emio.Tls.get scratch_key in
+    let k_ret = select t sc ~x ~y ~k ~ids:true in
+    let withh = Array.init sc.slen (fun i -> (sc.sids.(i), sc.shts.(i))) in
+    Array.sort (fun (_, a) (_, b) -> Float.compare a b) withh;
+    Array.sub withh 0 (min k_ret (Array.length withh))
   end
 
 let k_lowest t ~x ~y ~k = Array.to_list (k_lowest_arr t ~x ~y ~k)
+
+(* How many of the candidate set lie at or below [threshold].  Capped
+   at the retrieval count k this equals the count over the k lowest:
+   if fewer than k candidates clear the threshold they all belong to
+   every k-lowest selection, and otherwise the k lowest all clear it —
+   either way no sort (hence no allocation) is needed, and the answer
+   does not depend on how ties were ordered. *)
+let count_below sc ~threshold =
+  let cb = ref 0 in
+  for i = 0 to sc.slen - 1 do
+    if sc.shts.(i) <= threshold then incr cb
+  done;
+  !cb
 
 (* Reporting sink for the §4.2 doubling protocol: push the ids whose
    height is at most [threshold] (the caller folds its epsilon in) and
    tell the caller how many were pushed out of how many retrieved, so
    it can decide whether the answer is complete without rebuilding
-   lists.  Heights come back sorted, so the pushed ids are always a
-   prefix of the retrieved batch. *)
+   lists.  Ids are pushed in candidate-scan order; in the terminating
+   case of the protocol (pushed < retrieved) the pushed set is exactly
+   every plane at or below the threshold, so the reported set is
+   independent of tie order. *)
 let k_lowest_into t ~x ~y ~k ~threshold r =
-  let arr = k_lowest_arr t ~x ~y ~k in
-  let pushed = ref 0 in
-  Array.iter
-    (fun (id, h) ->
-      if h <= threshold then begin
-        Emio.Reporter.add r id;
-        incr pushed
-      end)
-    arr;
-  (!pushed, Array.length arr)
+  if k <= 0 then (0, 0)
+  else begin
+    let sc = Emio.Tls.get scratch_key in
+    let k_ret = select t sc ~x ~y ~k ~ids:true in
+    let pushed = min (count_below sc ~threshold) k_ret in
+    let left = ref pushed in
+    let i = ref 0 in
+    while !left > 0 do
+      if sc.shts.(!i) <= threshold then begin
+        Emio.Reporter.add r sc.sids.(!i);
+        decr left
+      end;
+      incr i
+    done;
+    (pushed, k_ret)
+  end
+
+(* Count-only twin of {!k_lowest_into} for the count query paths: same
+   probe sequence, same charges, no reporter, zero allocation. *)
+let k_lowest_count t ~x ~y ~k ~threshold =
+  if k <= 0 then (0, 0)
+  else begin
+    let sc = Emio.Tls.get scratch_key in
+    let k_ret = select t sc ~x ~y ~k ~ids:false in
+    (min (count_below sc ~threshold) k_ret, k_ret)
+  end
 
 (* -- persistence -------------------------------------------------- *)
 
@@ -334,7 +514,7 @@ let k_lowest_into t ~x ~y ~k ~threshold r =
 type layer_p = {
   lp_sample_size : int;
   lp_locator : locator_p;
-  lp_conflicts : kitem Emio.Run.stored;
+  lp_conflicts : float Emio.Run.stored;
 }
 
 and locator_p =
@@ -350,7 +530,7 @@ type portable = {
   (* Some: the all-planes store's blocks ride inside this portable
      (the embedded case, e.g. a tradeoff leaf).  None: they are the
      enclosing snapshot's payload, revived from its backend. *)
-  pt_all_blocks : kitem array array option;
+  pt_all_blocks : float array array option;
   pt_all_block_size : int;
   pt_all_cache : int;
 }
@@ -388,10 +568,10 @@ let of_portable ~stats ?backend p =
     match (p.pt_all_blocks, backend) with
     | Some blocks, _ ->
         Emio.Store.of_blocks ~stats ~block_size:p.pt_all_block_size
-          ~cache_blocks:p.pt_all_cache ~codec:kitem_codec blocks
+          ~cache_blocks:p.pt_all_cache ~codec:Emio.Codec.float blocks
     | None, Some backend ->
         Emio.Store.of_backend ~stats ~block_size:p.pt_all_block_size
-          ~cache_blocks:p.pt_all_cache ~codec:kitem_codec backend
+          ~cache_blocks:p.pt_all_cache ~codec:Emio.Codec.float backend
     | None, None ->
         invalid_arg "Lowest_planes.of_portable: payload not embedded, need backend"
   in
@@ -445,7 +625,7 @@ let portable_codec =
       ~decode:(fun (lp_sample_size, lp_locator, lp_conflicts) ->
         { lp_sample_size; lp_locator; lp_conflicts })
       ~encode:(fun l -> (l.lp_sample_size, l.lp_locator, l.lp_conflicts))
-      (triple int locator_codec (Emio.Run.stored_codec kitem_codec))
+      (triple int locator_codec (Emio.Run.stored_codec float))
   in
   map
     ~decode:(fun ((pt_n, pt_beta, pt_clip), (pt_copies, pt_all),
@@ -459,7 +639,7 @@ let portable_codec =
     (triple
        (triple int int (quad float float float float))
        (pair (array (array (option layer_codec))) Emio.Run.portable_codec)
-       (triple (option (array (array kitem_codec))) int int))
+       (triple (option (array (array float))) int int))
 
 let export_payload t = Emio.Store.export_bytes (Emio.Run.store t.all_planes)
 let payload_block_size t = Emio.Store.block_size (Emio.Run.store t.all_planes)

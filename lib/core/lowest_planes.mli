@@ -54,7 +54,17 @@ val k_lowest_into :
     soon as [pushed < retrieved] (some retrieved plane lies above the
     query), doubling [k] otherwise.  Combined with
     {!Emio.Reporter.mark}/{!Emio.Reporter.truncate}, retries need no
-    intermediate lists. *)
+    intermediate lists.  Ids arrive in candidate-scan order, not by
+    height; in the protocol-terminating case [pushed < retrieved] the
+    pushed set is exactly every plane at or below the threshold. *)
+
+val k_lowest_count :
+  t -> x:float -> y:float -> k:int -> threshold:float -> int * int
+(** Count-only twin of {!k_lowest_into}: [(below, retrieved)] where
+    [below] is how many of the [min k N] lowest planes have height at
+    most [threshold].  Same probe sequence and I/O charges, no
+    reporter, no allocation — the count query paths run the doubling
+    protocol on this. *)
 
 val length : t -> int
 (** Number of planes N. *)

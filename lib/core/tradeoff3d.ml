@@ -103,7 +103,7 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?(seed = 0) ?(a = 1.5) ?clip
 let rec report_subtree t ~report = function
   | Leaf li ->
       let l = Vec.get t.leaves li in
-      Emio.Run.iter (fun pid -> report pid) l.run
+      Emio.Run.iter report l.run
   | Node id ->
       Array.iter
         (fun child -> report_subtree t ~report child.sub)
@@ -284,7 +284,7 @@ let portable_codec =
 let snapshot_kind = "lcsearch.tradeoff"
 
 let skeleton_codec =
-  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:2 portable_codec
 
 let save_snapshot t ~path ?meta ?page_size () =
   Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size

@@ -73,6 +73,23 @@ let read_range t ~pos ~len =
     Array.concat pieces
   end
 
+let iter_range f t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.length then
+    invalid_arg "Run.iter_range: out of bounds";
+  if len > 0 then begin
+    let b = Store.block_size t.store in
+    let first = pos / b and last = (pos + len - 1) / b in
+    for i = first to last do
+      let block = read_block t i in
+      let block_lo = i * b in
+      let lo = max 0 (pos - block_lo) in
+      let hi = min (Array.length block) (pos + len - block_lo) in
+      for j = lo to hi - 1 do
+        f block.(j)
+      done
+    done
+  end
+
 let iter_prefix_blocks f t =
   let n = Array.length t.block_ids in
   let rec go i =

@@ -42,6 +42,12 @@ val read_range : 'a t -> pos:int -> len:int -> 'a array
 (** Items [pos, pos+len): costs one read per touched block, i.e.
     O(⌈len/B⌉ + 1). *)
 
+val iter_range : ('a -> unit) -> 'a t -> pos:int -> len:int -> unit
+(** Visit items [pos, pos+len) in place: the same blocks (and charges)
+    as {!read_range} — one read per touched block — but with no
+    intermediate copies, so the query hot paths can scan conflict
+    lists and buckets without allocating. *)
+
 val iter_prefix_blocks : ('a array -> bool) -> 'a t -> unit
 (** Scan blocks left to right while the callback returns [true]:
     the filtering-search idiom — stop paying I/Os once enough output

@@ -206,10 +206,14 @@ let build ~planes ~order ~sample_size ~clip =
       let lists = Array.init nv corner_conflicts in
       (* fan from the corner with the smallest conflict list: it is the
          one replicated into every triangle of the face, so this keeps
-         the stored sum of |K(Δ)| near the Lemma 4.1 optimum *)
+         the stored sum of |K(Δ)| near the Lemma 4.1 optimum.  Lengths
+         are precomputed once — comparing with List.length inside the
+         loop re-walked both lists on every iteration, quadratic on
+         high-degree faces. *)
+      let lens = Array.map List.length lists in
       let fan0 = ref 0 in
       for ci = 1 to nv - 1 do
-        if List.length lists.(ci) < List.length lists.(!fan0) then fan0 := ci
+        if lens.(ci) < lens.(!fan0) then fan0 := ci
       done;
       let rot i = (i + !fan0) mod nv in
       for i = 1 to nv - 2 do

@@ -22,8 +22,12 @@ let dist p q = sqrt (dist2 p q)
 (* Sign of the signed area of triangle (p, q, r): > 0 iff r is left of
    the directed line p -> q. *)
 let orient p q r =
-  Eps.sign
-    (((q.x -. p.x) *. (r.y -. p.y)) -. ((q.y -. p.y) *. (r.x -. p.x)))
+  (* same dead-zone policy as [Eps.sign], computed locally: the
+     cross-module call would box its float argument on every
+     orientation test, and this predicate dominates grid point
+     location *)
+  let d = ((q.x -. p.x) *. (r.y -. p.y)) -. ((q.y -. p.y) *. (r.x -. p.x)) in
+  if d > Eps.eps then 1 else if d < -.Eps.eps then -1 else 0
 
 (* Closed triangle containment, orientation-agnostic (the triangle may
    be given clockwise or counterclockwise). *)

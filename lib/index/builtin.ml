@@ -120,6 +120,7 @@ module H2 = struct
     Core.Halfspace2d.query_count t.s ~slope ~icept
 
   let reports_ids = false
+  let batch_plane_sorted = false
   let query_into t q _r = query_count t q
   let estimate t _q = logb ~bs:t.bs (blocks_of ~n:t.n ~bs:t.bs)
   let space_blocks t = Core.Halfspace2d.space_blocks t.s
@@ -186,6 +187,7 @@ module H3 = struct
     Core.Halfspace3d.query_count t.s ~a ~b ~c
 
   let reports_ids = true
+  let batch_plane_sorted = true
 
   let query_into t q r =
     let a, b, c = q3 ~name q in
@@ -257,6 +259,7 @@ module Ptree = struct
     Core.Partition_tree.query_halfspace_count t.s ~a0 ~a
 
   let reports_ids = true
+  let batch_plane_sorted = false
 
   let query_into t q r =
     let a0, a = qd ~name ~dim:(Core.Partition_tree.dim t.s) q in
@@ -340,6 +343,7 @@ module Shallow = struct
     Core.Shallow_tree.query_halfspace_count t.s ~a0 ~a
 
   let reports_ids = true
+  let batch_plane_sorted = false
 
   let query_into t q r =
     let a0, a = qd ~name ~dim:(Core.Shallow_tree.dim t.s) q in
@@ -420,6 +424,7 @@ module Tradeoff = struct
     Core.Tradeoff3d.query_count t.s ~a ~b ~c
 
   let reports_ids = true
+  let batch_plane_sorted = true
 
   let query_into t q r =
     let a, b, c = q3 ~name q in
@@ -500,6 +505,7 @@ module Cert = struct
     Core.Cert_tree.query_count t.s ~a0 ~a
 
   let reports_ids = true
+  let batch_plane_sorted = true
 
   let query_into t q r =
     let a0, a = qc ~name q in
@@ -579,6 +585,7 @@ module Make_rtree (V : RTREE_VARIANT) = struct
     Baselines.Rtree.query_count t.s ~slope ~icept
 
   let reports_ids = false
+  let batch_plane_sorted = false
   let query_into t q _r = query_count t q
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Rtree.space_blocks t.s
@@ -652,6 +659,7 @@ module Quadtree = struct
     Baselines.Quadtree.query_count t.s ~slope ~icept
 
   let reports_ids = false
+  let batch_plane_sorted = false
   let query_into t q _r = query_count t q
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Quadtree.space_blocks t.s
@@ -710,6 +718,7 @@ module Gridfile = struct
     Baselines.Grid_file.query_count t.s ~slope ~icept
 
   let reports_ids = false
+  let batch_plane_sorted = false
   let query_into t q _r = query_count t q
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Grid_file.space_blocks t.s
@@ -787,6 +796,7 @@ module Scan = struct
         Baselines.Linear_scan.query_count_d s ~a0 ~a
 
   let reports_ids = false
+  let batch_plane_sorted = false
   let query_into t q _r = query_count t q
   let estimate t _q = float_of_int (blocks_of ~n:t.n ~bs:t.bs)
 

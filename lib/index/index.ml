@@ -116,6 +116,16 @@ module type S = sig
       point-reporting structures (h2, the baselines), whose natural
       zero-allocation sink is a point callback. *)
 
+  val batch_plane_sorted : bool
+  (** Whether the structure benefits from plane-sorted batched
+      execution ({!Query_engine.run_batch_sorted}): [true] for the 3-D
+      structures whose per-query traversal is expensive enough that
+      sorting a batch by query plane and sharing one traversal per
+      group of identical constraints pays off (h3, tradeoff, cert).
+      [false] makes the batched entry point fall back to the ordinary
+      per-query engine, so 2-D structures and wrappers stay
+      transparent. *)
+
   val query_into : t -> query -> Emio.Reporter.t -> int
   (** Run the query on the zero-allocation path, returning the result
       count.  When [reports_ids] is [true] the answer ids are appended
@@ -152,6 +162,7 @@ let query (Instance ((module M), t)) q = M.query t q
 let query_count (Instance ((module M), t)) q = M.query_count t q
 let query_into (Instance ((module M), t)) q r = M.query_into t q r
 let reports_ids (Instance ((module M), _)) = M.reports_ids
+let batch_plane_sorted (Instance ((module M), _)) = M.batch_plane_sorted
 let estimate (Instance ((module M), t)) q = M.estimate t q
 let space_blocks (Instance ((module M), t)) = M.space_blocks t
 let counters (Instance ((module M), t)) = M.counters t

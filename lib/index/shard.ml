@@ -359,6 +359,12 @@ let make ?build_domains ~inner:(module M : Index.S) ~shards ~partition () :
     let query_count t q = scatter t q ~f:(fun sh -> M.query_count sh.inner q)
     let reports_ids = M.reports_ids
 
+    (* scatter-gather over K inner queries still shares the inner
+       structure's traversal cost profile, so the capability passes
+       through: a plane-sorted batch executes each group once per
+       sharded instance, exactly as it would on the inner structure *)
+    let batch_plane_sorted = M.batch_plane_sorted
+
     let query_into t q r =
       scatter t q ~f:(fun sh ->
           if reports_ids then begin

@@ -161,15 +161,34 @@ let locate t x y =
       in
       if len = 0 then None
       else begin
-        let candidates = Emio.Run.read_range t.buckets ~pos:start ~len in
         let p = Point2.make x y in
-        Array.fold_left
-          (fun acc (corners, payload) ->
-            match acc with
-            | Some _ -> acc
-            | None ->
+        let found = ref None in
+        (* explicit loop over the whole bucket range: every block of
+           the range is read whether or not a triangle already
+           matched, so the charges stay identical to the old
+           materializing scan — but matching stops at the first hit
+           and no closure is invoked per item *)
+        let b = Emio.Store.block_size (Emio.Run.store t.buckets) in
+        let first = start / b and last = (start + len - 1) / b in
+        for blk = first to last do
+          let block = Emio.Run.read_block t.buckets blk in
+          (match !found with
+          | Some _ -> ()
+          | None ->
+              let block_lo = blk * b in
+              let lo = max 0 (start - block_lo) in
+              let hi = min (Array.length block) (start + len - block_lo) in
+              let i = ref lo in
+              let scanning = ref true in
+              while !scanning && !i < hi do
+                let corners, payload = block.(!i) in
                 if Point2.in_triangle corners.(0) corners.(1) corners.(2) p
-                then Some payload
-                else None)
-          None candidates
+                then begin
+                  found := Some payload;
+                  scanning := false
+                end;
+                incr i
+              done)
+        done;
+        !found
       end

@@ -106,38 +106,46 @@ let create ~stats ~block_size ?(cache_blocks = 0) ~segments () =
     { root; block_size; n_segments = Array.length segs }
   end
 
-(* Lowest canonical segment of [node] at or above y at abscissa x.
-   Canonical segments span the whole node interval and never properly
-   cross, so their vertical order is the same at every abscissa of the
-   interval; binary search over the block heads costs O(log) block
-   reads per node. *)
-let node_candidate node x y =
+(* Single-field all-float record: mutating it updates the unboxed
+   float in place, where a [float ref] would box a float per
+   assignment along the root-to-leaf search. *)
+type fbox = { mutable fv : float }
+
+(* Scan one candidate block, improving (bh, bp) with the lowest
+   segment at or above y - eps.  Strict [<] keeps the earlier
+   candidate on exact ties — the same tie-break the old per-node
+   fold followed by the strict cross-node comparison produced. *)
+let scan_block node x y (bh : fbox) bp b nb =
+  if b >= 0 && b < nb then begin
+    let block = Emio.Run.read_block node.run b in
+    for i = 0 to Array.length block - 1 do
+      let s = block.(i) in
+      let h = height s x in
+      if h >= y -. Eps.eps && h < bh.fv then begin
+        bh.fv <- h;
+        bp := Some s.payload
+      end
+    done
+  end
+
+(* Lowest canonical segment of [node] at or above y at abscissa x,
+   merged into the running best (bh, bp).  Canonical segments span the
+   whole node interval and never properly cross, so their vertical
+   order is the same at every abscissa of the interval; binary search
+   over the block heads costs O(log) block reads per node. *)
+let node_candidate node x y (bh : fbox) bp =
   let nb = Emio.Run.block_count node.run in
-  if nb = 0 then None
-  else begin
-    let head_height b = height (Emio.Run.read_block node.run b).(0) x in
+  if nb > 0 then begin
     let lo = ref 0 and hi = ref nb in
     (* find first block whose head is >= y; the answer segment is in
        that block or the one before *)
     while !lo < !hi do
       let midb = (!lo + !hi) / 2 in
-      if head_height midb >= y -. Eps.eps then hi := midb else lo := midb + 1
+      let hh = height (Emio.Run.read_block node.run midb).(0) x in
+      if hh >= y -. Eps.eps then hi := midb else lo := midb + 1
     done;
-    let check_block b best =
-      if b < 0 || b >= nb then best
-      else
-        Array.fold_left
-          (fun best s ->
-            let h = height s x in
-            if h >= y -. Eps.eps then
-              match best with
-              | Some (bh, _) when bh <= h -> best
-              | _ -> Some (h, s.payload)
-            else best)
-          best
-          (Emio.Run.read_block node.run b)
-    in
-    check_block (!lo - 1) None |> check_block !lo
+    scan_block node x y bh bp (!lo - 1) nb;
+    scan_block node x y bh bp !lo nb
   end
 
 (* -- persistence -------------------------------------------------- *)
@@ -241,27 +249,24 @@ let portable_codec payload =
        (pair int int))
 
 let locate_above t x y =
-  let rec go node best =
-    match node with
-    | None -> best
+  let bh = { fv = infinity } in
+  let bp = ref None in
+  let rec go = function
+    | None -> ()
     | Some n ->
-        if x < n.lo -. Eps.eps || x > n.hi +. Eps.eps then best
+        if x < n.lo -. Eps.eps || x > n.hi +. Eps.eps then ()
         else begin
-          let best =
-            match (node_candidate n x y, best) with
-            | Some (h, p), Some (bh, _) when h < bh -> Some (h, p)
-            | Some (h, p), None -> Some (h, p)
-            | _, best -> best
-          in
+          node_candidate n x y bh bp;
           let mid_coord =
             match (n.left, n.right) with
             | Some l, _ -> l.hi
             | None, Some r -> r.lo
             | None, None -> n.mid
           in
-          if n.left = None && n.right = None then best
-          else if x < mid_coord then go n.left best
-          else go n.right best
+          if n.left = None && n.right = None then ()
+          else if x < mid_coord then go n.left
+          else go n.right
         end
   in
-  Option.map snd (go t.root None)
+  go t.root;
+  !bp

@@ -1,0 +1,170 @@
+(* The plane-sorted batch path: run_batch_sorted must reproduce the
+   sequential per-query oracle (run_batch_array) bit-for-bit — result
+   counts and cost records — across the 3-D kinds, the workload
+   shapes, and domain counts 1/2/4/8, on duplicate-heavy batches where
+   grouping actually kicks in; sharded wrappers pass the capability
+   through; 2-D structures fall back to the per-query engine. *)
+
+module Index = Lcsearch_index.Index
+module Registry = Lcsearch_index.Registry
+module Workloads = Lcsearch_index.Workloads
+module Query_engine = Lcsearch_index.Query_engine
+module Shard = Lcsearch_index.Shard
+
+let check = Alcotest.(check int)
+
+(* A duplicate-heavy batch: [count] slots drawn from [distinct]
+   planes, interleaved so equal queries are NOT adjacent before the
+   engine sorts them. *)
+let hot_batch rng ds ~distinct ~count =
+  let base =
+    Array.of_list (Workloads.queries rng ds ~fraction:0.05 ~count:distinct)
+  in
+  Array.init count (fun i -> base.(i mod distinct))
+
+let check_costs ~label (want : Query_engine.cost array)
+    (got : Query_engine.cost array) =
+  check (label ^ ": record count") (Array.length want) (Array.length got);
+  Array.iteri
+    (fun i (w : Query_engine.cost) ->
+      let g = got.(i) in
+      let f field = Printf.sprintf "%s q%d: %s" label i field in
+      check (f "reads") w.reads g.reads;
+      check (f "writes") w.writes g.writes;
+      check (f "hits") w.hits g.hits;
+      check (f "result") w.result g.result)
+    want
+
+let build_instance ~name ~kind ~n =
+  let module M = (val Registry.find_exn name : Index.S) in
+  let dim = List.hd (List.rev M.dims) in
+  let rng =
+    Workload.rng (8800 + Hashtbl.hash (name, Workloads.kind_name kind))
+  in
+  let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
+  let stats = Emio.Io_stats.create () in
+  let t = Index.build (module M) ~params:Index.default_params ~stats ds in
+  (t, rng, ds)
+
+(* ---- equivalence: every 3-D kind × workload × domain count ---- *)
+
+let equivalence_case ~name ~kind () =
+  let t, rng, ds = build_instance ~name ~kind ~n:384 in
+  Alcotest.(check bool)
+    (name ^ " advertises the capability")
+    true
+    (Index.batch_plane_sorted t);
+  let qs = hot_batch rng ds ~distinct:7 ~count:24 in
+  let oracle = Query_engine.run_batch_array t qs in
+  List.iter
+    (fun domains ->
+      let got = Query_engine.run_batch_sorted ~domains t qs in
+      check_costs
+        ~label:
+          (Printf.sprintf "%s %s @%d domains" name (Workloads.kind_name kind)
+             domains)
+        oracle got)
+    [ 1; 2; 4; 8 ]
+
+(* ---- all-distinct batch: grouping must degrade gracefully to one
+   group per query and still match ---- *)
+
+let distinct_case ~name () =
+  let t, rng, ds = build_instance ~name ~kind:Workloads.Uniform ~n:384 in
+  let qs =
+    Array.of_list (Workloads.queries rng ds ~fraction:0.05 ~count:16)
+  in
+  let oracle = Query_engine.run_batch_array t qs in
+  check_costs ~label:(name ^ " all-distinct")
+    oracle
+    (Query_engine.run_batch_sorted ~domains:4 t qs)
+
+(* ---- fallback: a 2-D structure without the capability takes the
+   per-query engine verbatim ---- *)
+
+let fallback_case () =
+  let t, rng, ds = build_instance ~name:"h2" ~kind:Workloads.Uniform ~n:384 in
+  Alcotest.(check bool)
+    "h2 does not advertise the capability" false
+    (Index.batch_plane_sorted t);
+  let qs = hot_batch rng ds ~distinct:5 ~count:20 in
+  check_costs ~label:"h2 fallback"
+    (Query_engine.run_batch_array t qs)
+    (Query_engine.run_batch_sorted ~domains:4 t qs)
+
+(* ---- trace mode: events are per-query, so tracing falls back ---- *)
+
+let trace_fallback_case () =
+  let t, rng, ds = build_instance ~name:"h3" ~kind:Workloads.Uniform ~n:256 in
+  let qs = hot_batch rng ds ~distinct:3 ~count:6 in
+  let want = Query_engine.run_batch_array ~trace:true t qs in
+  let got = Query_engine.run_batch_sorted ~trace:true t qs in
+  check_costs ~label:"traced" want got;
+  Array.iteri
+    (fun i (g : Query_engine.cost) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "traced q%d has events" i)
+        true
+        (g.events <> [] = (want.(i).Query_engine.events <> [])))
+    got
+
+(* ---- sharded wrappers: capability passes through and the sorted
+   path still matches the per-query oracle on the sharded instance ---- *)
+
+let sharded_case ~partition () =
+  let module M = (val Registry.find_exn "h3" : Index.S) in
+  let rng = Workload.rng 9900 in
+  let ds =
+    Workloads.dataset rng ~kind:Workloads.Uniform ~dim:3 ~n:384
+      (module M : Index.S)
+  in
+  let (module Sh : Index.S) =
+    Shard.make ~inner:(module M) ~shards:3 ~partition ()
+  in
+  Alcotest.(check bool)
+    "sharded wrapper inherits the capability" true Sh.batch_plane_sorted;
+  let stats = Emio.Io_stats.create () in
+  let t = Index.build (module Sh) ~params:Index.default_params ~stats ds in
+  let qs = hot_batch rng ds ~distinct:6 ~count:18 in
+  check_costs
+    ~label:(Printf.sprintf "sharded h3 (%s)" (Shard.partition_name partition))
+    (Query_engine.run_batch_array t qs)
+    (Query_engine.run_batch_sorted ~domains:4 t qs)
+
+let () =
+  let kinds = [ Workloads.Uniform; Workloads.Clusters; Workloads.Diagonal ] in
+  let names = [ "h3"; "tradeoff"; "cert" ] in
+  Alcotest.run "batch_sorted"
+    [
+      ( "equivalence",
+        List.concat_map
+          (fun name ->
+            List.map
+              (fun kind ->
+                Alcotest.test_case
+                  (Printf.sprintf "%s %s @ domains 1/2/4/8" name
+                     (Workloads.kind_name kind))
+                  `Quick
+                  (equivalence_case ~name ~kind))
+              kinds)
+          names );
+      ( "degenerate",
+        List.map
+          (fun name ->
+            Alcotest.test_case (name ^ " all-distinct batch") `Quick
+              (distinct_case ~name))
+          names );
+      ( "fallback",
+        [
+          Alcotest.test_case "2-D structure falls back" `Quick fallback_case;
+          Alcotest.test_case "trace mode falls back" `Quick
+            trace_fallback_case;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "str partition" `Quick
+            (sharded_case ~partition:Shard.Str);
+          Alcotest.test_case "hash partition" `Quick
+            (sharded_case ~partition:Shard.Hash);
+        ] );
+    ]
