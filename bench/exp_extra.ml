@@ -264,43 +264,68 @@ let ablation_locator () =
 
 let ext_dynamic () =
   Util.section "EXT1"
-    "Extension — dynamized §5 tree (remark (iii), open problem 1)";
+    "Extension — dynamized §5 tree via the LSM layer (remark (iii), open \
+     problem 1)";
+  let module Index = Lcsearch_index.Index in
   let rng = Workload.rng 3008 in
   let stats = Emio.Io_stats.create () in
-  let t = Core.Dynamic_tree.create ~stats ~block_size ~dim:2 () in
+  let (module L : Index.S) =
+    Lcsearch_index.Lsm.make ~inner:(Lcsearch_index.Registry.find_exn "ptree") ()
+  in
+  let t =
+    L.build ~params:{ Index.default_params with block_size } ~stats
+      (Index.Pts2 [||])
+  in
+  let inst = Index.Instance ((module L), t) in
+  let u = Option.get (Index.updater inst) in
+  let counter k =
+    Option.value ~default:0 (List.assoc_opt k (Index.counters inst))
+  in
   let n = 16384 in
-  Emio.Io_stats.reset stats;
   for _ = 1 to n do
     ignore
-      (Core.Dynamic_tree.insert t
+      (u.Index.u_insert
          [| Random.State.float rng 200. -. 100.;
             Random.State.float rng 200. -. 100. |])
   done;
   let insert_io = Emio.Io_stats.total stats in
   Printf.printf
-    "%d inserts: %.1f amortized I/Os each, %d bucket rebuilds, %d buckets\n" n
+    "%d inserts: %.1f amortized I/Os each, %d level merges, %d levels\n" n
     (float_of_int insert_io /. float_of_int n)
-    (Core.Dynamic_tree.rebuilds t)
-    (Core.Dynamic_tree.buckets t);
-  let queries =
-    List.init 30 (fun _ ->
-        let a0 = Random.State.float rng 200. -. 100.
-        and a = [| Random.State.float rng 2. -. 1. |] in
-        fun () -> List.length (Core.Dynamic_tree.query_halfspace t ~a0 ~a))
+    (counter "merges") (counter "levels");
+  (* query I/Os mirror into the installed cost context, regardless of
+     which private sink each level's store charges *)
+  let ctx = Emio.Cost_ctx.create () in
+  let query () =
+    let a0 = Random.State.float rng 200. -. 100.
+    and a = [| Random.State.float rng 2. -. 1. |] in
+    Emio.Cost_ctx.reset ctx;
+    let t_count =
+      Emio.Cost_ctx.with_ctx ctx (fun () ->
+          Index.query_count inst { Index.a0; a })
+    in
+    (Emio.Cost_ctx.reads ctx, Util.blocks ~block_size t_count)
   in
-  let avg_io, max_io, avg_t = Util.measure_queries ~stats ~block_size queries in
+  let measured = ref [] in
+  for _ = 1 to 30 do
+    measured := query () :: !measured
+  done;
+  let measured = !measured in
+  let avg_io, max_io = Util.summarize (List.map fst measured) in
+  let avg_t, _ = Util.summarize (List.map snd measured) in
   Printf.printf "queries: avg %.1f I/Os (max %d) for avg t = %.0f blocks\n"
     avg_io max_io avg_t;
   (* delete half, query again *)
-  Emio.Io_stats.reset stats;
+  let io_before_deletes = Emio.Io_stats.total stats in
   for h = 0 to (n / 2) - 1 do
-    ignore (Core.Dynamic_tree.delete t (2 * h))
+    ignore (u.Index.u_delete (2 * h))
   done;
-  Printf.printf "%d deletes: %.1f amortized I/Os each; %d live, space %d blocks\n"
-    (n / 2)
-    (float_of_int (Emio.Io_stats.total stats) /. float_of_int (n / 2))
-    (Core.Dynamic_tree.length t)
-    (Core.Dynamic_tree.space_blocks t)
+  Printf.printf
+    "%d deletes: %.1f amortized I/Os each; %d live, space %d blocks\n" (n / 2)
+    (float_of_int (Emio.Io_stats.total stats - io_before_deletes)
+    /. float_of_int (n / 2))
+    (u.Index.u_live ())
+    (Index.space_blocks inst)
 
 (* ---- EXT2: segment intersection queries (§7 open problem 2) ----------- *)
 

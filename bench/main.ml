@@ -29,6 +29,7 @@ let experiments =
     ("EXT3", "extension: disk reporting", Exp_extra.ext_disks);
     ("EXT4", "extension: certificate tree", Exp_extra.ext_cert_tree);
     ("SHARD", "sharded out-of-core sweep + BENCH_SHARD.json", Exp_shard.run);
+    ("CHURN", "LSM dynamization overhead + BENCH_CHURN.json", Exp_churn.run);
     ("TIME", "bechamel wall-clock per row", Bench_time.run);
     ("BATCH", "batch throughput + BENCH_TIME.json", Bench_time.run_batch_throughput);
     ("PERSIST", "file-backed snapshot vs in-memory", Bench_time.run_persistence);

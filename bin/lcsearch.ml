@@ -13,7 +13,10 @@
      sweep   — sweep N and print scaling rows for one structure
      build   — build a structure and persist it to a snapshot file
      query   — reopen a snapshot in this (fresh) process and query it
-     inspect — print a snapshot file's header *)
+     inspect — print a snapshot file's header
+     insert  — add points to a dynamic (--dynamic) snapshot in place
+     delete  — tombstone points in a dynamic snapshot in place
+     churn   — apply a mixed update stream, optionally oracle-checked *)
 
 open Cmdliner
 module Index = Lcsearch_index.Index
@@ -22,6 +25,7 @@ module Workloads = Lcsearch_index.Workloads
 module Query_engine = Lcsearch_index.Query_engine
 module Par = Lcsearch_index.Par
 module Shard = Lcsearch_index.Shard
+module Lsm = Lcsearch_index.Lsm
 
 let structure_conv =
   let parse name =
@@ -71,18 +75,24 @@ let params_of ~block_size = { Index.default_params with block_size }
 (* ---------- list ---------- *)
 
 let list_structures () =
-  Printf.printf "%-14s %-7s %-10s %-26s %-30s %s\n" "name" "dims" "queries"
-    "space" "query I/Os" "snapshot";
+  Printf.printf "%-14s %-7s %-10s %-6s %-8s %-26s %-30s %s\n" "name" "dims"
+    "queries" "batch" "updates" "space" "query I/Os" "snapshot";
   List.iter
     (fun (module M : Index.S) ->
-      Printf.printf "%-14s %-7s %-10s %-26s %-30s %s\n" M.name
+      let cap = Registry.capabilities (module M : Index.S) in
+      Printf.printf "%-14s %-7s %-10s %-6s %-8s %-26s %-30s %s\n" M.name
         (String.concat "," (List.map string_of_int M.dims))
         (String.concat ","
            (List.map Index.query_kind_name M.kinds))
+        (if cap.Registry.cap_batch_sorted then "sorted" else "-")
+        (* Structures without a native update capability still take
+           updates once wrapped: build --dynamic dynamizes any
+           snapshot-capable kind through the LSM layer. *)
+        (if cap.Registry.cap_updatable then "native"
+         else if cap.Registry.cap_snapshot <> None then "via-lsm"
+         else "-")
         M.space_bound M.query_bound
-        (match M.snapshot with
-        | Some ops -> ops.Index.snapshot_kind
-        | None -> "-");
+        (match cap.Registry.cap_snapshot with Some k -> k | None -> "-");
       Printf.printf "%-14s   %s\n" "" M.description)
     (Registry.all ())
 
@@ -319,7 +329,7 @@ let meta_field meta key =
     (String.split_on_char ';' meta)
 
 let build_once (module M0 : Index.S) n block_size kind seed out page_size dim
-    shards partition =
+    shards partition dynamic memtable =
   install_clean_exit ();
   (match page_size with
   | Some p when p < Diskstore.Block_file.min_page_size ->
@@ -327,11 +337,19 @@ let build_once (module M0 : Index.S) n block_size kind seed out page_size dim
         Diskstore.Block_file.min_page_size
   | _ -> ());
   if shards < 1 then die "--shards must be at least 1";
+  if memtable < 1 then die "--memtable must be at least 1";
   (* [--shards K] for K > 1 swaps in the scatter-gather wrapper: same
      Index.S surface, directory snapshot instead of a single file. *)
   let (module M : Index.S) =
     if shards = 1 then (module M0)
     else Shard.make ~inner:(module M0 : Index.S) ~shards ~partition ()
+  in
+  (* [--dynamic] wraps the (possibly sharded) structure in the LSM
+     dynamization layer: the snapshot becomes a directory that the
+     insert/delete/churn verbs update in place. *)
+  let (module M : Index.S) =
+    if not dynamic then (module M)
+    else Lsm.make ~memtable_cap:memtable ~inner:(module M : Index.S) ()
   in
   let ops =
     match M.snapshot with
@@ -362,7 +380,21 @@ let build_once (module M0 : Index.S) n block_size kind seed out page_size dim
   in
   (try ops.Index.save t ~path:out ~meta ~page_size
    with Invalid_argument msg -> die "cannot write %s: %s" out msg);
-  if shards > 1 then begin
+  if dynamic then begin
+    match Lsm.read_manifest out with
+    | Error e ->
+        die "wrote %s but cannot read it back: %s" out
+          (Diskstore.Snapshot.error_to_string e)
+    | Ok m ->
+        Printf.printf
+          "%s: %s over %s  N=%d  B=%d  memtable %d/%d  levels %d  build=%d \
+           model I/Os\n"
+          out Lsm.lsm_kind m.Lsm.inner_kind n block_size
+          (Array.length m.Lsm.mem) m.Lsm.cap
+          (Array.length m.Lsm.levels)
+          (Emio.Cost_ctx.total bctx)
+  end
+  else if shards > 1 then begin
     match Shard.read_manifest out with
     | Error e ->
         die "wrote %s but cannot read it back: %s" out
@@ -427,11 +459,29 @@ let build_cmd =
             "Shard partitioner: str (spatial sort-tile-recursive tiles, \
              prunable at query time) or hash (index hash).")
   in
+  let dynamic =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:
+            "Wrap the structure in the LSM dynamization layer: the snapshot \
+             becomes a versioned directory that $(b,lcsearch insert), \
+             $(b,lcsearch delete) and $(b,lcsearch churn) update in place.")
+  in
+  let memtable =
+    Arg.(
+      value
+      & opt int Lsm.default_memtable_cap
+      & info [ "memtable" ] ~docv:"K"
+          ~doc:
+            "LSM memtable capacity (with $(b,--dynamic)); level i holds at \
+             most K*2^i points.")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a structure and persist it to a snapshot")
     Term.(
       const build_once $ structure_arg $ n $ b $ kind $ seed $ out $ page_size
-      $ dim_arg $ shards $ partition)
+      $ dim_arg $ shards $ partition $ dynamic $ memtable)
 
 let policy_conv =
   Arg.enum
@@ -464,6 +514,92 @@ let parse_meta path meta =
     int_field "seed",
     int_field "d",
     kind )
+
+let dataset_of_rows (module M : Index.S) ~dim rows =
+  match M.preferred ~dim with
+  | `Pts2 -> Index.Pts2 (Array.map (fun r -> Geom.Point2.make r.(0) r.(1)) rows)
+  | `Pts3 ->
+      Index.Pts3 (Array.map (fun r -> Geom.Point3.make r.(0) r.(1) r.(2)) rows)
+  | `PtsD -> Index.PtsD (Array.map Array.copy rows)
+
+(* The base registry module behind an Lsm manifest: the inner kind
+   itself, or — when the inner is the sharded wrapper — the kind its
+   shard manifests record.  Drives oracle rebuilds and workload
+   replay; the wrapper's [preferred] is a passthrough, so the base
+   module regenerates the exact dataset stream the builder consumed. *)
+let lsm_base_module path (m : Lsm.manifest) =
+  match Lsm.base_kind path m with
+  | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  | Ok kind -> (
+      match Registry.find_by_snapshot_kind kind with
+      | Some base -> base
+      | None ->
+          die "%s: no registered structure owns snapshot kind %S" path kind)
+
+(* Reopen a dynamic (LSM) snapshot directory and query it.  [--check]
+   rebuilds the inner *static* structure in memory from the manifest's
+   live rows — the rebuild-from-live oracle — so the check gates
+   bit-equality of memtable + level fan-out + tombstone filtering
+   against a from-scratch build over exactly the surviving points. *)
+let lsm_query_once path fraction queries cache_pages policy check =
+  let stats = Emio.Io_stats.create () in
+  let inst, info, m =
+    match Lsm.open_snapshot ~policy ~cache_pages ~stats path with
+    | Ok v -> v
+    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  in
+  let meta = m.Lsm.meta in
+  let n, _block_size, seed, dim, kind = parse_meta path meta in
+  let (module M : Index.S) = lsm_base_module path m in
+  let rng = Workload.rng seed in
+  let ds = Workloads.dataset rng ~kind ~dim ~n (module M : Index.S) in
+  let live = Lsm.manifest_live_rows m in
+  let reference =
+    if not check then None
+    else begin
+      let rstats = Emio.Io_stats.create () in
+      let ods = dataset_of_rows (module M : Index.S) ~dim (Array.map snd live) in
+      Some
+        (Index.build (module M : Index.S) ~params:m.Lsm.params ~stats:rstats
+           ods)
+    end
+  in
+  Printf.printf
+    "%s: %s over %s  meta %s  %d levels, %d in memtable, %d live\n" path
+    info.Diskstore.Snapshot.kind m.Lsm.inner_kind meta
+    (Array.length m.Lsm.levels)
+    (Array.length m.Lsm.mem) (Array.length live);
+  Emio.Io_stats.reset stats (* drop the load-time verification sweep *);
+  let total_t = ref 0 and mismatches = ref 0 in
+  for _ = 1 to queries do
+    let q = Workloads.query rng ds ~fraction in
+    let result = Index.query inst q in
+    total_t := !total_t + List.length result;
+    match reference with
+    | Some r ->
+        if sorted_rows (Index.query r q) <> sorted_rows result then
+          incr mismatches
+    | None -> ()
+  done;
+  Printf.printf
+    "%d queries at selectivity %.3f: avg t=%d points, %d page faults, %d \
+     pool hits, %d evictions, %.1f KiB read\n"
+    queries fraction
+    (!total_t / max 1 queries)
+    (Emio.Io_stats.reads stats)
+    (Emio.Io_stats.cache_hits stats)
+    (Emio.Io_stats.evictions stats)
+    (float_of_int (Emio.Io_stats.bytes_read stats) /. 1024.);
+  if check then
+    if !mismatches = 0 then
+      Printf.printf
+        "check: all %d dynamized result sets identical to a static rebuild \
+         over the live points\n"
+        queries
+    else
+      die "check FAILED: %d of %d result sets differ from the static \
+           rebuild-from-live oracle"
+        !mismatches queries
 
 (* Reopen a sharded snapshot directory and scatter-gather queries over
    its shards.  [--check] rebuilds the *unsharded* structure in memory
@@ -534,7 +670,9 @@ let sharded_query_once path fraction queries cache_pages policy check =
         !mismatches queries
 
 let query_once path fraction queries cache_pages policy check =
-  if Shard.is_sharded_path path then
+  if Lsm.is_lsm_path path then
+    lsm_query_once path fraction queries cache_pages policy check
+  else if Shard.is_sharded_path path then
     sharded_query_once path fraction queries cache_pages policy check
   else
   let info =
@@ -641,7 +779,30 @@ let pp_corner a =
     (List.map (Printf.sprintf "%g") (Array.to_list a))
 
 let inspect_once path =
-  if Shard.is_sharded_path path then begin
+  if Lsm.is_lsm_path path then begin
+    match Lsm.read_manifest path with
+    | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+    | Ok m ->
+        Printf.printf
+          "%s:\n  kind        %s\n  inner kind  %s\n  dim         %d\n\
+          \  memtable    %d/%d entries\n  levels      %d\n  live        %d\n\
+          \  merges      %d\n  next handle %d\n  meta        %s\n"
+          path Lsm.lsm_kind m.Lsm.inner_kind m.Lsm.dim
+          (Array.length m.Lsm.mem)
+          m.Lsm.cap
+          (Array.length m.Lsm.levels)
+          (Array.length (Lsm.manifest_live_rows m))
+          m.Lsm.merges m.Lsm.next_handle m.Lsm.meta;
+        Array.iter
+          (fun (e : Lsm.level_entry) ->
+            Printf.printf
+              "  level %-16s slot %-2d crc %08x  %-8d points, %d dead\n"
+              e.Lsm.file e.Lsm.slot e.Lsm.crc
+              (Array.length e.Lsm.handles)
+              (Array.length e.Lsm.dead))
+          m.Lsm.levels
+  end
+  else if Shard.is_sharded_path path then begin
     match Shard.read_manifest path with
     | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
     | Ok m ->
@@ -685,6 +846,327 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Print a snapshot file's header")
     Term.(const inspect_once $ path)
+
+(* ---------- dynamic updates: insert / delete / churn ---------- *)
+
+let open_lsm_for_update path =
+  if not (Lsm.is_lsm_path path) then
+    die "%s: not a dynamic (lsm) snapshot — write one with lcsearch build \
+         --dynamic"
+      path;
+  let stats = Emio.Io_stats.create () in
+  match Lsm.open_snapshot ~stats path with
+  | Error e -> die "%s: %s" path (Diskstore.Snapshot.error_to_string e)
+  | Ok (inst, info, m) -> (
+      match Index.updater inst with
+      | None -> die "%s: reopened snapshot is not updatable" path
+      | Some u -> (inst, info, m, u))
+
+(* The page size updated levels are rewritten at: keep the snapshot's
+   own, falling back to the default when the manifest carries no level
+   yet (its synthesized info has no meaningful page size). *)
+let save_page_size (info : Diskstore.Snapshot.info) =
+  if info.Diskstore.Snapshot.page_size >= Diskstore.Block_file.min_page_size
+  then Some info.Diskstore.Snapshot.page_size
+  else None
+
+(* Fresh points are drawn from the live points' bounding box so churn
+   stays inside the workload's region (selectivity targets keep
+   meaning something); an empty or degenerate box falls back to the
+   generators' default [0, 100] range. *)
+let live_bbox ~dim rows =
+  let lo = Array.make dim infinity and hi = Array.make dim neg_infinity in
+  Array.iter
+    (fun r ->
+      for j = 0 to dim - 1 do
+        if r.(j) < lo.(j) then lo.(j) <- r.(j);
+        if r.(j) > hi.(j) then hi.(j) <- r.(j)
+      done)
+    rows;
+  for j = 0 to dim - 1 do
+    if not (lo.(j) <= hi.(j)) then begin
+      lo.(j) <- 0.;
+      hi.(j) <- 100.
+    end
+    else if hi.(j) -. lo.(j) < 1e-6 then hi.(j) <- lo.(j) +. 1e-6
+  done;
+  (lo, hi)
+
+(* Explicit loops: rng consumption order is part of the reproducibility
+   contract, and Array.init applies its function in unspecified order. *)
+let fresh_row rng ~dim ~lo ~hi =
+  let r = Array.make dim 0. in
+  for j = 0 to dim - 1 do
+    r.(j) <- lo.(j) +. Random.State.float rng (hi.(j) -. lo.(j))
+  done;
+  r
+
+let insert_once path count seed =
+  install_clean_exit ();
+  if count < 1 then die "--count must be at least 1";
+  let inst, info, m, u = open_lsm_for_update path in
+  let dim = m.Lsm.dim in
+  let live = Lsm.manifest_live_rows m in
+  let lo, hi = live_bbox ~dim (Array.map snd live) in
+  let rng = Workload.rng seed in
+  let first = ref (-1) and last = ref (-1) in
+  for _ = 1 to count do
+    let h = u.Index.u_insert (fresh_row rng ~dim ~lo ~hi) in
+    if !first < 0 then first := h;
+    last := h
+  done;
+  Index.snapshot_save inst ~path ~meta:m.Lsm.meta
+    ~page_size:(save_page_size info);
+  Printf.printf "%s: inserted %d point%s (handles %d..%d), %d live\n" path
+    count
+    (if count > 1 then "s" else "")
+    !first !last
+    (u.Index.u_live ())
+
+let insert_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH"
+          ~doc:"Dynamic snapshot written by $(b,lcsearch build --dynamic).")
+  in
+  let count =
+    Arg.(value & opt int 1 & info [ "count" ] ~doc:"Points to insert.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Random seed for the generated points.")
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Insert random points into a dynamic snapshot, in place")
+    Term.(const insert_once $ path $ count $ seed)
+
+let delete_once path handles count seed =
+  install_clean_exit ();
+  let inst, info, m, u = open_lsm_for_update path in
+  let live = Lsm.manifest_live_rows m in
+  let targets =
+    match handles with
+    | _ :: _ -> handles
+    | [] ->
+        if count < 1 then die "--count must be at least 1 (or pass --handles)";
+        let n_live = Array.length live in
+        if n_live = 0 then die "%s: no live points to delete" path;
+        let rng = Workload.rng seed in
+        let picked = Hashtbl.create 16 in
+        let out = ref [] in
+        for _ = 1 to min count n_live do
+          let i = ref (Random.State.int rng n_live) in
+          while Hashtbl.mem picked !i do
+            i := (!i + 1) mod n_live
+          done;
+          Hashtbl.add picked !i ();
+          out := fst live.(!i) :: !out
+        done;
+        List.rev !out
+  in
+  let unknown =
+    List.filter (fun h -> not (u.Index.u_delete h)) targets
+  in
+  (match unknown with
+  | [] -> ()
+  | hs ->
+      die "%s: unknown or already-deleted handle%s %s; nothing saved" path
+        (if List.length hs > 1 then "s" else "")
+        (String.concat ", " (List.map string_of_int hs)));
+  Index.snapshot_save inst ~path ~meta:m.Lsm.meta
+    ~page_size:(save_page_size info);
+  let n_deleted = List.length targets in
+  Printf.printf "%s: deleted %d point%s, %d live\n" path n_deleted
+    (if n_deleted > 1 then "s" else "")
+    (u.Index.u_live ())
+
+let delete_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH"
+          ~doc:"Dynamic snapshot written by $(b,lcsearch build --dynamic).")
+  in
+  let handles =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "handles" ] ~docv:"H1,H2,..."
+          ~doc:
+            "Handles to delete (as reported by $(b,lcsearch insert) or the \
+             original build order 0..N-1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ]
+          ~doc:"Random live points to delete when --handles is not given.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "delete"
+       ~doc:"Tombstone points in a dynamic snapshot, in place")
+    Term.(const delete_once $ path $ handles $ count $ seed)
+
+(* Apply a mixed insert/delete stream while maintaining an exact
+   (handle -> row) model, then — under [--check] — gate the dynamized
+   instance against a static rebuild over the model's live rows, save,
+   reopen, and gate again.  This is the CI churn-smoke loop in one
+   verb. *)
+let churn_once path ops insert_frac fraction queries seed check =
+  install_clean_exit ();
+  if ops < 1 then die "--ops must be at least 1";
+  if insert_frac < 0. || insert_frac > 1. then
+    die "--insert-frac must be in [0,1]";
+  let inst, info, m, u = open_lsm_for_update path in
+  let dim = m.Lsm.dim in
+  let (module M : Index.S) = lsm_base_module path m in
+  let live0 = Lsm.manifest_live_rows m in
+  let lo, hi = live_bbox ~dim (Array.map snd live0) in
+  let rng = Workload.rng seed in
+  let model = Hashtbl.create (max 16 (2 * Array.length live0)) in
+  let vec = ref (Array.map fst live0) in
+  let len = ref (Array.length !vec) in
+  Array.iter (fun (h, r) -> Hashtbl.replace model h r) live0;
+  let push h =
+    if !len = Array.length !vec then begin
+      let bigger = Array.make (max 8 (2 * !len)) 0 in
+      Array.blit !vec 0 bigger 0 !len;
+      vec := bigger
+    end;
+    !vec.(!len) <- h;
+    incr len
+  in
+  let inserted = ref 0 and deleted = ref 0 in
+  for _ = 1 to ops do
+    if !len = 0 || Random.State.float rng 1. < insert_frac then begin
+      let r = fresh_row rng ~dim ~lo ~hi in
+      let h = u.Index.u_insert r in
+      Hashtbl.replace model h r;
+      push h;
+      incr inserted
+    end
+    else begin
+      let i = Random.State.int rng !len in
+      let h = !vec.(i) in
+      if not (u.Index.u_delete h) then
+        die "%s: delete of live handle %d refused" path h;
+      Hashtbl.remove model h;
+      !vec.(i) <- !vec.(!len - 1);
+      decr len;
+      incr deleted
+    end
+  done;
+  if u.Index.u_live () <> !len then
+    die "%s: instance reports %d live, model has %d" path (u.Index.u_live ())
+      !len;
+  let live_rows = Array.init !len (fun i -> Hashtbl.find model !vec.(i)) in
+  let ods = dataset_of_rows (module M : Index.S) ~dim live_rows in
+  let qs = ref [] in
+  for _ = 1 to queries do
+    qs := Workloads.query rng ods ~fraction :: !qs
+  done;
+  let qs = List.rev !qs in
+  let mismatches = ref 0 in
+  let gate inst' =
+    let rstats = Emio.Io_stats.create () in
+    let oracle =
+      Index.build (module M : Index.S) ~params:m.Lsm.params ~stats:rstats ods
+    in
+    List.iter
+      (fun q ->
+        if sorted_rows (Index.query inst' q) <> sorted_rows (Index.query oracle q)
+        then incr mismatches)
+      qs
+  in
+  if check then gate inst;
+  Index.snapshot_save inst ~path ~meta:m.Lsm.meta
+    ~page_size:(save_page_size info);
+  if check then begin
+    let stats2 = Emio.Io_stats.create () in
+    match Lsm.open_snapshot ~stats:stats2 path with
+    | Error e ->
+        die "%s: reopen after churn failed: %s" path
+          (Diskstore.Snapshot.error_to_string e)
+    | Ok (inst2, _, m2) ->
+        if Array.length (Lsm.manifest_live_rows m2) <> !len then
+          die "%s: reopened manifest has %d live rows, model has %d" path
+            (Array.length (Lsm.manifest_live_rows m2))
+            !len;
+        gate inst2
+  end;
+  (match Lsm.read_manifest path with
+  | Error e ->
+      die "wrote %s but cannot read it back: %s" path
+        (Diskstore.Snapshot.error_to_string e)
+  | Ok m' ->
+      Printf.printf
+        "%s: %d ops (%d inserts, %d deletes), %d live, %d levels, memtable \
+         %d/%d\n"
+        path ops !inserted !deleted !len
+        (Array.length m'.Lsm.levels)
+        (Array.length m'.Lsm.mem)
+        m'.Lsm.cap);
+  if check then
+    if !mismatches = 0 then
+      Printf.printf
+        "check: all %d result sets identical to the static rebuild-from-live \
+         oracle, before and after reopen\n"
+        queries
+    else
+      die "check FAILED: %d of %d result sets differ from the static \
+           rebuild-from-live oracle"
+        !mismatches (2 * queries)
+
+let churn_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH"
+          ~doc:"Dynamic snapshot written by $(b,lcsearch build --dynamic).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 256 & info [ "ops" ] ~doc:"Update operations to apply.")
+  in
+  let insert_frac =
+    Arg.(
+      value & opt float 0.5
+      & info [ "insert-frac" ]
+          ~doc:"Fraction of operations that insert (the rest delete).")
+  in
+  let fraction =
+    Arg.(
+      value & opt float 0.02
+      & info [ "f"; "fraction" ] ~doc:"Query selectivity for --check.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 20
+      & info [ "q"; "queries" ] ~doc:"Query count for --check.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify every query result against a static in-memory rebuild \
+             over the live points, save, reopen the snapshot, and verify \
+             again; exit nonzero on any mismatch.")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Apply a random update stream to a dynamic snapshot")
+    Term.(
+      const churn_once $ path $ ops $ insert_frac $ fraction $ queries $ seed
+      $ check)
 
 (* ---------- serve / loadgen ---------- *)
 
@@ -967,6 +1449,9 @@ let () =
             build_cmd;
             query_cmd;
             inspect_cmd;
+            insert_cmd;
+            delete_cmd;
+            churn_cmd;
             serve_cmd;
             loadgen_cmd;
             knn_cmd;

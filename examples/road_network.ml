@@ -5,8 +5,10 @@
       three-level partition tree (Core.Seg_intersect).
    2. (open problem 1 / §5 remark (iii)) Incident reports arrive and
       get resolved continuously; dispatch wants all active incidents
-      inside a triangular coverage zone.  — a dynamized partition tree
-      (Core.Dynamic_tree) with inserts, deletes, and simplex queries.
+      inside a triangular coverage zone.  — the §5 partition tree
+      dynamized through the generic LSM layer (Lcsearch_index.Lsm over
+      ptree): the index answers the zone's bounding halfspace, the
+      client refines by the remaining two edges.
 
    Run with:  dune exec examples/road_network.exe *)
 
@@ -55,13 +57,35 @@ let () =
     proposals;
 
   (* --- live incidents: insert/delete + zone queries ----------------- *)
-  let stats2 = Emio.Io_stats.create () in
-  let incidents =
-    Core.Dynamic_tree.create ~stats:stats2 ~block_size ~dim:2 ()
+  (* The §5 partition tree dynamized through the generic LSM layer
+     (remark (iii): the logarithmic method turns any decomposable
+     static structure into a dynamic one for a log-factor overhead). *)
+  let module Index = Lcsearch_index.Index in
+  let (module L : Index.S) =
+    Lcsearch_index.Lsm.make ~memtable_cap:64
+      ~inner:(Lcsearch_index.Registry.find_exn "ptree")
+      ()
   in
+  let t =
+    L.build
+      ~params:{ Index.default_params with block_size }
+      ~stats:(Emio.Io_stats.create ())
+      (Index.Pts2 [||])
+  in
+  let incidents = Index.Instance ((module L), t) in
+  let u = Option.get (Index.updater incidents) in
+  (* the example keeps the live rows by handle so resolved incidents
+     can be picked and zone hits mapped back to coordinates *)
+  let rows = Hashtbl.create 512 in
   let open_incident () =
-    Core.Dynamic_tree.insert incidents
-      [| Random.State.float rng 200. -. 100.; Random.State.float rng 200. -. 100. |]
+    let p =
+      [|
+        Random.State.float rng 200. -. 100.; Random.State.float rng 200. -. 100.;
+      |]
+    in
+    let h = u.Index.u_insert p in
+    Hashtbl.replace rows h p;
+    h
   in
   let live = ref [] in
   for _ = 1 to 2000 do
@@ -70,17 +94,22 @@ let () =
     if Random.State.bool rng then begin
       match !live with
       | h :: rest when List.length rest > 0 ->
-          ignore (Core.Dynamic_tree.delete incidents h);
+          ignore (u.Index.u_delete h : bool);
+          Hashtbl.remove rows h;
           live := rest
       | _ -> ()
     end
   done;
+  let counter key =
+    Option.value ~default:0 (List.assoc_opt key (Index.counters incidents))
+  in
   Printf.printf
-    "\nincident store: %d live after 2000 opens + resolutions; %d buckets, %d rebuilds\n"
-    (Core.Dynamic_tree.length incidents)
-    (Core.Dynamic_tree.buckets incidents)
-    (Core.Dynamic_tree.rebuilds incidents);
-  (* dispatch zone: triangle (-60,-60) (60,-60) (0,80) *)
+    "\nincident store: %d live after 2000 opens + resolutions; %d levels, %d merges\n"
+    (u.Index.u_live ()) (counter "levels") (counter "merges");
+  (* dispatch zone: triangle (-60,-60) (60,-60) (0,80).  The index
+     surface answers halfspaces, so the zone's bounding edge b-c
+     becomes the index query (y <= 80 - 7/3 x) and the client refines
+     the candidates by the remaining two edges. *)
   let edge (px, py) (qx, qy) (ox, oy) =
     let w = [| qy -. py; px -. qx |] in
     let b = -.((w.(0) *. px) +. (w.(1) *. py)) in
@@ -89,9 +118,26 @@ let () =
     else { Partition.Cells.w = [| -.w.(0); -.w.(1) |]; b = -.b }
   in
   let a = (-60., -60.) and b = (60., -60.) and c = (0., 80.) in
-  let zone = [ edge a b c; edge b c a; edge c a b ] in
-  Emio.Io_stats.reset stats2;
-  let in_zone = Core.Dynamic_tree.query_simplex incidents zone in
-  Printf.printf "dispatch zone holds %d live incidents (%d I/Os)\n"
-    (List.length in_zone)
-    (Emio.Io_stats.reads stats2)
+  let refine = [ edge a b c; edge c a b ] in
+  let ctx = Emio.Cost_ctx.create () in
+  let candidates =
+    Emio.Cost_ctx.with_ctx ctx (fun () ->
+        let r = Emio.Reporter.create () in
+        ignore
+          (Index.query_into incidents
+             { Index.a0 = 80.; a = [| -7. /. 3. |] }
+             r
+            : int);
+        Emio.Reporter.to_list r)
+  in
+  let in_zone =
+    List.filter
+      (fun h ->
+        let p = Hashtbl.find rows h in
+        List.for_all (fun c -> Partition.Cells.satisfies c p) refine)
+      candidates
+  in
+  Printf.printf
+    "dispatch zone holds %d live incidents (%d candidates below edge b-c, %d I/Os)\n"
+    (List.length in_zone) (List.length candidates)
+    (Emio.Cost_ctx.reads ctx)

@@ -17,10 +17,21 @@ type child = {
 
 type item = { px : float; py : float; pz : float; pid : int }
 
+(* Certificate vertices are stored FLAT: the certificate run is a
+   [float Emio.Run.t] holding three floats per vertex — x, y, z — in
+   stride-3 slots, and its store's block size is 3B floats so each
+   block holds exactly B vertices and every block boundary (hence
+   every I/O charge) is identical to the boxed one-point-per-item
+   layout this replaces.  The gap scans then read unboxed floats
+   sequentially instead of calling boxed Point3 accessors per vertex,
+   which is where most of the cert query allocation went (child
+   [lo_start]/[up_start] positions count vertices, not floats). *)
+let cert_stride = 3
+
 type t = {
   leaves : item Emio.Store.t;
   internals : child Emio.Store.t;
-  certs : Point3.t Emio.Run.t;
+  certs : float Emio.Run.t; (* stride-3 flat vertices *)
   root : node_ref option;
   length : int;
   cert_items : int;
@@ -114,7 +125,10 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?cert_cap points =
     Emio.Store.create ~stats ~block_size ~cache_blocks ~codec:item_codec ()
   in
   let internals = Emio.Store.create ~stats ~block_size ~cache_blocks () in
-  let cert_store = Emio.Store.create ~stats ~block_size ~cache_blocks () in
+  let cert_store =
+    Emio.Store.create ~stats ~block_size:(cert_stride * block_size)
+      ~cache_blocks ~codec:Emio.Codec.float ()
+  in
   let cert_buffer : Point3.t list ref = ref [] in
   let cert_pos = ref 0 in
   let push_certs arr =
@@ -156,7 +170,18 @@ let build ~stats ~block_size ?(cache_blocks = 0) ?cert_cap points =
   in
   let root = if Array.length items = 0 then None else Some (build_node items) in
   let certs =
-    Emio.Run.of_array cert_store (Array.of_list (List.rev !cert_buffer))
+    (* flatten the collected vertices into stride-3 slots; blocks of
+       3B floats hold exactly B vertices, so of_array charges the same
+       ⌈items/B⌉ writes as the boxed layout did *)
+    let flat = Array.make (cert_stride * !cert_pos) 0. in
+    List.iteri
+      (fun i p ->
+        let f = cert_stride * (!cert_pos - 1 - i) in
+        flat.(f) <- Point3.x p;
+        flat.(f + 1) <- Point3.y p;
+        flat.(f + 2) <- Point3.z p)
+      !cert_buffer;
+    Emio.Run.of_array cert_store flat
   in
   {
     leaves;
@@ -175,14 +200,59 @@ let rec report_subtree t ~report = function
         report block.(i).pid
       done
   | Node id ->
-      Array.iter
-        (fun child -> report_subtree t ~report child.sub)
-        (Emio.Store.read t.internals id)
+      let children = Emio.Store.read t.internals id in
+      for i = 0 to Array.length children - 1 do
+        report_subtree t ~report children.(i).sub
+      done
 
 (* Single-field all-float record: mutating it updates the unboxed
    float in place, where a [float ref] would box a fresh float per
    assignment on the certificate scans. *)
 type fbox = { mutable fv : float }
+
+(* Minimum ([want_min]) or maximum of the affine gap
+   z - ax·x - ay·y - a0 over certificate vertices [start, start+len)
+   of the flat stride-3 run: the certificate store's block size is 3B
+   floats, so vertex i's slots live in block i/B — the same block
+   index (and the same read charges) the boxed scan paid.  Explicit
+   indexed loops on the unboxed float blocks: no closure, no Point3
+   accessor boxing — this scan ran per crossing child and was the bulk
+   of the ~10k words/query the old pipeline allocated. *)
+let gap_extreme certs ~ax ~ay ~a0 ~start ~len ~want_min =
+  let acc = { fv = (if want_min then infinity else neg_infinity) } in
+  let b = Emio.Store.block_size (Emio.Run.store certs) / cert_stride in
+  let first = start / b and last = (start + len - 1) / b in
+  for blk = first to last do
+    let block = Emio.Run.read_block certs blk in
+    let block_lo = blk * b in
+    let lo = max 0 (start - block_lo) in
+    let hi = min (Array.length block / cert_stride) (start + len - block_lo) in
+    (* the loop bounds prove every access in range: cert_stride*hi <=
+       Array.length block (hi is clamped to it) *)
+    if want_min then
+      for i = lo to hi - 1 do
+        let f = cert_stride * i in
+        let g =
+          Array.unsafe_get block (f + 2)
+          -. (ax *. Array.unsafe_get block f)
+          -. (ay *. Array.unsafe_get block (f + 1))
+          -. a0
+        in
+        if g < acc.fv then acc.fv <- g
+      done
+    else
+      for i = lo to hi - 1 do
+        let f = cert_stride * i in
+        let g =
+          Array.unsafe_get block (f + 2)
+          -. (ax *. Array.unsafe_get block f)
+          -. (ay *. Array.unsafe_get block (f + 1))
+          -. a0
+        in
+        if g > acc.fv then acc.fv <- g
+      done
+  done;
+  acc.fv
 
 (* The shared traversal: each reported pid goes through [report], so
    list, reporter-sink and counting callers run identical I/Os. *)
@@ -191,27 +261,6 @@ let query_iter t ~a0 ~a report =
     invalid_arg "Cert_tree.query_ids: need 2 slope coefficients";
   let constr = Cells.constr_of_halfspace ~dim:3 ~a0 ~a in
   let ax = a.(0) and ay = a.(1) in
-  (* the affine gap, negative-or-zero below the plane; evaluated
-     inline on raw coordinates so leaf and certificate scans build no
-     intermediate Point3 *)
-  let min_gap_of ~start ~len =
-    let acc = { fv = infinity } in
-    Emio.Run.iter_range
-      (fun p ->
-        let g = Point3.z p -. (ax *. Point3.x p) -. (ay *. Point3.y p) -. a0 in
-        if g < acc.fv then acc.fv <- g)
-      t.certs ~pos:start ~len;
-    acc.fv
-  in
-  let max_gap_of ~start ~len =
-    let acc = { fv = neg_infinity } in
-    Emio.Run.iter_range
-      (fun p ->
-        let g = Point3.z p -. (ax *. Point3.x p) -. (ay *. Point3.y p) -. a0 in
-        if g > acc.fv then acc.fv <- g)
-      t.certs ~pos:start ~len;
-    acc.fv
-  in
   t.visited <- 0;
   let rec go = function
     | Leaf id ->
@@ -224,28 +273,31 @@ let query_iter t ~a0 ~a report =
         done
     | Node id ->
         t.visited <- t.visited + 1;
-        Array.iter
-          (fun child ->
-            match Cells.classify child.cell constr with
-            | Cells.Inside -> report_subtree t ~report child.sub
-            | Cells.Outside -> ()
-            | Cells.Crossing ->
-                if child.lo_len = 0 then go child.sub
+        let children = Emio.Store.read t.internals id in
+        for ci = 0 to Array.length children - 1 do
+          let child = children.(ci) in
+          match Cells.classify child.cell constr with
+          | Cells.Inside -> report_subtree t ~report child.sub
+          | Cells.Outside -> ()
+          | Cells.Crossing ->
+              if child.lo_len = 0 then go child.sub
+              else begin
+                (* exact point-set classification via the hulls *)
+                let min_gap =
+                  gap_extreme t.certs ~ax ~ay ~a0 ~start:child.lo_start
+                    ~len:child.lo_len ~want_min:true
+                in
+                if min_gap > Eps.eps then () (* no point below *)
                 else begin
-                  (* exact point-set classification via the hulls *)
-                  let min_gap =
-                    min_gap_of ~start:child.lo_start ~len:child.lo_len
+                  let max_gap =
+                    gap_extreme t.certs ~ax ~ay ~a0 ~start:child.up_start
+                      ~len:child.up_len ~want_min:false
                   in
-                  if min_gap > Eps.eps then () (* no point below *)
-                  else begin
-                    let max_gap =
-                      max_gap_of ~start:child.up_start ~len:child.up_len
-                    in
-                    if max_gap <= Eps.eps then report_subtree t ~report child.sub
-                    else go child.sub
-                  end
-                end)
-          (Emio.Store.read t.internals id)
+                  if max_gap <= Eps.eps then report_subtree t ~report child.sub
+                  else go child.sub
+                end
+              end
+        done
   in
   match t.root with None -> () | Some root -> go root
 
@@ -276,7 +328,7 @@ let points t =
 
 type portable = {
   cp_internal_blocks : child array array;
-  cp_certs : Point3.t Emio.Run.stored;
+  cp_certs : float Emio.Run.stored; (* stride-3 flat vertices *)
   cp_root : node_ref option;
   cp_length : int;
   cp_cert_items : int;
@@ -325,14 +377,17 @@ let portable_codec =
     (triple
        (pair
           (array (array child_codec))
-          (Emio.Run.stored_codec Geom.Point3.codec))
+          (Emio.Run.stored_codec Emio.Codec.float))
        (triple (option node_ref_codec) int int)
        (pair int int))
 
 let snapshot_kind = "lcsearch.cert"
 
+(* v2: the certificate run went flat (stride-3 floats in 3B-float
+   blocks) — the stored blocks changed element type, so v1 skeletons
+   are rejected with a clear version error rather than misdecoded. *)
 let skeleton_codec =
-  Emio.Codec.versioned ~magic:snapshot_kind ~version:1 portable_codec
+  Emio.Codec.versioned ~magic:snapshot_kind ~version:2 portable_codec
 
 let save_snapshot t ~path ?meta ?page_size () =
   Diskstore.Snapshot.save ~path ~kind:snapshot_kind ?meta ?page_size

@@ -32,6 +32,18 @@ let rewrite_from r m f =
     r.buf.(i) <- f r.buf.(i)
   done
 
+let filter_from r m keep =
+  if m < 0 || m > r.len then invalid_arg "Reporter.filter_from: bad mark";
+  let w = ref m in
+  for i = m to r.len - 1 do
+    let x = r.buf.(i) in
+    if keep x then begin
+      r.buf.(!w) <- x;
+      incr w
+    end
+  done;
+  r.len <- !w
+
 let iter f r =
   for i = 0 to r.len - 1 do
     f r.buf.(i)

@@ -53,6 +53,12 @@ val rewrite_from : t -> int -> (int -> int) -> unit
     secondary structure's local ids to global ones without an
     intermediate list. *)
 
+val filter_from : t -> int -> (int -> bool) -> unit
+(** [filter_from r m keep] drops every id reported since mark [m] that
+    fails [keep], compacting the survivors in place (order preserved,
+    allocation-free) — how a dynamized wrapper censors tombstoned ids
+    out of an inner structure's answers. *)
+
 val iter : (int -> unit) -> t -> unit
 (** Insertion-order iteration. *)
 

@@ -132,6 +132,8 @@ module H2 = struct
       ("last_layers_visited", Core.Halfspace2d.last_layers_visited t.s);
     ]
 
+  let update = None
+
   let snapshot =
     Some
       {
@@ -198,6 +200,8 @@ module H3 = struct
   let estimate t _q = logb ~bs:t.bs (blocks_of ~n:t.n ~bs:t.bs)
   let space_blocks t = Core.Halfspace3d.space_blocks t.s
   let counters t = [ ("fallbacks", Core.Halfspace3d.fallbacks t.s) ]
+
+  let update = None
 
   let snapshot =
     Some
@@ -276,6 +280,8 @@ module Ptree = struct
 
   let counters t =
     [ ("last_visited_nodes", Core.Partition_tree.last_visited_nodes t.s) ]
+
+  let update = None
 
   let snapshot =
     Some
@@ -362,6 +368,8 @@ module Shallow = struct
   let counters t =
     [ ("last_secondary_uses", Core.Shallow_tree.last_secondary_uses t.s) ]
 
+  let update = None
+
   let snapshot =
     Some
       {
@@ -445,6 +453,8 @@ module Tradeoff = struct
       ("last_secondary_queries", Core.Tradeoff3d.last_secondary_queries t.s);
     ]
 
+  let update = None
+
   let snapshot =
     Some
       {
@@ -522,6 +532,8 @@ module Cert = struct
       ("certificate_items", Core.Cert_tree.certificate_items t.s);
     ]
 
+  let update = None
+
   let snapshot =
     Some
       {
@@ -590,6 +602,8 @@ module Make_rtree (V : RTREE_VARIANT) = struct
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Rtree.space_blocks t.s
   let counters t = [ ("height", Baselines.Rtree.height t.s) ]
+
+  let update = None
 
   let snapshot =
     let kind = "lcsearch." ^ V.name in
@@ -665,6 +679,8 @@ module Quadtree = struct
   let space_blocks t = Baselines.Quadtree.space_blocks t.s
   let counters t = [ ("depth", Baselines.Quadtree.depth t.s) ]
 
+  let update = None
+
   let snapshot =
     Some
       {
@@ -723,6 +739,8 @@ module Gridfile = struct
   let estimate t _q = sqrt (float_of_int (blocks_of ~n:t.n ~bs:t.bs))
   let space_blocks t = Baselines.Grid_file.space_blocks t.s
   let counters t = [ ("side", Baselines.Grid_file.side t.s) ]
+
+  let update = None
 
   let snapshot =
     Some
@@ -806,6 +824,8 @@ module Scan = struct
     | Sd s -> Baselines.Linear_scan.space_blocks_d s
 
   let counters _t = []
+
+  let update = None
 
   let snapshot =
     Some

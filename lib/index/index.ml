@@ -67,6 +67,20 @@ type 'a snapshot_ops = {
     ('a * Diskstore.Snapshot.info, Diskstore.Snapshot.error) result;
 }
 
+(* Optional dynamic-update capability.  Static structures leave it
+   [None]; the Lsm wrapper provides it for any inner structure via the
+   logarithmic method.  Handles are monotonically increasing ints,
+   stable across snapshot save/reopen. *)
+type 'a update_ops = {
+  insert : 'a -> float array -> int;
+      (** Add one point (a coordinate row of the build dimension);
+          returns a fresh handle usable with [delete].  Raises
+          [Invalid_argument] on a wrong-length row. *)
+  delete : 'a -> int -> bool;
+      (** Tombstone a handle; [false] if unknown or already dead. *)
+  live : 'a -> int;  (** Number of live (inserted minus deleted) points. *)
+}
+
 module type S = sig
   type t
 
@@ -148,6 +162,10 @@ module type S = sig
   val snapshot : t snapshot_ops option
   (** Persistence capability; [None] if the structure has no snapshot
       format. *)
+
+  val update : t update_ops option
+  (** Dynamic-update capability; [None] for the static structures.
+      {!Lsm.make} dynamizes any of them behind this same surface. *)
 end
 
 (* A built structure packed with its module: the registry's currency. *)
@@ -166,3 +184,27 @@ let batch_plane_sorted (Instance ((module M), _)) = M.batch_plane_sorted
 let estimate (Instance ((module M), t)) q = M.estimate t q
 let space_blocks (Instance ((module M), t)) = M.space_blocks t
 let counters (Instance ((module M), t)) = M.counters t
+let updatable (Instance ((module M), _)) = Option.is_some M.update
+
+(* The update capability of a packed instance, with the existential
+   closed over: what the CLI's insert/delete/churn verbs drive. *)
+type updater = {
+  u_insert : float array -> int;
+  u_delete : int -> bool;
+  u_live : unit -> int;
+}
+
+let updater (Instance ((module M), t)) =
+  Option.map
+    (fun ops ->
+      {
+        u_insert = (fun row -> ops.insert t row);
+        u_delete = (fun h -> ops.delete t h);
+        u_live = (fun () -> ops.live t);
+      })
+    M.update
+
+let snapshot_save (Instance ((module M), t)) ~path ~meta ~page_size =
+  match M.snapshot with
+  | None -> invalid_arg (M.name ^ ": no snapshot capability")
+  | Some ops -> ops.save t ~path ~meta ~page_size

@@ -30,6 +30,25 @@ let all () = List.map (fun n -> Hashtbl.find table n) (names ())
 let for_dim dim =
   List.filter (fun (module M : Index.S) -> List.mem dim M.dims) (all ())
 
+(* Capability surface of a registered module, mirrored here so the CLI
+   and benches can enumerate what each kind supports without matching
+   on the module themselves. *)
+type capability = {
+  cap_snapshot : string option;
+  cap_reports_ids : bool;
+  cap_batch_sorted : bool;
+  cap_updatable : bool;
+}
+
+let capabilities (module M : Index.S) =
+  {
+    cap_snapshot =
+      Option.map (fun ops -> ops.Index.snapshot_kind) M.snapshot;
+    cap_reports_ids = M.reports_ids;
+    cap_batch_sorted = M.batch_plane_sorted;
+    cap_updatable = Option.is_some M.update;
+  }
+
 (* The module owning a snapshot [kind] tag, for generic reopening. *)
 let find_by_snapshot_kind kind =
   List.find_opt

@@ -16,3 +16,13 @@ val for_dim : int -> (module Index.S) list
 
 val find_by_snapshot_kind : string -> (module Index.S) option
 (** The registered module whose snapshot capability owns [kind]. *)
+
+type capability = {
+  cap_snapshot : string option;  (** snapshot kind, if persistable *)
+  cap_reports_ids : bool;
+  cap_batch_sorted : bool;  (** plane-sorted batched execution pays off *)
+  cap_updatable : bool;  (** native insert/delete (see {!Lsm.make}) *)
+}
+
+val capabilities : (module Index.S) -> capability
+(** The optional-surface summary [lcsearch list] prints per kind. *)

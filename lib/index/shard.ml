@@ -23,7 +23,6 @@ let partition_of_string = function
   | _ -> None
 
 let sharded_kind = "lcsearch.sharded"
-let manifest_file = "MANIFEST"
 
 (* Margin added to the tile-pruning test over the structures' keep
    predicate f(p) <= Eps.eps: the box minimum of the linear form is
@@ -184,60 +183,22 @@ let manifest_codec =
            (m.total, m.meta, m.entries) ))
        (pair (quad string u8 u32 u32) (triple int string (array entry_codec))))
 
-let read_file_bytes path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let b = Bytes.create len in
-      really_input ic b 0 len;
-      b)
+let file_crc = Manifest_dir.file_crc
+let write_manifest dir m = Manifest_dir.write_manifest dir manifest_codec m
 
-let file_crc path = Diskstore.Crc32.digest (read_file_bytes path)
-
-let write_manifest dir m =
-  let payload = Emio.Codec.encode manifest_codec m in
-  let buf = Buffer.create (Bytes.length payload + 4) in
-  Emio.Codec.write_u32 buf (Diskstore.Crc32.digest payload);
-  Buffer.add_bytes buf payload;
-  let path = Filename.concat dir manifest_file in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc buf)
-
+(* A sharded directory is one whose MANIFEST carries the sharded
+   magic; an Lsm directory (same MANIFEST layout, different magic) is
+   not.  A MANIFEST too damaged to expose a magic still counts as
+   sharded here so the CLI routes it to [read_manifest], which then
+   reports the precise corruption instead of "no such structure". *)
 let is_sharded_path path =
-  Sys.file_exists path
-  && Sys.is_directory path
-  && Sys.file_exists (Filename.concat path manifest_file)
+  Manifest_dir.is_kind path ~kind:sharded_kind
+  || Sys.file_exists path
+     && Sys.is_directory path
+     && Sys.file_exists (Filename.concat path Manifest_dir.manifest_file)
+     && Manifest_dir.magic path = None
 
-let read_manifest dir =
-  let path = Filename.concat dir manifest_file in
-  if not (Sys.file_exists path) then
-    Error (Diskstore.Snapshot.Bad_header "missing sharded MANIFEST")
-  else
-    match read_file_bytes path with
-    | exception Sys_error msg -> Error (Diskstore.Snapshot.Bad_header msg)
-    | raw ->
-        if Bytes.length raw < 4 then
-          Error
-            (Diskstore.Snapshot.Truncated
-               { expected_bytes = 4; actual_bytes = Bytes.length raw })
-        else begin
-          let pos = ref 0 in
-          let crc = Emio.Codec.read_u32 raw pos in
-          let payload = Bytes.sub raw 4 (Bytes.length raw - 4) in
-          if Diskstore.Crc32.digest payload <> crc then
-            Error
-              (Diskstore.Snapshot.Bad_section_crc
-                 { section = "sharded manifest" })
-          else
-            match Emio.Codec.decode manifest_codec payload with
-            | m -> Ok m
-            | exception Emio.Codec.Decode msg ->
-                Error (Diskstore.Snapshot.Bad_payload msg)
-        end
+let read_manifest dir = Manifest_dir.read_manifest dir manifest_codec
 
 (* ------------------------------------------------------------------ *)
 (* The Index.S wrapper *)
@@ -411,6 +372,13 @@ let make ?build_domains ~inner:(module M : Index.S) ~shards ~partition () :
       :: ("last_pruned", t.last_pruned)
       :: !merged
 
+    (* Shard tiles are immutable by design (the STR tiling is fixed at
+       build time, and inner handle spaces would collide across
+       shards), so the update capability does not pass through the
+       wrapper.  To update a sharded structure, compose the other way:
+       [Lsm.make ~inner:(Shard.make ...)] keeps every level sharded
+       while the Lsm layer owns the handle space. *)
+    let update = None
     let shard_file s = Printf.sprintf "shard-%03d.snap" s
 
     let snapshot =

@@ -96,12 +96,23 @@ let oracle_of path (module M : Index.S) queries =
 
 module Lshard = Lcsearch_index.Shard
 
+module Llsm = Lcsearch_index.Lsm
+
 let target_of cfg path =
-  (* For sharded directories the workload meta lives in the MANIFEST
-     and the query pool is typed by the *inner* structure (the sharded
-     wrapper shares its name/dims, so the server-side lookup agrees). *)
+  (* For sharded and dynamic (LSM) directories the workload meta lives
+     in the MANIFEST and the query pool is typed by the *base*
+     structure (the wrappers share its name/dims, so the server-side
+     lookup agrees). *)
   let meta, kind =
-    if Lshard.is_sharded_path path then
+    if Llsm.is_lsm_path path then
+      match Llsm.read_manifest path with
+      | Ok m -> (
+          match Llsm.base_kind path m with
+          | Ok kind -> (m.Llsm.meta, kind)
+          | Error e ->
+              failwith (path ^ ": " ^ Diskstore.Snapshot.error_to_string e))
+      | Error e -> failwith (path ^ ": " ^ Diskstore.Snapshot.error_to_string e)
+    else if Lshard.is_sharded_path path then
       match Lshard.read_manifest path with
       | Ok m -> (m.Lshard.meta, m.Lshard.inner_kind)
       | Error e -> failwith (path ^ ": " ^ Diskstore.Snapshot.error_to_string e)

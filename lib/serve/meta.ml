@@ -2,6 +2,7 @@ module Index = Lcsearch_index.Index
 module Registry = Lcsearch_index.Registry
 module Workloads = Lcsearch_index.Workloads
 module Shard = Lcsearch_index.Shard
+module Lsm = Lcsearch_index.Lsm
 
 type workload = {
   structure : string;
@@ -85,8 +86,35 @@ let load_sharded ~policy ~cache_pages path =
       meta_workload;
     }
 
+(* A dynamic (LSM) snapshot directory reopens through
+   [Lsm.open_snapshot]: each level reloads through the registry, the
+   memtable log replays, and the resulting instance answers queries
+   behind the same [Index.instance] surface as any static snapshot. *)
+let load_lsm ~policy ~cache_pages path =
+  let ( let* ) = Result.bind in
+  let snap_err e = path ^ ": " ^ Diskstore.Snapshot.error_to_string e in
+  let stats = Emio.Io_stats.create () in
+  let* inst, info, m =
+    Result.map_error snap_err
+      (Lsm.open_snapshot ~policy ~cache_pages ~stats path)
+  in
+  let* meta_workload =
+    Result.map_error (fun e -> path ^ ": " ^ e) (workload_of_meta m.Lsm.meta)
+  in
+  let (module M : Index.S) = Index.structure inst in
+  Ok
+    {
+      name = M.name;
+      dim = meta_workload.dim;
+      reports_ids = M.reports_ids;
+      inst;
+      info;
+      meta_workload;
+    }
+
 let load ?(policy = Diskstore.Buffer_pool.Lru) ?(cache_pages = 64) path =
-  if Shard.is_sharded_path path then load_sharded ~policy ~cache_pages path
+  if Lsm.is_lsm_path path then load_lsm ~policy ~cache_pages path
+  else if Shard.is_sharded_path path then load_sharded ~policy ~cache_pages path
   else
   let ( let* ) = Result.bind in
   let snap_err e = path ^ ": " ^ Diskstore.Snapshot.error_to_string e in

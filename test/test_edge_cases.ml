@@ -161,30 +161,41 @@ let test_segments_shared_endpoint () =
   let got = Core.Seg_intersect.query t (Point2.make 5. 0.) (Point2.make 5. 9.) in
   Alcotest.(check (list int)) "touches both" [ 0; 1 ] got
 
-(* --- Dynamic tree: interleaved churn ----------------------------------- *)
+(* --- Dynamized partition tree: interleaved churn ------------------------ *)
 
 let test_dynamic_churn () =
-  let t = Core.Dynamic_tree.create ~stats:(stats ()) ~block_size:4 ~dim:2 () in
+  let module Index = Lcsearch_index.Index in
+  let (module L : Index.S) =
+    Lcsearch_index.Lsm.make ~memtable_cap:8
+      ~inner:(Lcsearch_index.Registry.find_exn "ptree")
+      ()
+  in
+  let t =
+    L.build
+      ~params:{ Index.default_params with block_size = 4 }
+      ~stats:(stats ()) (Index.Pts2 [||])
+  in
+  let inst = Index.Instance ((module L), t) in
+  let u = Option.get (Index.updater inst) in
   let rng = Random.State.make [| 17 |] in
   let live = ref [] in
   for round = 1 to 500 do
     let h =
-      Core.Dynamic_tree.insert t
+      u.Index.u_insert
         [| Random.State.float rng 10.; Random.State.float rng 10. |]
     in
     live := h :: !live;
     if round mod 3 = 0 then begin
       match !live with
       | h :: rest ->
-          ignore (Core.Dynamic_tree.delete t h);
+          ignore (u.Index.u_delete h);
           live := rest
       | [] -> ()
     end
   done;
-  Alcotest.(check int) "live count" (List.length !live)
-    (Core.Dynamic_tree.length t);
+  Alcotest.(check int) "live count" (List.length !live) (u.Index.u_live ());
   Alcotest.(check int) "query everything" (List.length !live)
-    (List.length (Core.Dynamic_tree.query_halfspace t ~a0:100. ~a:[| 0. |]))
+    (Index.query_count inst { Index.a0 = 100.; a = [| 0. |] })
 
 (* --- envelopes with heavy slope collisions ----------------------------- *)
 
