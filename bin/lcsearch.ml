@@ -1183,8 +1183,8 @@ let snapshots_arg =
     & info [] ~docv:"SNAPSHOT"
         ~doc:"Snapshot files written by $(b,lcsearch build), one per structure.")
 
-let serve_once host port snapshots queue batch domains deadline_ms read_timeout
-    cache_pages policy no_resident verbose =
+let serve_once host port snapshots queue batch dispatchers readers coalesce_us
+    domains deadline_ms read_timeout cache_pages policy no_resident verbose =
   let cfg =
     {
       Serve.Server.default_config with
@@ -1193,6 +1193,9 @@ let serve_once host port snapshots queue batch domains deadline_ms read_timeout
       snapshots;
       queue_capacity = queue;
       batch_max = batch;
+      dispatchers;
+      readers;
+      coalesce_us;
       domains;
       default_deadline_ms = deadline_ms;
       read_timeout_s = read_timeout;
@@ -1204,11 +1207,19 @@ let serve_once host port snapshots queue batch domains deadline_ms read_timeout
   in
   let srv = try Serve.Server.start cfg with Failure m -> die "%s" m in
   let eff = Serve.Server.effective_domains srv in
-  Printf.printf "serving on %s:%d (%s mode, %d effective domain%s):\n" host
+  let eff_disp = Serve.Server.effective_dispatchers srv in
+  let eff_readers = Serve.Server.effective_readers srv in
+  let plural n = if n > 1 then "s" else "" in
+  Printf.printf
+    "serving on %s:%d (%s mode, %d dispatcher shard%s, %d reader%s, %d \
+     effective domain%s%s):\n"
+    host
     (Serve.Server.port srv)
     (if no_resident then "file-backed" else "resident")
-    eff
-    (if eff > 1 then "s" else "");
+    eff_disp (plural eff_disp) eff_readers (plural eff_readers) eff
+    (plural eff)
+    (if coalesce_us > 0 then Printf.sprintf ", %dus coalescing" coalesce_us
+     else "");
   List.iter
     (fun (name, dim) -> Printf.printf "  %-14s d=%d\n" name dim)
     (Serve.Server.structures srv);
@@ -1226,9 +1237,11 @@ let serve_once host port snapshots queue batch domains deadline_ms read_timeout
   let s = Serve.Server.stats srv in
   Printf.printf
     "served %d of %d accepted; shed %d queue-full, %d deadline, %d draining; \
-     %d errors\n"
+     %d errors\n\
+     %d batches; %d coalesced requests; max batch %d\n"
     s.Serve.Server.served s.Serve.Server.accepted s.Serve.Server.shed_full
     s.Serve.Server.shed_deadline s.Serve.Server.shed_drain s.Serve.Server.errors
+    s.Serve.Server.batches s.Serve.Server.coalesced s.Serve.Server.max_batch
 
 let serve_cmd =
   let port =
@@ -1241,6 +1254,33 @@ let serve_cmd =
   in
   let batch =
     Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Dispatcher batch size.")
+  in
+  let dispatchers =
+    Arg.(
+      value & opt int 1
+      & info [ "dispatchers" ]
+          ~doc:
+            "Dispatcher shards, each draining its own admission ring \
+             (structures are hashed onto shards by name).  Clamped to 1 \
+             with $(b,--no-resident) or on OCaml < 5.0 builds.")
+  in
+  let readers =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ]
+          ~doc:
+            "Reader event-loop threads multiplexing the accepted \
+             connections (no thread-per-connection).")
+  in
+  let coalesce =
+    Arg.(
+      value & opt int 0
+      & info [ "coalesce-us" ]
+          ~doc:
+            "Cross-request coalescing window in microseconds: after popping \
+             a batch, a dispatcher lingers up to this long — never past the \
+             earliest queued deadline — to gather more same-ring requests \
+             into one batched engine call.  0 disables lingering.")
   in
   let deadline =
     Arg.(
@@ -1279,11 +1319,11 @@ let serve_cmd =
        ~doc:"Serve snapshots over TCP with admission control")
     Term.(
       const serve_once $ host_arg $ port $ snapshots_arg $ queue $ batch
-      $ domains_arg $ deadline $ read_timeout $ cache_pages $ policy
-      $ no_resident $ verbose)
+      $ dispatchers $ readers $ coalesce $ domains_arg $ deadline
+      $ read_timeout $ cache_pages $ policy $ no_resident $ verbose)
 
 let loadgen_once host port snapshots mode_name concurrency qps duration warmup
-    mix_name zipf_s pool fraction want_ids deadline_ms check seed
+    mix_name zipf_s pool fraction want_ids deadline_ms check seed writers
     server_domains out verbose =
   let mode =
     match mode_name with
@@ -1312,6 +1352,7 @@ let loadgen_once host port snapshots mode_name concurrency qps duration warmup
       deadline_ms;
       check;
       seed;
+      writers;
       server_domains;
       verbose;
     }
@@ -1392,6 +1433,15 @@ let loadgen_cmd =
              single-query engine; exit nonzero on any mismatch.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let writers =
+    Arg.(
+      value & opt int 1
+      & info [ "writers" ]
+          ~doc:
+            "Open-loop writer connections; each paces its share of --qps.  \
+             One writer tops out around tens of kQPS — raise this to reach \
+             higher arrival rates.  Ignored in closed-loop mode.")
+  in
   let server_domains =
     Arg.(
       value & opt int 0
@@ -1413,7 +1463,7 @@ let loadgen_cmd =
     Term.(
       const loadgen_once $ host_arg $ port $ snapshots_arg $ mode $ concurrency
       $ qps $ duration $ warmup $ mix $ zipf_s $ pool $ fraction $ want_ids
-      $ deadline $ check $ seed $ server_domains $ out $ verbose)
+      $ deadline $ check $ seed $ writers $ server_domains $ out $ verbose)
 
 let info_text () =
   print_string

@@ -54,3 +54,14 @@ val shutdown : unit -> unit
 (** Join every pooled worker domain.  Idempotent; registered
     [at_exit].  A later {!run} simply respawns the pool, so this is
     safe to call between batches (tests do, to pin pool reuse). *)
+
+val try_acquire : unit -> bool
+(** Claim the pool lease.  The pool has a single job slot, so {!run}
+    with [domains > 1] must only ever have one caller at a time; a
+    concurrent caller (a serve dispatcher) that fails to win the
+    lease must run its batch with [~domains:1] instead — same
+    answers, same per-query costs, just no fan-out.  Non-blocking;
+    returns [false] when another holder has it. *)
+
+val release : unit -> unit
+(** Give the lease back.  Only the holder may call this. *)

@@ -1,9 +1,11 @@
-(* Bounded ring + mutex + self-pipe.  Pushers are the reader threads
-   (many), the popper is the dispatcher (one).  The pipe carries no
-   data — any byte means "state changed, re-check the ring" — so byte
-   accounting can be sloppy: the popper drains it opportunistically
-   and re-checks under the lock, which makes lost or extra wakeups
-   harmless. *)
+(* Bounded ring + mutex + self-pipe.  Pushers are the reactor threads
+   (many); the popper is normally one dispatcher shard per ring,
+   though concurrent poppers are safe too (each pop takes a contiguous
+   FIFO run under the lock).  The pipe carries no data — any byte
+   means "state changed, re-check the ring" — so byte accounting can
+   be sloppy: poppers drain it opportunistically and re-check under
+   the lock, which makes lost or extra wakeups harmless even with
+   several waiters parked in select at once. *)
 
 type 'a t = {
   capacity : int;

@@ -1,5 +1,5 @@
-(** The admission queue: a bounded MPSC ring between the per-connection
-    reader threads and the single dispatcher.
+(** The admission queue: a bounded MPSC ring between the reactor
+    threads and a dispatcher shard (one ring per shard).
 
     Boundedness {e is} the admission control — a [push] against a full
     ring returns {!constructor:Full} immediately (the reader turns that
@@ -28,9 +28,14 @@ type 'a pop_result =
   | Drained  (** closed and empty: no item will ever arrive again *)
 
 val pop_batch : 'a t -> max:int -> timeout:float -> 'a pop_result
-(** Single-consumer: up to [max] items, waiting up to [timeout]
-    seconds for the first.  After {!close}, keeps returning the
-    backlog until the ring is empty — drain, then [Drained]. *)
+(** Up to [max] items, waiting up to [timeout] seconds for the first.
+    Safe under concurrent consumers: every pop takes a contiguous FIFO
+    run under the lock, so each item is delivered exactly once and any
+    single consumer sees items in enqueue order (the server runs one
+    consumer per ring anyway — concurrency here is a safety property,
+    pinned by test_serve, not a throughput feature).  After {!close},
+    keeps returning the backlog until the ring is empty — drain, then
+    [Drained]. *)
 
 val length : 'a t -> int
 

@@ -33,6 +33,27 @@ let encode msg =
 
 let frame_length buf = Int32.to_int (Bytes.get_int32_le buf 0) land 0xffffffff
 
+(* Incremental entry for the reactor's per-connection accumulators: a
+   frame may straddle any number of reads, so parse the prefix we have
+   and either hand back a complete message plus the bytes it consumed
+   or say how many bytes would be needed before trying again. *)
+type parsed =
+  | Parsed of Protocol.msg * int  (** consumed bytes, prefix of the buffer *)
+  | Need of int  (** total buffered bytes required before re-parsing *)
+  | Broken of read_error  (** unrecoverable: the stream cannot resync *)
+
+let parse ?(max_frame = default_max_frame) buf len =
+  if len < 4 then Need 4
+  else begin
+    let length = frame_length buf in
+    if length > max_frame then Broken (Oversized { length; max = max_frame })
+    else if len < 4 + length then Need (4 + length)
+    else
+      match Emio.Codec.decode Protocol.codec (Bytes.sub buf 4 length) with
+      | msg -> Parsed (msg, 4 + length)
+      | exception Emio.Codec.Decode m -> Broken (Malformed m)
+  end
+
 let decode ?(max_frame = default_max_frame) buf =
   let got = Bytes.length buf in
   if got < 4 then Error (Truncated { expected = 4; got })
@@ -89,6 +110,24 @@ let read ?(max_frame = default_max_frame) fd =
             match Emio.Codec.decode Protocol.codec payload with
             | msg -> Ok msg
             | exception Emio.Codec.Decode m -> Error (Malformed m)))
+
+(* One non-blocking write attempt for the reactor's outbox flusher.
+   EINTR maps to [`Wrote 0] (the caller's select loop retries), a full
+   socket buffer to [`Blocked] (watch for writability), and a gone
+   peer to [`Closed]. *)
+let write_some fd buf pos len =
+  match Unix.write fd buf pos len with
+  | n -> `Wrote n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Wrote 0
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Blocked
+  | exception
+      Unix.Unix_error
+        ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN
+          | Unix.ESHUTDOWN ),
+          _,
+          _ ) ->
+      `Closed
 
 let write fd msg =
   let buf = encode msg in

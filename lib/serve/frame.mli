@@ -34,6 +34,21 @@ val decode : ?max_frame:int -> bytes -> (Protocol.msg, read_error) result
 (** Decode a buffer holding exactly one frame; extra trailing bytes are
     [Malformed], a short buffer is [Truncated]. *)
 
+type parsed =
+  | Parsed of Protocol.msg * int
+      (** one complete frame occupying the first [n] buffered bytes *)
+  | Need of int
+      (** incomplete: re-parse once at least [n] bytes are buffered *)
+  | Broken of read_error
+      (** oversized length or codec garbage — a torn length-prefixed
+          stream cannot resync, so the connection must hang up *)
+
+val parse : ?max_frame:int -> bytes -> int -> parsed
+(** [parse buf len] examines the first [len] bytes of a read
+    accumulator.  Incremental: a frame may arrive over any number of
+    socket reads, and the length is validated against the cap as soon
+    as the 4-byte prefix is in, before any payload accumulates. *)
+
 (** {2 File-descriptor paths} *)
 
 val read : ?max_frame:int -> Unix.file_descr -> (Protocol.msg, read_error) result
@@ -43,3 +58,10 @@ val write : Unix.file_descr -> Protocol.msg -> (unit, write_error) result
 (** Blocking write of one frame (honors [SO_SNDTIMEO] if set); EPIPE
     and connection resets map to [`Closed] — callers must have SIGPIPE
     ignored, which {!Server.start} and {!Loadgen.run} do. *)
+
+val write_some :
+  Unix.file_descr -> bytes -> int -> int -> [ `Wrote of int | `Blocked | `Closed ]
+(** One write attempt for non-blocking outbox flushing: partial writes
+    return the byte count ([`Wrote 0] on EINTR), a full socket buffer
+    is [`Blocked] (park in select until writable), and EPIPE or a
+    reset is [`Closed]. *)

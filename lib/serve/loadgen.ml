@@ -21,6 +21,7 @@ type config = {
   deadline_ms : int;
   check : bool;
   seed : int;
+  writers : int;
   server_domains : int;
   verbose : bool;
 }
@@ -40,6 +41,7 @@ let default_config =
     deadline_ms = 0;
     check = false;
     seed = 42;
+    writers = 1;
     server_domains = 0;
     verbose = false;
   }
@@ -223,7 +225,9 @@ let note_response cfg agg targets ~tidx ~qidx ~lat_ns ~measured msg =
       agg.shed_deadline <- agg.shed_deadline + 1
   | Protocol.Shed { reason = Protocol.Draining; _ } ->
       agg.shed_drain <- agg.shed_drain + 1
-  | Protocol.Error _ | Protocol.Query _ -> agg.errors <- agg.errors + 1);
+  | Protocol.Error _ | Protocol.Query _ | Protocol.Stats _
+  | Protocol.Stats_query _ ->
+      agg.errors <- agg.errors + 1);
   Mutex.unlock agg.m
 
 let note_sent agg ~tidx =
@@ -305,8 +309,15 @@ let msg_id = function
   | Protocol.Result r -> r.id
   | Protocol.Shed s -> s.id
   | Protocol.Error e -> e.id
+  | Protocol.Stats_query s -> s.id
+  | Protocol.Stats s -> s.id
 
-let open_loop cfg targets agg sample ~qps ~stop_at ~warmup_until =
+(* One open-loop writer: its own connection, its own paced arrival
+   process at [qps], its own id-matched pending table.  The run spawns
+   [cfg.writers] of these so the generator itself stops being the
+   bottleneck — a single pacing thread tops out long before a
+   multi-shard server does. *)
+let open_writer cfg targets agg sample ~qps ~stop_at ~warmup_until widx =
   let fd = connect cfg in
   let nt = Array.length targets in
   let pending : (int, float * int * int) Hashtbl.t = Hashtbl.create 4096 in
@@ -347,7 +358,7 @@ let open_loop cfg targets agg sample ~qps ~stop_at ~warmup_until =
         go ())
       ()
   in
-  let rng = Workload.rng cfg.seed in
+  let rng = Workload.rng (cfg.seed + (104729 * (widx + 1))) in
   let interval = 1. /. Float.max 1e-6 qps in
   let start = Unix.gettimeofday () in
   let seq = ref 0 in
@@ -390,6 +401,38 @@ let open_loop cfg targets agg sample ~qps ~stop_at ~warmup_until =
   Thread.join reader;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+let open_loop cfg targets agg sample ~qps ~stop_at ~warmup_until =
+  let writers = max 1 cfg.writers in
+  let per_writer = qps /. float_of_int writers in
+  let threads =
+    List.init writers (fun widx ->
+        Thread.create
+          (fun () ->
+            open_writer cfg targets agg sample ~qps:per_writer ~stop_at
+              ~warmup_until widx)
+          ())
+  in
+  List.iter Thread.join threads
+
+(* ---------- server-side counters (Stats_query) ---------- *)
+
+(* Fetched on a fresh connection after the run, so BENCH_SERVE.json
+   carries the server's own dispatcher/coalescing story, not a copy of
+   whatever flags the operator believed they passed.  None when the
+   server predates the stats verb or is already gone. *)
+let fetch_server_stats cfg =
+  match connect cfg with
+  | exception Failure _ -> None
+  | fd ->
+      let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+      Fun.protect ~finally:close (fun () ->
+          match Frame.write fd (Protocol.Stats_query { id = 0 }) with
+          | Error _ -> None
+          | Ok () -> (
+              match Frame.read fd with
+              | Ok (Protocol.Stats { stats; _ }) -> Some stats
+              | Ok _ | Error _ -> None))
+
 (* ---------- the run ---------- *)
 
 type structure_summary = {
@@ -420,6 +463,8 @@ type summary = {
   checked : bool;
   throughput_rps : float;
   server_domains : int;
+  writers : int;
+  server : Protocol.server_stats option;
   per_structure : structure_summary list;
 }
 
@@ -483,9 +528,11 @@ let run cfg =
       List.iter Thread.join workers
   | Open qps -> open_loop cfg targets agg sample ~qps ~stop_at ~warmup_until);
   let measured_s = Float.max 1e-9 (Unix.gettimeofday () -. warmup_until) in
+  let server = fetch_server_stats cfg in
   {
     mode_name = (match cfg.mode with Closed _ -> "closed" | Open _ -> "open");
-    concurrency = (match cfg.mode with Closed c -> max 1 c | Open _ -> 1);
+    concurrency =
+      (match cfg.mode with Closed c -> max 1 c | Open _ -> max 1 cfg.writers);
     target_qps = (match cfg.mode with Closed _ -> 0. | Open q -> q);
     mix_name = mix_name cfg.mix;
     measured_s;
@@ -498,7 +545,12 @@ let run cfg =
     mismatches = agg.mismatches;
     checked = cfg.check;
     throughput_rps = float_of_int agg.ok_measured /. measured_s;
-    server_domains = cfg.server_domains;
+    server_domains =
+      (match server with
+      | Some s -> s.Protocol.domains
+      | None -> cfg.server_domains);
+    writers = max 1 cfg.writers;
+    server;
     per_structure =
       List.init (Array.length targets) (structure_summary agg targets);
   }
@@ -531,7 +583,19 @@ let json_of_summary s =
       Printf.sprintf "  \"check\": {\"enabled\": %b, \"mismatches\": %d},\n"
         s.checked s.mismatches;
       Printf.sprintf "  \"throughput_rps\": %.1f,\n" s.throughput_rps;
-      Printf.sprintf "  \"meta\": {\"server_domains\": %d},\n" s.server_domains;
+      (match s.server with
+      | Some sv ->
+          Printf.sprintf
+            "  \"meta\": {\"server_domains\": %d, \"server_dispatchers\": %d, \
+             \"server_readers\": %d, \"writers\": %d, \"server_batches\": %d, \
+             \"server_coalesced\": %d, \"server_max_batch\": %d},\n"
+            sv.Protocol.domains sv.Protocol.dispatchers sv.Protocol.readers
+            s.writers sv.Protocol.batches sv.Protocol.coalesced
+            sv.Protocol.max_batch
+      | None ->
+          Printf.sprintf
+            "  \"meta\": {\"server_domains\": %d, \"writers\": %d},\n"
+            s.server_domains s.writers);
       "  \"structures\": [\n    ";
       String.concat ",\n    " (List.map structure s.per_structure);
       "\n  ]\n}\n";
@@ -551,6 +615,19 @@ let pp_summary ppf s =
     s.shed_deadline s.shed_drain s.errors
     (if s.checked then Printf.sprintf "; %d oracle mismatches" s.mismatches
      else "");
+  (match s.server with
+  | Some sv ->
+      Format.fprintf ppf
+        "server: %d dispatcher%s, %d reader%s, %d domain%s; %d batches (%d \
+         coalesced requests, max batch %d)@\n"
+        sv.Protocol.dispatchers
+        (if sv.Protocol.dispatchers = 1 then "" else "s")
+        sv.Protocol.readers
+        (if sv.Protocol.readers = 1 then "" else "s")
+        sv.Protocol.domains
+        (if sv.Protocol.domains = 1 then "" else "s")
+        sv.Protocol.batches sv.Protocol.coalesced sv.Protocol.max_batch
+  | None -> ());
   List.iter
     (fun st ->
       Format.fprintf ppf

@@ -8,11 +8,19 @@
     - {b closed loop} ([Closed c]): [c] worker threads, one connection
       and one outstanding request each — throughput is latency-bound,
       the classic "think-time zero" closed system;
-    - {b open loop} ([Open qps]): one connection, a writer pacing
-      requests at a fixed arrival rate regardless of completions and a
-      reader matching responses by id — the shape that actually
-      exposes queueing collapse, where a closed loop would politely
-      slow down with the server.
+    - {b open loop} ([Open qps]): [writers] connections, each with a
+      writer pacing its share of the target arrival rate regardless of
+      completions and a reader matching responses by id — the shape
+      that actually exposes queueing collapse, where a closed loop
+      would politely slow down with the server.  One pacing thread
+      tops out around tens of kQPS; multi-writer open loop is what
+      reaches the 10⁵ range against a sharded server.
+
+    After the run the generator asks the server for its own counters
+    ({!Protocol.Stats_query}) and stamps the effective dispatcher,
+    reader, and domain counts plus batch/coalescing totals into the
+    summary meta — BENCH_SERVE.json records what the server actually
+    ran, not what the operator passed on the command line.
 
     Requests pick a (structure, query) item uniformly or Zipfian
     ([Zipf s], popularity by item rank).  Client-observed latencies go
@@ -46,10 +54,10 @@ type config = {
   deadline_ms : int;  (** 0 = server default *)
   check : bool;
   seed : int;
+  writers : int;  (** open-loop writer connections (ignored closed-loop) *)
   server_domains : int;
-      (** the server's {e effective} domain count, as reported by its
-          startup banner (the server clamps to 1 without resident
-          payloads); recorded in the summary meta.  0 = unknown. *)
+      (** fallback for the summary meta when the server cannot answer
+          a {!Protocol.Stats_query} (it normally can).  0 = unknown. *)
   verbose : bool;
 }
 
@@ -69,7 +77,7 @@ type structure_summary = {
 
 type summary = {
   mode_name : string;
-  concurrency : int;  (** closed-loop workers; 1 for open loop *)
+  concurrency : int;  (** closed-loop workers; open-loop writers *)
   target_qps : float;  (** 0 for closed loop *)
   mix_name : string;
   measured_s : float;  (** post-warmup window *)
@@ -82,7 +90,12 @@ type summary = {
   mismatches : int;  (** oracle disagreements; 0 unless [check] *)
   checked : bool;
   throughput_rps : float;  (** ok responses per measured second *)
-  server_domains : int;  (** from [config.server_domains]; 0 = unknown *)
+  server_domains : int;
+      (** server-reported when the stats fetch succeeded, else
+          [config.server_domains]; 0 = unknown *)
+  writers : int;
+  server : Protocol.server_stats option;
+      (** the server's own counters, fetched after the run *)
   per_structure : structure_summary list;
 }
 

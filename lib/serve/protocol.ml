@@ -19,6 +19,21 @@ type request = {
 type shed_reason = Queue_full | Deadline_exceeded | Draining
 type error_code = Unknown_structure | Bad_dimension | Bad_request
 
+type server_stats = {
+  dispatchers : int;
+  readers : int;
+  domains : int;
+  accepted : int;
+  served : int;
+  shed_full : int;
+  shed_deadline : int;
+  shed_drain : int;
+  errors : int;
+  batches : int;
+  coalesced : int;
+  max_batch : int;
+}
+
 type msg =
   | Query of request
   | Result of {
@@ -32,6 +47,8 @@ type msg =
     }
   | Shed of { id : int; reason : shed_reason }
   | Error of { id : int; code : error_code; message : string }
+  | Stats_query of { id : int }
+  | Stats of { id : int; stats : server_stats }
 
 let shed_reason_name = function
   | Queue_full -> "queue-full"
@@ -48,6 +65,8 @@ let tag_query = 0
 and tag_result = 1
 and tag_shed = 2
 and tag_error = 3
+and tag_stats_query = 4
+and tag_stats = 5
 
 let shed_tag = function Queue_full -> 0 | Deadline_exceeded -> 1 | Draining -> 2
 
@@ -97,7 +116,25 @@ let body =
           Codec.write_u8 buf tag_error;
           Codec.write_u32 buf e.id;
           Codec.write_u8 buf (code_tag e.code);
-          Codec.write Codec.string buf e.message)
+          Codec.write Codec.string buf e.message
+      | Stats_query s ->
+          Codec.write_u8 buf tag_stats_query;
+          Codec.write_u32 buf s.id
+      | Stats { id; stats = s } ->
+          Codec.write_u8 buf tag_stats;
+          Codec.write_u32 buf id;
+          Codec.write_u32 buf s.dispatchers;
+          Codec.write_u32 buf s.readers;
+          Codec.write_u32 buf s.domains;
+          Codec.write Codec.int buf s.accepted;
+          Codec.write Codec.int buf s.served;
+          Codec.write Codec.int buf s.shed_full;
+          Codec.write Codec.int buf s.shed_deadline;
+          Codec.write Codec.int buf s.shed_drain;
+          Codec.write Codec.int buf s.errors;
+          Codec.write Codec.int buf s.batches;
+          Codec.write Codec.int buf s.coalesced;
+          Codec.write Codec.int buf s.max_batch)
     ~read:(fun b pos ->
       (* field order is the wire contract: sequence reads with lets,
          never inside a record literal *)
@@ -132,6 +169,44 @@ let body =
         let message = Codec.read Codec.string b pos in
         Error { id; code; message }
       end
+      else if tag = tag_stats_query then begin
+        let id = Codec.read_u32 b pos in
+        Stats_query { id }
+      end
+      else if tag = tag_stats then begin
+        let id = Codec.read_u32 b pos in
+        let dispatchers = Codec.read_u32 b pos in
+        let readers = Codec.read_u32 b pos in
+        let domains = Codec.read_u32 b pos in
+        let accepted = Codec.read Codec.int b pos in
+        let served = Codec.read Codec.int b pos in
+        let shed_full = Codec.read Codec.int b pos in
+        let shed_deadline = Codec.read Codec.int b pos in
+        let shed_drain = Codec.read Codec.int b pos in
+        let errors = Codec.read Codec.int b pos in
+        let batches = Codec.read Codec.int b pos in
+        let coalesced = Codec.read Codec.int b pos in
+        let max_batch = Codec.read Codec.int b pos in
+        Stats
+          {
+            id;
+            stats =
+              {
+                dispatchers;
+                readers;
+                domains;
+                accepted;
+                served;
+                shed_full;
+                shed_deadline;
+                shed_drain;
+                errors;
+                batches;
+                coalesced;
+                max_batch;
+              };
+          }
+      end
       else
         raise (Codec.Decode (Printf.sprintf "protocol: bad message tag %d" tag)))
 
@@ -150,3 +225,10 @@ let pp ppf = function
   | Error e ->
       Format.fprintf ppf "Error{id=%d; %s; %s}" e.id (error_code_name e.code)
         e.message
+  | Stats_query s -> Format.fprintf ppf "Stats_query{id=%d}" s.id
+  | Stats { id; stats = s } ->
+      Format.fprintf ppf
+        "Stats{id=%d; dispatchers=%d; readers=%d; domains=%d; served=%d; \
+         batches=%d; coalesced=%d; max_batch=%d}"
+        id s.dispatchers s.readers s.domains s.served s.batches s.coalesced
+        s.max_batch

@@ -32,6 +32,22 @@ type shed_reason =
 
 type error_code = Unknown_structure | Bad_dimension | Bad_request
 
+type server_stats = {
+  dispatchers : int;  (** effective dispatcher-shard count *)
+  readers : int;  (** effective reactor-thread count *)
+  domains : int;  (** domain fan-out for count-only batches *)
+  accepted : int;
+  served : int;
+  shed_full : int;
+  shed_deadline : int;
+  shed_drain : int;
+  errors : int;
+  batches : int;  (** dispatcher batches executed *)
+  coalesced : int;
+      (** requests that rode in a multi-request coalesced batch *)
+  max_batch : int;  (** largest batch any dispatcher executed *)
+}
+
 type msg =
   | Query of request
   | Result of {
@@ -47,6 +63,11 @@ type msg =
     }
   | Shed of { id : int; reason : shed_reason }
   | Error of { id : int; code : error_code; message : string }
+  | Stats_query of { id : int }
+      (** introspection: answered inline by the reader, never queued —
+          loadgen uses it to stamp server-side counters into
+          BENCH_SERVE.json meta *)
+  | Stats of { id : int; stats : server_stats }
 
 val codec : msg Emio.Codec.t
 (** Raises {!Emio.Codec.Decode} on malformed input, like every codec. *)

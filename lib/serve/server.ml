@@ -1,5 +1,6 @@
 module Index = Lcsearch_index.Index
 module Query_engine = Lcsearch_index.Query_engine
+module Par = Lcsearch_index.Par
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
@@ -9,6 +10,9 @@ type config = {
   snapshots : string list;
   queue_capacity : int;
   batch_max : int;
+  dispatchers : int;
+  readers : int;
+  coalesce_us : int;
   domains : int;
   default_deadline_ms : int;
   read_timeout_s : float;
@@ -28,6 +32,9 @@ let default_config =
     snapshots = [];
     queue_capacity = 1024;
     batch_max = 64;
+    dispatchers = 1;
+    readers = 2;
+    coalesce_us = 0;
     domains = 1;
     default_deadline_ms = 200;
     read_timeout_s = 30.;
@@ -47,9 +54,17 @@ type stats = {
   shed_deadline : int;
   shed_drain : int;
   errors : int;
+  batches : int;
+  coalesced : int;
+  max_batch : int;
 }
 
-type entry = { dim : int; reports_ids : bool; inst : Index.instance }
+type entry = {
+  dim : int;
+  reports_ids : bool;
+  inst : Index.instance;
+  ring : int; (* which dispatcher shard owns this structure *)
+}
 
 type job = {
   conn : Conn.t;
@@ -61,23 +76,27 @@ type job = {
 type t = {
   cfg : config;
   domains : int;
+  dispatchers : int;
+  readers : int;
   listen_fd : Unix.file_descr;
   port : int;
   entries : (string * entry) list;
-  queue : job Admission.t;
-  lock : Mutex.t; (* stats, conns, threads, draining, stopped *)
+  rings : job Admission.t array; (* one bounded ring per dispatcher *)
+  lock : Mutex.t; (* stats, draining, stopped *)
   mutable accepted : int;
   mutable served : int;
   mutable shed_full : int;
   mutable shed_deadline : int;
   mutable shed_drain : int;
   mutable errors : int;
+  d_batches : int array; (* per dispatcher, under lock *)
+  d_coalesced : int array;
+  d_max_batch : int array;
   mutable draining : bool;
   mutable stopped : bool;
-  mutable conns : Conn.t list;
-  mutable readers : Thread.t list;
+  mutable reactors : Reactor.t array;
   mutable acceptor : Thread.t option;
-  mutable dispatcher : Thread.t option;
+  mutable workers : Worker.t array; (* the dispatcher shards *)
 }
 
 let locked t f =
@@ -90,7 +109,7 @@ let log t fmt =
   if t.cfg.verbose then Printf.eprintf ("serve: " ^^ fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
-(* ---------- request handling (reader threads) ---------- *)
+(* ---------- request handling (reactor threads) ---------- *)
 
 let shed t conn ~id reason =
   locked t (fun () ->
@@ -103,6 +122,39 @@ let shed t conn ~id reason =
 let reject t conn ~id code message =
   locked t (fun () -> t.errors <- t.errors + 1);
   ignore (Conn.send conn (Protocol.Error { id; code; message }))
+
+let stats t =
+  locked t (fun () ->
+      let sum a = Array.fold_left ( + ) 0 a in
+      let maxi a = Array.fold_left max 0 a in
+      {
+        accepted = t.accepted;
+        served = t.served;
+        shed_full = t.shed_full;
+        shed_deadline = t.shed_deadline;
+        shed_drain = t.shed_drain;
+        errors = t.errors;
+        batches = sum t.d_batches;
+        coalesced = sum t.d_coalesced;
+        max_batch = maxi t.d_max_batch;
+      })
+
+let server_stats t : Protocol.server_stats =
+  let s = stats t in
+  {
+    dispatchers = t.dispatchers;
+    readers = t.readers;
+    domains = t.domains;
+    accepted = s.accepted;
+    served = s.served;
+    shed_full = s.shed_full;
+    shed_deadline = s.shed_deadline;
+    shed_drain = s.shed_drain;
+    errors = s.errors;
+    batches = s.batches;
+    coalesced = s.coalesced;
+    max_batch = s.max_batch;
+  }
 
 let handle_query t conn (q : Protocol.request) =
   match List.assoc_opt q.structure t.entries with
@@ -131,35 +183,29 @@ let handle_query t conn (q : Protocol.request) =
         in
         if locked t (fun () -> t.draining) then shed t conn ~id:q.id Draining
         else
-          match Admission.push t.queue job with
-          | Admission.Accepted -> locked t (fun () -> t.accepted <- t.accepted + 1)
+          match Admission.push t.rings.(entry.ring) job with
+          | Admission.Accepted ->
+              locked t (fun () -> t.accepted <- t.accepted + 1)
           | Admission.Full -> shed t conn ~id:q.id Queue_full
           | Admission.Closed -> shed t conn ~id:q.id Draining
       end
 
-let reader_loop t conn =
-  let rec go () =
-    match Frame.read ~max_frame:t.cfg.max_frame (Conn.fd conn) with
-    | Ok (Protocol.Query q) ->
-        handle_query t conn q;
-        go ()
-    | Ok _ ->
-        reject t conn ~id:0 Protocol.Bad_request "clients send Query frames";
-        go ()
-    | Error Frame.Closed -> ()
-    | Error Frame.Timeout ->
-        log t "closing %s: idle for %.0fs" (Conn.peer conn) t.cfg.read_timeout_s
-    | Error (Frame.Truncated _) -> ()
-    | Error ((Frame.Oversized _ | Frame.Malformed _) as e) ->
-        (* a torn length-prefixed stream cannot be resynced: explain, hang up *)
-        reject t conn ~id:0 Protocol.Bad_request (Frame.read_error_to_string e)
-  in
-  go ();
-  Conn.close conn;
-  Conn.close_fd conn;
-  locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
+let on_msg t conn (msg : Protocol.msg) =
+  match msg with
+  | Protocol.Query q -> handle_query t conn q
+  | Protocol.Stats_query { id } ->
+      ignore (Conn.send conn (Protocol.Stats { id; stats = server_stats t }))
+  | Protocol.Result _ | Protocol.Shed _ | Protocol.Error _ | Protocol.Stats _
+    ->
+      reject t conn ~id:0 Protocol.Bad_request
+        "clients send Query or Stats_query frames"
 
-(* ---------- dispatch (the single query-execution thread) ---------- *)
+let on_broken t conn err =
+  (* a torn length-prefixed stream cannot be resynced: explain, hang up *)
+  reject t conn ~id:0 Protocol.Bad_request (Frame.read_error_to_string err);
+  Conn.request_close conn
+
+(* ---------- dispatch (one shard per ring) ---------- *)
 
 let respond t job (c : Query_engine.cost) ids =
   locked t (fun () -> t.served <- t.served + 1);
@@ -178,6 +224,20 @@ let respond t job (c : Query_engine.cost) ids =
 
 let query_of (j : job) = { Index.a0 = j.req.a0; a = j.req.a }
 
+(* Fan a count-only batch over the domain pool when this shard wins
+   the pool lease; otherwise run it inline.  Either way the costs are
+   bit-identical (the parallel-equivalence suites pin that), so
+   losing the lease is a throughput event, never a correctness one.
+   run_batch_sorted shares one traversal per group of identical query
+   planes on the structures that support it (h3/tradeoff/cert) and
+   falls back to the plain batch path everywhere else. *)
+let run_counts t entry qs =
+  if t.domains > 1 && Par.try_acquire () then
+    Fun.protect
+      ~finally:(fun () -> Par.release ())
+      (fun () -> Query_engine.run_batch_sorted ~domains:t.domains entry.inst qs)
+  else Query_engine.run_batch_sorted entry.inst qs
+
 let execute_group t entry jobs =
   let with_ids, count_only =
     List.partition (fun j -> j.req.want_ids && entry.reports_ids) jobs
@@ -187,9 +247,7 @@ let execute_group t entry jobs =
   | _ ->
       let arr = Array.of_list count_only in
       let qs = Array.map query_of arr in
-      let costs =
-        Query_engine.run_batch_array ~domains:t.domains entry.inst qs
-      in
+      let costs = run_counts t entry qs in
       Array.iteri (fun i j -> respond t j costs.(i) [||]) arr);
   List.iter
     (fun j ->
@@ -199,13 +257,20 @@ let execute_group t entry jobs =
       respond t j c (Emio.Reporter.to_array r))
     with_ids
 
-let execute_batch t jobs =
-  if t.cfg.dispatch_delay_s > 0. then Thread.delay t.cfg.dispatch_delay_s;
+let execute_batch t d jobs =
+  (* Unix.sleepf, not Thread.delay: dispatcher shards are domains on
+     OCaml 5 and need no thread machinery for the test-hook sleep *)
+  if t.cfg.dispatch_delay_s > 0. then Unix.sleepf t.cfg.dispatch_delay_s;
   let now = now_ns () in
   let live, expired = List.partition (fun j -> j.deadline_ns >= now) jobs in
   List.iter
     (fun j -> shed t j.conn ~id:j.req.id Protocol.Deadline_exceeded)
     expired;
+  let n_live = List.length live in
+  locked t (fun () ->
+      t.d_batches.(d) <- t.d_batches.(d) + 1;
+      if n_live > 1 then t.d_coalesced.(d) <- t.d_coalesced.(d) + n_live;
+      if n_live > t.d_max_batch.(d) then t.d_max_batch.(d) <- n_live);
   (* group by structure, preserving arrival order within a group *)
   let groups = ref [] in
   List.iter
@@ -230,28 +295,60 @@ let execute_batch t jobs =
           jobs)
     (List.rev !groups)
 
-let dispatcher_loop t =
+(* After the first pop, optionally linger for more arrivals on the
+   same ring so cross-request batches form — bounded by the coalescing
+   window *and* the earliest queued deadline, so a request is never
+   held past a budget it could still meet.  With [coalesce_us = 0]
+   (the default) a batch is exactly whatever one pop returned, the
+   pre-coalescing behaviour. *)
+let coalesce t ring first =
+  let bmax = t.cfg.batch_max in
+  let n0 = List.length first in
+  if t.cfg.coalesce_us <= 0 || n0 >= bmax then first
+  else begin
+    let window_end = now_ns () + (t.cfg.coalesce_us * 1000) in
+    let rec fill acc n =
+      if n >= bmax then acc
+      else begin
+        let earliest =
+          List.fold_left (fun m j -> min m j.deadline_ns) max_int acc
+        in
+        let wait_s =
+          float_of_int (min window_end earliest - now_ns ()) /. 1e9
+        in
+        if wait_s <= 0. then acc
+        else
+          match Admission.pop_batch ring ~max:(bmax - n) ~timeout:wait_s with
+          | Admission.Items more -> fill (acc @ more) (n + List.length more)
+          | Admission.Timeout | Admission.Drained -> acc
+      end
+    in
+    fill first n0
+  end
+
+let dispatcher_loop t d =
+  let ring = t.rings.(d) in
   let rec go () =
-    match Admission.pop_batch t.queue ~max:t.cfg.batch_max ~timeout:0.1 with
+    match Admission.pop_batch ring ~max:t.cfg.batch_max ~timeout:0.1 with
     | Admission.Drained -> ()
     | Admission.Timeout -> go ()
     | Admission.Items jobs ->
-        execute_batch t jobs;
+        execute_batch t d (coalesce t ring jobs);
         go ()
   in
   go ()
 
 (* ---------- accept ---------- *)
 
-let configure_client_fd t fd =
+let configure_client_fd fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout_s;
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout_s
+  Unix.set_nonblock fd
 
 (* Park in select with a short timeout rather than in accept, so drain
    is noticed promptly even on platforms where closing a listening fd
    does not reliably unblock a parked accept. *)
 let acceptor_loop t =
+  let next = ref 0 in
   let rec go () =
     if locked t (fun () -> t.draining) then ()
     else begin
@@ -265,28 +362,20 @@ let acceptor_loop t =
       if ready then begin
         match Unix.accept t.listen_fd with
         | fd, _ ->
-            configure_client_fd t fd;
-            let conn = Conn.create fd in
-            let admit =
-              locked t (fun () ->
-                  if t.draining then false
-                  else begin
-                    t.conns <- conn :: t.conns;
-                    true
-                  end)
-            in
-            if admit then begin
-              log t "accepted %s" (Conn.peer conn);
-              let th = Thread.create (reader_loop t) conn in
-              locked t (fun () -> t.readers <- th :: t.readers)
-            end
+            if locked t (fun () -> t.draining) then (
+              try Unix.close fd with Unix.Unix_error _ -> ())
             else begin
-              Conn.close conn;
-              Conn.close_fd conn
+              configure_client_fd fd;
+              let conn = Conn.create fd in
+              log t "accepted %s" (Conn.peer conn);
+              (* round-robin across the reactor pool *)
+              let r = t.reactors.(!next mod Array.length t.reactors) in
+              incr next;
+              Reactor.add r conn
             end
         | exception
-            Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN), _, _)
-          ->
+            Unix.Unix_error
+              ((Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN), _, _) ->
             ()
         | exception Unix.Unix_error (Unix.EBADF, _, _) ->
             () (* listen fd closed under us: stop below *)
@@ -298,7 +387,7 @@ let acceptor_loop t =
 
 (* ---------- lifecycle ---------- *)
 
-let load_entries cfg =
+let load_entries cfg ~dispatchers =
   if cfg.resident then Diskstore.File_backend.set_resident_on_reopen true;
   let entries =
     Fun.protect
@@ -316,6 +405,10 @@ let load_entries cfg =
                     dim = l.Meta.dim;
                     reports_ids = l.Meta.reports_ids;
                     inst = l.Meta.inst;
+                    (* deterministic structure-name hash, so a
+                       structure's requests always land on one shard
+                       and stay FIFO relative to each other *)
+                    ring = Hashtbl.hash l.Meta.name mod dispatchers;
                   } ))
           cfg.snapshots)
   in
@@ -324,8 +417,8 @@ let load_entries cfg =
     | (name, _) :: rest ->
         if List.mem_assoc name rest then
           failwith
-            (Printf.sprintf "two snapshots serve structure %S: names must be unique"
-               name);
+            (Printf.sprintf
+               "two snapshots serve structure %S: names must be unique" name);
         dup_check rest
   in
   dup_check entries;
@@ -333,17 +426,40 @@ let load_entries cfg =
   entries
 
 let start cfg =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  (* Not a silent clamp: without resident payloads the shared buffer
-     pool forces sequential dispatch, and the user who asked for
-     fan-out should hear about it once, at startup. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* None of these are silent clamps: the user who asked for fan-out
+     should hear at startup why they are not getting it. *)
   if (not cfg.resident) && cfg.domains > 1 then
     Printf.eprintf
       "serve: --no-resident forces sequential dispatch; requested %d \
        domains, using 1\n\
        %!"
       cfg.domains;
-  let entries = load_entries cfg in
+  let requested_dispatchers = max 1 cfg.dispatchers in
+  let dispatchers =
+    if not cfg.resident then begin
+      if requested_dispatchers > 1 then
+        Printf.eprintf
+          "serve: --no-resident forces a single dispatcher; requested %d, \
+           using 1\n\
+           %!"
+          requested_dispatchers;
+      1
+    end
+    else if not Worker.parallel then begin
+      if requested_dispatchers > 1 then
+        Printf.eprintf
+          "serve: this build has no domains (OCaml < 5.0); requested %d \
+           dispatchers, using 1\n\
+           %!"
+          requested_dispatchers;
+      1
+    end
+    else requested_dispatchers
+  in
+  let readers = max 1 cfg.readers in
+  let entries = load_entries cfg ~dispatchers in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
     try
@@ -361,10 +477,12 @@ let start cfg =
         (* domain fan-out over a shared buffer pool is unsafe; without
            resident payloads the server serves sequentially *)
         domains = (if cfg.resident then max 1 cfg.domains else 1);
+        dispatchers;
+        readers;
         listen_fd;
         port;
         entries;
-        queue = Admission.create cfg.queue_capacity;
+        rings = Array.init dispatchers (fun _ -> Admission.create cfg.queue_capacity);
         lock = Mutex.create ();
         accepted = 0;
         served = 0;
@@ -372,35 +490,37 @@ let start cfg =
         shed_deadline = 0;
         shed_drain = 0;
         errors = 0;
+        d_batches = Array.make dispatchers 0;
+        d_coalesced = Array.make dispatchers 0;
+        d_max_batch = Array.make dispatchers 0;
         draining = false;
         stopped = false;
-        conns = [];
-        readers = [];
+        reactors = [||];
         acceptor = None;
-        dispatcher = None;
+        workers = [||];
       }
     with exn ->
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       raise exn
   in
-  t.dispatcher <- Some (Thread.create dispatcher_loop t);
+  t.reactors <-
+    Array.init readers (fun _ ->
+        Reactor.start ~max_frame:cfg.max_frame
+          ~idle_timeout_s:cfg.read_timeout_s
+          ~drain_grace_s:cfg.write_timeout_s ~on_msg:(on_msg t)
+          ~on_broken:(on_broken t)
+          ~log:(fun m -> log t "%s" m)
+          ());
+  t.workers <-
+    Array.init dispatchers (fun d -> Worker.spawn (fun () -> dispatcher_loop t d));
   t.acceptor <- Some (Thread.create acceptor_loop t);
   t
 
 let port t = t.port
 let effective_domains t = t.domains
+let effective_dispatchers t = t.dispatchers
+let effective_readers t = t.readers
 let structures t = List.map (fun (name, e) -> (name, e.dim)) t.entries
-
-let stats t =
-  locked t (fun () ->
-      {
-        accepted = t.accepted;
-        served = t.served;
-        shed_full = t.shed_full;
-        shed_deadline = t.shed_deadline;
-        shed_drain = t.shed_drain;
-        errors = t.errors;
-      })
 
 let stop t =
   let first =
@@ -413,15 +533,17 @@ let stop t =
         end)
   in
   if first then begin
-    (* 1. no new requests: readers shed Draining, pushes return Closed *)
-    Admission.close t.queue;
-    (* 2. the dispatcher finishes the queued backlog, then sees Drained *)
-    (match t.dispatcher with Some th -> Thread.join th | None -> ());
-    (* 3. tear down the edges *)
+    (* 1. no new requests: reactors shed Draining, pushes return Closed *)
+    Array.iter Admission.close t.rings;
+    (* 2. each dispatcher shard finishes its backlog, then sees
+       Drained; their responses land in the conn outboxes while the
+       reactors are still flushing *)
+    Array.iter Worker.join t.workers;
+    (* 3. tear down the edges: acceptor, then reactors (which flush
+       remaining outboxes bounded by the write grace), then the fds *)
     (match t.acceptor with Some th -> Thread.join th | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    let conns, readers = locked t (fun () -> (t.conns, t.readers)) in
-    List.iter Conn.close conns;
-    List.iter (fun th -> try Thread.join th with _ -> ()) readers;
-    Admission.dispose t.queue
+    Array.iter Reactor.stop t.reactors;
+    Array.iter Reactor.join t.reactors;
+    Array.iter Admission.dispose t.rings
   end

@@ -1,36 +1,58 @@
 (** The long-lived query server behind [lcsearch serve].
 
-    One reader thread per accepted connection decodes and validates
-    {!Protocol.Query} frames and pushes jobs through the bounded
-    {!Admission} queue; a single dispatcher thread pops batches, sheds
-    anything whose deadline passed while queued, groups the survivors
-    by structure, and executes them on the {!Lcsearch_index.Query_engine}
-    scratch paths — count-only jobs fan out over the persistent domain
-    pool, id-reporting jobs run singly through the zero-allocation
-    reporter.  Every request gets exactly one response; overload is an
-    explicit [Shed], never a hang (see DESIGN.md §3f for the admission
-    state machine).
+    Three layers scale the serve path (DESIGN.md §3j):
 
-    Queries execute {e only} on the dispatcher thread (plus the domain
-    pool it drives), which is what makes the engine's domain-local
-    scratch state safe here.  Concurrent fan-out over a reopened
-    snapshot additionally requires resident payloads
+    - A small fixed pool of {!Reactor} event-loop threads multiplexes
+      every accepted connection over non-blocking sockets — no
+      thread-per-connection.  Reactors decode and validate
+      {!Protocol.Query} frames and push jobs onto the admission rings;
+      response frames written by dispatchers flush opportunistically,
+      with partial-write residue resumed on writability.
+    - K dispatcher shards (domains on OCaml 5, see {!Worker}) each
+      drain their own bounded {!Admission} ring.  Structures are
+      hashed onto rings by name, so one structure's requests stay FIFO
+      on one shard and query initiation no longer serializes behind a
+      single dispatcher.
+    - Cross-request coalescing: after popping, a shard may linger up
+      to the coalescing window — never past the earliest queued
+      deadline — to gather same-ring arrivals into one
+      [run_batch_sorted] call, reaching the plane-sorted amortization
+      across clients.  Per-request costs stay bit-identical to the
+      sequential [run_one] oracle (served snapshots are cache-free and
+      resident, so batch order cannot leak into the charges).
+
+    Every request gets exactly one response; overload is an explicit
+    [Shed], never a hang (see DESIGN.md §3f for the admission state
+    machine).
+
+    Queries execute {e only} on the dispatcher shards (plus the domain
+    pool the lease holder drives), which is what makes the engine's
+    domain-local scratch state safe.  Concurrent fan-out over a
+    reopened snapshot additionally requires resident payloads
     ({!Diskstore.File_backend.preload}); with [resident = false] the
-    server forces [domains = 1]. *)
+    server forces [domains = 1] {e and} a single dispatcher. *)
 
 type config = {
   host : string;
   port : int;  (** 0 = ephemeral; read the bound port with {!port} *)
   snapshots : string list;  (** snapshot files to serve, one structure each *)
-  queue_capacity : int;
+  queue_capacity : int;  (** per-dispatcher admission ring capacity *)
   batch_max : int;  (** dispatcher batch size *)
+  dispatchers : int;
+      (** dispatcher shards; clamped to 1 without resident payloads or
+          on OCaml < 5.0 (no domains), warned at startup *)
+  readers : int;  (** reactor event-loop threads, at least 1 *)
+  coalesce_us : int;
+      (** cross-request coalescing window in microseconds; 0 disables
+          lingering (a batch is whatever one ring pop returned) *)
   domains : int;  (** fan-out for count-only batches *)
   default_deadline_ms : int;  (** for requests with [deadline_ms = 0] *)
-  read_timeout_s : float;  (** per-connection idle/read timeout *)
+  read_timeout_s : float;  (** per-connection idle timeout *)
   write_timeout_s : float;
+      (** drain grace for flushing response outboxes at stop *)
   cache_pages : int;
   policy : Diskstore.Buffer_pool.policy;
-  resident : bool;  (** preload payloads; required for [domains > 1] *)
+  resident : bool;  (** preload payloads; required for any fan-out *)
   max_frame : int;
   dispatch_delay_s : float;
       (** test hook: sleep this long before executing each batch, to
@@ -47,29 +69,43 @@ type stats = {
   shed_deadline : int;
   shed_drain : int;
   errors : int;
+  batches : int;  (** dispatcher batches executed, across all shards *)
+  coalesced : int;
+      (** requests that executed in a batch of more than one *)
+  max_batch : int;  (** largest batch any shard executed *)
 }
 
 type t
 
 val start : config -> t
-(** Load the snapshots, bind, and spawn the acceptor + dispatcher.
-    Raises [Failure] with a readable message if a snapshot cannot be
-    served (unreadable, unknown kind, duplicate structure name). *)
+(** Load the snapshots, bind, and spawn the acceptor, the reactor
+    pool, and the dispatcher shards.  Raises [Failure] with a readable
+    message if a snapshot cannot be served (unreadable, unknown kind,
+    duplicate structure name). *)
 
 val port : t -> int
 (** The actually-bound port (useful with [config.port = 0]). *)
 
 val effective_domains : t -> int
-(** The domain count queries actually fan out over — 1 whenever
-    [resident = false], whatever [config.domains] asked for (the
-    clamp is also warned about at startup). *)
+(** The domain count count-only batches actually fan out over — 1
+    whenever [resident = false], whatever [config.domains] asked for
+    (the clamp is also warned about at startup). *)
+
+val effective_dispatchers : t -> int
+(** Dispatcher shards actually running — [config.dispatchers] clamped
+    to 1 without resident payloads or on a domain-less build. *)
+
+val effective_readers : t -> int
+(** Reactor event-loop threads (at least 1). *)
 
 val structures : t -> (string * int) list
 (** Serving names and their dimensions. *)
 
 val stats : t -> stats
+
 val stop : t -> unit
 (** Graceful drain: stop accepting connections and requests (new
-    arrivals are shed with [Draining]), execute the queued backlog,
-    answer it, then close every connection and join every thread.
-    Idempotent. *)
+    arrivals are shed with [Draining]), let every dispatcher shard
+    finish its queued backlog — including in-flight coalesced batches
+    — answer it, flush the response outboxes, then close every
+    connection and join every thread.  Idempotent. *)

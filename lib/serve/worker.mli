@@ -1,0 +1,23 @@
+(** Build-time-selected execution units for dispatcher shards.
+
+    On OCaml >= 5.0 a dispatcher is a {!Domain}: the query engine's
+    scratch state ({!Emio.Tls} — [Domain.DLS] there) is per-domain, so
+    two dispatcher domains can execute queries concurrently without
+    sharing a cost context.  Systhreads would not do: threads of one
+    domain share its DLS {e and} its runtime lock, so K dispatcher
+    threads would race on the engine scratch and never run in
+    parallel anyway.
+
+    On 4.14 (no domains, [Tls] is one global ref) a dispatcher is a
+    {!Thread} and {!parallel} is [false] — {!Serve.Server} clamps the
+    effective dispatcher count to 1 there, exactly like the domain
+    fan-out clamp. *)
+
+val parallel : bool
+(** [true] iff spawned workers run on their own domains (own runtime
+    lock, own [Emio.Tls] slots) and may execute queries concurrently. *)
+
+type t
+
+val spawn : (unit -> unit) -> t
+val join : t -> unit

@@ -36,6 +36,8 @@ let msg_eq (a : Protocol.msg) (b : Protocol.msg) =
   | Protocol.Shed p, Protocol.Shed q -> p.id = q.id && p.reason = q.reason
   | Protocol.Error p, Protocol.Error q ->
       p.id = q.id && p.code = q.code && p.message = q.message
+  | Protocol.Stats_query p, Protocol.Stats_query q -> p.id = q.id
+  | Protocol.Stats p, Protocol.Stats q -> p.id = q.id && p.stats = q.stats
   | _ -> false
 
 let msg_testable =
@@ -52,7 +54,7 @@ let gen_msg : Protocol.msg QCheck.Gen.t =
   let u32 () = u16 () lor (u16 () lsl 16) in
   let str () = string_size (int_bound 12) st in
   let fl () = float st in
-  match int_bound 3 st with
+  match int_bound 5 st with
   | 0 ->
       Protocol.Query
         {
@@ -84,7 +86,7 @@ let gen_msg : Protocol.msg QCheck.Gen.t =
             | 1 -> Protocol.Deadline_exceeded
             | _ -> Protocol.Draining);
         }
-  | _ ->
+  | 3 ->
       Protocol.Error
         {
           id = u32 ();
@@ -94,6 +96,27 @@ let gen_msg : Protocol.msg QCheck.Gen.t =
             | 1 -> Protocol.Bad_dimension
             | _ -> Protocol.Bad_request);
           message = str ();
+        }
+  | 4 -> Protocol.Stats_query { id = u32 () }
+  | _ ->
+      Protocol.Stats
+        {
+          id = u32 ();
+          stats =
+            {
+              Protocol.dispatchers = 1 + int_bound 15 st;
+              readers = 1 + int_bound 15 st;
+              domains = 1 + int_bound 15 st;
+              accepted = u32 ();
+              served = u32 ();
+              shed_full = u32 ();
+              shed_deadline = u32 ();
+              shed_drain = u32 ();
+              errors = u32 ();
+              batches = u32 ();
+              coalesced = u32 ();
+              max_batch = u32 ();
+            };
         }
 
 let arb_msg =
@@ -183,6 +206,119 @@ let test_malformed () =
   | Error (Frame.Malformed _) -> ()
   | r -> expect_error "bad magic" "(malformed)" r
 
+(* ---- incremental parser (the reactor's read accumulator path) ---- *)
+
+let test_parse_incremental () =
+  let f = Frame.encode sample_msg in
+  let total = Bytes.length f in
+  (* every strict prefix is Need with a target beyond what we have;
+     re-parsing at the target (or anything past it) makes progress *)
+  for len = 0 to total - 1 do
+    match Frame.parse f len with
+    | Frame.Need n ->
+        Alcotest.(check bool)
+          (Printf.sprintf "Need target at %d bytes grows" len)
+          true
+          (n > len && n <= total)
+    | Frame.Parsed _ -> Alcotest.failf "parsed at %d of %d bytes" len total
+    | Frame.Broken e ->
+        Alcotest.failf "broken at %d bytes: %s" len
+          (Frame.read_error_to_string e)
+  done;
+  (match Frame.parse f total with
+  | Frame.Parsed (m, consumed) ->
+      Alcotest.check msg_testable "complete frame parses" sample_msg m;
+      check "consumed whole frame" total consumed
+  | _ -> Alcotest.fail "complete frame must parse");
+  (* back-to-back frames: only the first is consumed, trailing bytes
+     stay buffered for the next round *)
+  let second =
+    Protocol.Stats_query { id = 3 }
+  in
+  let two = Bytes.cat f (Frame.encode second) in
+  (match Frame.parse two (Bytes.length two) with
+  | Frame.Parsed (m, consumed) ->
+      Alcotest.check msg_testable "first of two frames" sample_msg m;
+      check "consumed only the first" total consumed
+  | _ -> Alcotest.fail "first of two frames must parse");
+  (* the length is validated as soon as the prefix is in: four bytes of
+     hostile length break the stream before any payload accumulates *)
+  let b = Bytes.make 4 '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int (64 * 1024 * 1024));
+  match Frame.parse b 4 with
+  | Frame.Broken (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized prefix must break the stream"
+
+(* ---- nonblocking writer (the conn outbox flush path) ---- *)
+
+let test_write_some_partial_and_blocked () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+  @@ fun () ->
+  Unix.set_nonblock a;
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  let payload =
+    Bytes.init (512 * 1024) (fun i -> Char.chr (((i * 31) + (i / 7)) land 0xFF))
+  in
+  let len = Bytes.length payload in
+  let received = Buffer.create len in
+  let chunk = Bytes.create 8192 in
+  let drain_some () =
+    match Unix.read b chunk 0 8192 with
+    | 0 -> Alcotest.fail "peer closed early"
+    | n -> Buffer.add_subbytes received chunk 0 n
+  in
+  let blocked = ref 0 and partial = ref 0 and pos = ref 0 in
+  while !pos < len do
+    match Frame.write_some a payload !pos (len - !pos) with
+    | `Wrote n ->
+        if n > 0 && n < len - !pos then incr partial;
+        pos := !pos + n
+    | `Blocked ->
+        (* exactly what the reactor does: park until writable — here the
+           peer draining the socket is what makes it writable again *)
+        incr blocked;
+        drain_some ()
+    | `Closed -> Alcotest.fail "socketpair reported closed mid-write"
+  done;
+  Alcotest.(check bool) "send buffer filled at least once" true (!blocked > 0);
+  Alcotest.(check bool) "partial writes happened" true (!partial > 0);
+  Unix.close a;
+  (let rec drain_rest () =
+     match Unix.read b chunk 0 8192 with
+     | 0 -> ()
+     | n ->
+         Buffer.add_subbytes received chunk 0 n;
+         drain_rest ()
+   in
+   drain_rest ());
+  Alcotest.(check int) "nothing lost" len (Buffer.length received);
+  Alcotest.(check bool) "bytes arrive unreordered" true
+    (Bytes.equal payload (Buffer.to_bytes received))
+
+let test_write_some_closed_peer () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.close b;
+  let payload = Bytes.make 4096 'x' in
+  let rec poke tries =
+    if tries = 0 then
+      Alcotest.fail "write to a closed peer never reported `Closed"
+    else
+      match Frame.write_some a payload 0 4096 with
+      | `Closed -> ()
+      | `Wrote _ | `Blocked -> poke (tries - 1)
+  in
+  poke 10;
+  Unix.close a
+
 (* ---- admission queue ---- *)
 
 let test_admission_fifo_and_full () =
@@ -258,6 +394,79 @@ let test_admission_concurrent () =
   done;
   List.iter Thread.join threads;
   check "all items delivered" (pushers * per) !total;
+  Admission.dispose q
+
+(* Many pushers AND many poppers: with several consumers racing on one
+   ring, every item is still delivered exactly once and each consumer
+   sees its pops in global FIFO order (contiguous runs under the lock).
+   This is the safety property the sharded server leans on. *)
+let test_admission_multi_consumer () =
+  let q = Admission.create 16 in
+  let pushers = 3 and per = 400 and consumers = 3 in
+  let push_threads =
+    List.init pushers (fun p ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per - 1 do
+              let rec retry () =
+                match Admission.push q (p, i) with
+                | Admission.Accepted -> ()
+                | Admission.Full ->
+                    Thread.yield ();
+                    retry ()
+                | Admission.Closed -> Alcotest.fail "queue closed early"
+              in
+              retry ()
+            done)
+          ())
+  in
+  let got = Array.make consumers [] in
+  let pop_threads =
+    List.init consumers (fun c ->
+        Thread.create
+          (fun () ->
+            let rec go () =
+              match Admission.pop_batch q ~max:5 ~timeout:5. with
+              | Admission.Items items ->
+                  got.(c) <- got.(c) @ items;
+                  go ()
+              | Admission.Timeout -> Alcotest.fail "consumer starved"
+              | Admission.Drained -> ()
+            in
+            go ())
+          ())
+  in
+  List.iter Thread.join push_threads;
+  Admission.close q;
+  List.iter Thread.join pop_threads;
+  (* exactly-once: the union across consumers is the full pushed set *)
+  let seen = Hashtbl.create (pushers * per) in
+  Array.iter
+    (List.iter (fun item ->
+         if Hashtbl.mem seen item then
+           let p, i = item in
+           Alcotest.failf "item (%d,%d) delivered twice" p i
+         else Hashtbl.replace seen item ()))
+    got;
+  check "all items delivered exactly once" (pushers * per)
+    (Hashtbl.length seen);
+  (* per-consumer monotonicity: within one consumer each pusher's
+     items appear in that pusher's push order *)
+  Array.iteri
+    (fun c items ->
+      let last = Array.make pushers (-1) in
+      List.iter
+        (fun (p, i) ->
+          if i <= last.(p) then
+            Alcotest.failf "consumer %d: pusher %d item %d after %d" c p i
+              last.(p);
+          last.(p) <- i)
+        items)
+    got;
+  (* close semantics under concurrency: every consumer exited on
+     Drained, and a late push is refused *)
+  Alcotest.(check bool) "push after close" true
+    (Admission.push q (0, 0) = Admission.Closed);
   Admission.dispose q
 
 (* ---- end-to-end loopback ---- *)
@@ -530,6 +739,163 @@ let test_e2e_deadline_shed () =
       check "all shed past deadline" n deadline;
       check "stats: shed_deadline" n (Server.stats srv).Server.shed_deadline)
 
+(* Cross-request coalescing must be invisible in the answers: a pile
+   of pipelined queries over several structures, executed as coalesced
+   batches by 1, 2, or 4 dispatcher shards, demuxes to exactly the
+   bit-level results the sequential single-query oracle produces —
+   counts, cost words, and ids.  The dispatch stall parks the queries
+   in the rings so real multi-request batches form (max_batch >= 2),
+   proving the batched path actually ran.  On runtimes where shards
+   clamp to one dispatcher the same contract holds with k = 1. *)
+let test_e2e_coalescing_oracle () =
+  let specs =
+    [
+      ("h2", 71, false);
+      ("h3", 72, false);
+      ("cert", 73, false);
+      ("ptree", 74, true) (* ids demuxed out of a coalesced batch *);
+    ]
+  in
+  let snaps =
+    List.map
+      (fun (name, seed, want_ids) ->
+        (name, build_snapshot name ~n:384 ~seed, want_ids))
+      specs
+  in
+  (* one oracle table for all dispatcher counts: id -> expectation *)
+  let per_structure = 12 in
+  let expected = Hashtbl.create 64 in
+  let queries = ref [] in
+  List.iteri
+    (fun si (name, path, want_ids) ->
+      let oracle = load_resident path in
+      let qs = Meta.replay_queries oracle ~fraction:0.05 ~count:per_structure in
+      Array.iteri
+        (fun i q ->
+          let id = (100 * (si + 1)) + i in
+          let r = Query_engine.domain_reporter () in
+          Emio.Reporter.clear r;
+          let c =
+            if want_ids then Query_engine.run_one ~reporter:r oracle.Meta.inst q
+            else Query_engine.run_one oracle.Meta.inst q
+          in
+          let ids =
+            if want_ids then begin
+              let a = Emio.Reporter.to_array r in
+              Array.sort compare a;
+              a
+            end
+            else [||]
+          in
+          Hashtbl.replace expected id (name, want_ids, c, ids);
+          queries := (id, name, want_ids, q) :: !queries)
+        qs)
+    snaps;
+  (* interleave structures so coalesced batches are mixed and the
+     per-structure grouping has to demux *)
+  let queries =
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> compare (a mod 100, a) (b mod 100, b)) !queries
+  in
+  let total = List.length queries in
+  List.iter
+    (fun k ->
+      let cfg =
+        {
+          Server.default_config with
+          port = 0;
+          snapshots = List.map (fun (_, p, _) -> p) snaps;
+          dispatchers = k;
+          batch_max = 16;
+          coalesce_us = 20_000;
+          default_deadline_ms = 30_000;
+          dispatch_delay_s = 0.05;
+        }
+      in
+      with_server cfg (fun srv ->
+          let eff = Server.effective_dispatchers srv in
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d: effective dispatchers sane" k)
+            true
+            (eff >= 1 && eff <= k);
+          let fd = connect (Server.port srv) in
+          Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+          List.iter
+            (fun (id, name, want_ids, q) ->
+              send fd (query ~want_ids ~id ~structure:name q))
+            queries;
+          for _ = 1 to total do
+            match recv fd with
+            | Protocol.Result res -> (
+                match Hashtbl.find_opt expected res.id with
+                | None -> Alcotest.failf "k=%d: unknown id %d" k res.id
+                | Some (name, want_ids, c, ids) ->
+                    let label f =
+                      Printf.sprintf "k=%d %s id %d: %s" k name res.id f
+                    in
+                    check (label "count") c.Query_engine.result res.count;
+                    check (label "reads") c.Query_engine.reads res.reads;
+                    check (label "writes") c.Query_engine.writes res.writes;
+                    check (label "hits") c.Query_engine.hits res.hits;
+                    if want_ids then begin
+                      let got = Array.copy res.ids in
+                      Array.sort compare got;
+                      Alcotest.(check (array int)) (label "ids") ids got
+                    end
+                    else check (label "no ids") 0 (Array.length res.ids))
+            | m ->
+                Alcotest.failf "k=%d: unexpected %s" k
+                  (Format.asprintf "%a" Protocol.pp m)
+          done;
+          let st = Server.stats srv in
+          check (Printf.sprintf "k=%d: all served" k) total st.Server.served;
+          check (Printf.sprintf "k=%d: no errors" k) 0 st.Server.errors;
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d: real coalesced batches formed" k)
+            true (st.Server.max_batch >= 2);
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d: fewer batches than requests" k)
+            true
+            (st.Server.batches < total)))
+    [ 1; 2; 4 ]
+
+(* the Stats verb: what loadgen stamps into BENCH_SERVE.json meta *)
+let test_e2e_stats_query () =
+  let h2 = build_snapshot "h2" ~n:256 ~seed:81 in
+  let cfg =
+    {
+      Server.default_config with
+      port = 0;
+      snapshots = [ h2 ];
+      dispatchers = 2;
+      readers = 2;
+    }
+  in
+  with_server cfg (fun srv ->
+      let fd = connect (Server.port srv) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      send fd (query ~id:1 ~structure:"h2" { Index.a0 = 100.; a = [| 0.1 |] });
+      (match recv fd with
+      | Protocol.Result r -> check "query answered" 1 r.id
+      | m ->
+          Alcotest.failf "expected a result, got %s"
+            (Format.asprintf "%a" Protocol.pp m));
+      send fd (Protocol.Stats_query { id = 42 });
+      match recv fd with
+      | Protocol.Stats { id; stats } ->
+          check "stats id echoed" 42 id;
+          check "stats: dispatchers" (Server.effective_dispatchers srv)
+            stats.Protocol.dispatchers;
+          check "stats: readers" (Server.effective_readers srv)
+            stats.Protocol.readers;
+          check "stats: domains" (Server.effective_domains srv)
+            stats.Protocol.domains;
+          check "stats: served so far" 1 stats.Protocol.served;
+          Alcotest.(check bool) "stats: accepted >= 1" true
+            (stats.Protocol.accepted >= 1)
+      | m ->
+          Alcotest.failf "expected Stats, got %s"
+            (Format.asprintf "%a" Protocol.pp m))
+
 (* stop() must drain: the queued backlog is executed and answered
    before connections close. *)
 let test_e2e_drain () =
@@ -623,6 +989,14 @@ let () =
           Alcotest.test_case "oversized" `Quick test_oversized;
           Alcotest.test_case "malformed" `Quick test_malformed;
         ] );
+      ( "frame streaming",
+        [
+          Alcotest.test_case "incremental parse" `Quick test_parse_incremental;
+          Alcotest.test_case "partial and blocked writes" `Quick
+            test_write_some_partial_and_blocked;
+          Alcotest.test_case "write to a closed peer" `Quick
+            test_write_some_closed_peer;
+        ] );
       ( "admission",
         [
           Alcotest.test_case "fifo and full" `Quick test_admission_fifo_and_full;
@@ -630,11 +1004,16 @@ let () =
             test_admission_close_and_drain;
           Alcotest.test_case "concurrent pushers" `Quick
             test_admission_concurrent;
+          Alcotest.test_case "concurrent consumers" `Quick
+            test_admission_multi_consumer;
         ] );
       ( "end to end",
         [
           Alcotest.test_case "results match the oracle" `Quick test_e2e_oracle;
           Alcotest.test_case "typed rejections" `Quick test_e2e_rejections;
+          Alcotest.test_case "coalesced batches match the oracle" `Quick
+            test_e2e_coalescing_oracle;
+          Alcotest.test_case "stats query" `Quick test_e2e_stats_query;
           Alcotest.test_case "queue-full shedding" `Quick
             test_e2e_queue_full_shed;
           Alcotest.test_case "deadline shedding" `Quick test_e2e_deadline_shed;
